@@ -1,0 +1,52 @@
+#ifndef MAGMA_BENCH_BENCH_COMMON_H_
+#define MAGMA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace magma::bench {
+
+/**
+ * Shared harness knobs. Every figure/table harness accepts:
+ *   --full      paper-scale budgets (10K samples, group size 100)
+ *   --seed N    workload/search seed
+ * and defaults to a reduced budget so the whole suite runs in minutes.
+ */
+struct BenchArgs {
+    bool full = false;
+    uint64_t seed = 1;
+
+    static BenchArgs parse(int argc, char** argv)
+    {
+        BenchArgs a;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--full") == 0)
+                a.full = true;
+            else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+                a.seed = std::strtoull(argv[++i], nullptr, 10);
+        }
+        return a;
+    }
+
+    /** Search budget: paper's 10K under --full, else reduced. */
+    int64_t budget(int64_t reduced = 2000) const
+    {
+        return full ? 10000 : reduced;
+    }
+
+    /** Group size: paper's 100 under --full, else reduced. */
+    int groupSize(int reduced = 40) const { return full ? 100 : reduced; }
+};
+
+inline void
+printHeader(const std::string& title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("==============================================================\n");
+}
+
+}  // namespace magma::bench
+
+#endif  // MAGMA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fig. 7 harness: per-job no-stall latency and required bandwidth of the
+ * model zoo on the HB-64 and LB-64 sub-accelerator styles.
+ *
+ * Reproduces:
+ *  (a) the per-model table for three showcased models per task plus the
+ *      per-task averages on (HB,64) and (LB,64);
+ *  (b) the task-average no-stall latency bars;
+ *  (c) the task-average required-BW bars.
+ *
+ * Expected shape (paper): vision has the highest latency and lowest BW
+ * need; recommendation the lowest latency and highest BW need; LB is
+ * orders of magnitude slower than HB on FC-dominated models while needing
+ * orders of magnitude less bandwidth.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "accel/platform.h"
+#include "bench/bench_common.h"
+#include "common/csv.h"
+#include "cost/cost_model.h"
+#include "dnn/model_zoo.h"
+#include "dnn/workload.h"
+
+using namespace magma;
+
+namespace {
+
+struct ModelStats {
+    double hb_lat = 0.0, lb_lat = 0.0;  // avg cycles per job
+    double hb_bw = 0.0, lb_bw = 0.0;    // avg GB/s per job
+};
+
+ModelStats
+profileModel(const dnn::Model& m, const cost::CostModel& model,
+             const cost::SubAccelConfig& hb, const cost::SubAccelConfig& lb)
+{
+    ModelStats s;
+    int batch = dnn::defaultBatch(m.task);
+    for (const auto& layer : m.layers) {
+        cost::CostResult rh = model.analyze(layer, batch, hb);
+        cost::CostResult rl = model.analyze(layer, batch, lb);
+        s.hb_lat += rh.noStallCycles;
+        s.lb_lat += rl.noStallCycles;
+        s.hb_bw += rh.reqBwGbps;
+        s.lb_bw += rl.reqBwGbps;
+    }
+    double n = static_cast<double>(m.layers.size());
+    s.hb_lat /= n;
+    s.lb_lat /= n;
+    s.hb_bw /= n;
+    s.lb_bw /= n;
+    return s;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    (void)args;
+    bench::printHeader(
+        "Fig. 7: per-job no-stall latency & required BW on (HB,64)/(LB,64)");
+
+    cost::CostModel model;
+    cost::SubAccelConfig hb =
+        accel::makeSubAccel(cost::DataflowStyle::HB, 64, 291);
+    cost::SubAccelConfig lb =
+        accel::makeSubAccel(cost::DataflowStyle::LB, 64, 218);
+
+    common::CsvWriter csv("fig07_job_analysis.csv",
+                          {"task", "model", "hb_lat_cycles", "lb_lat_cycles",
+                           "hb_bw_gbps", "lb_bw_gbps"});
+
+    std::printf("(a) per-model averages\n");
+    std::printf("%-8s %-14s %12s %12s %12s %12s\n", "task", "model",
+                "lat(HB,64)", "lat(LB,64)", "BW(HB,64)", "BW(LB,64)");
+
+    struct TaskAgg {
+        dnn::TaskType task;
+        double lat_hb = 0, lat_lb = 0, bw_hb = 0, bw_lb = 0;
+        int n = 0;
+    };
+    std::vector<TaskAgg> aggs = {{dnn::TaskType::Vision},
+                                 {dnn::TaskType::Language},
+                                 {dnn::TaskType::Recommendation}};
+
+    for (auto& agg : aggs) {
+        for (const auto& m : dnn::modelsForTask(agg.task)) {
+            ModelStats s = profileModel(m, model, hb, lb);
+            std::printf("%-8s %-14s %12.3g %12.3g %12.3g %12.3g\n",
+                        dnn::taskTypeName(agg.task).c_str(), m.name.c_str(),
+                        s.hb_lat, s.lb_lat, s.hb_bw, s.lb_bw);
+            csv.row({dnn::taskTypeName(agg.task), m.name,
+                     common::CsvWriter::num(s.hb_lat),
+                     common::CsvWriter::num(s.lb_lat),
+                     common::CsvWriter::num(s.hb_bw),
+                     common::CsvWriter::num(s.lb_bw)});
+            agg.lat_hb += s.hb_lat;
+            agg.lat_lb += s.lb_lat;
+            agg.bw_hb += s.hb_bw;
+            agg.bw_lb += s.lb_bw;
+            ++agg.n;
+        }
+    }
+
+    std::printf("\n(b) task-average no-stall latency (cycles) and\n"
+                "(c) task-average required BW (GB/s)\n");
+    std::printf("%-8s %12s %12s %12s %12s\n", "task", "lat(HB)", "lat(LB)",
+                "BW(HB)", "BW(LB)");
+    for (const auto& agg : aggs) {
+        std::printf("%-8s %12.3g %12.3g %12.3g %12.3g\n",
+                    dnn::taskTypeName(agg.task).c_str(), agg.lat_hb / agg.n,
+                    agg.lat_lb / agg.n, agg.bw_hb / agg.n,
+                    agg.bw_lb / agg.n);
+        csv.row({dnn::taskTypeName(agg.task), "AVERAGE",
+                 common::CsvWriter::num(agg.lat_hb / agg.n),
+                 common::CsvWriter::num(agg.lat_lb / agg.n),
+                 common::CsvWriter::num(agg.bw_hb / agg.n),
+                 common::CsvWriter::num(agg.bw_lb / agg.n)});
+    }
+    std::printf("\nSeries written to fig07_job_analysis.csv\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig. 17 harness: group-size sweep on (Mix, S2, BW=16) with MAGMA.
+ *
+ * Paper's shape: performance is fairly flat from 1000 down to ~20, but a
+ * very small group (4) leaves sub-accelerators starved and loses.
+ * Throughputs are normalized by the group-size-1000 value.
+ */
+
+#include <cstdio>
+
+#include "bench/experiment.h"
+#include "opt/magma_ga.h"
+
+using namespace magma;
+
+int
+main(int argc, char** argv)
+{
+    bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    bench::printHeader("Fig. 17: group-size sweep (Mix, S2, BW=16)");
+
+    std::vector<int> sizes = {1000, 500, 200, 100, 50, 40, 20, 10, 4};
+    common::CsvWriter csv("fig17_group_size.csv",
+                          {"group_size", "gflops", "norm_vs_1000"});
+
+    std::vector<double> gflops;
+    for (int gs : sizes) {
+        auto problem = m3e::makeProblem(dnn::TaskType::Mix,
+                                        accel::Setting::S2, 16.0, gs,
+                                        args.seed);
+        opt::MagmaConfig cfg;
+        cfg.population = std::max(8, std::min(gs, 100));  // pop ~ group
+        opt::MagmaGa magma_ga(args.seed, cfg);
+        opt::SearchOptions opts;
+        opts.sampleBudget = args.budget();
+        gflops.push_back(
+            magma_ga.search(problem->evaluator(), opts).bestFitness);
+    }
+
+    std::printf("\n  %-10s %12s %10s\n", "group", "GFLOP/s", "norm");
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        double norm = gflops[i] / gflops[0];
+        std::printf("  %-10d %12.1f %10.2f\n", sizes[i], gflops[i], norm);
+        csv.rowNumeric({static_cast<double>(sizes[i]), gflops[i], norm});
+    }
+    std::printf("\nSeries written to fig17_group_size.csv\n");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the framework's hot paths,
+ * backing the paper's search-time claim (Section VI-B: ~0.25 s per MAGMA
+ * epoch, 25 s for a full 10K-sample search on a desktop CPU):
+ *   - one cost-model query,
+ *   - Job Analysis Table construction (group 100 on S4),
+ *   - one fitness evaluation (decode + BW allocator),
+ *   - one MAGMA epoch (population 100).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "m3e/problem.h"
+#include "opt/magma_ga.h"
+#include "sched/job_analyzer.h"
+
+using namespace magma;
+
+namespace {
+
+const m3e::Problem&
+sharedProblem()
+{
+    static auto p = m3e::makeProblem(dnn::TaskType::Mix,
+                                     accel::Setting::S4, 64.0, 100, 5);
+    return *p;
+}
+
+void
+BM_CostModelQuery(benchmark::State& state)
+{
+    cost::CostModel model;
+    cost::SubAccelConfig cfg =
+        accel::makeSubAccel(cost::DataflowStyle::HB, 128, 580);
+    dnn::LayerShape l = dnn::conv(256, 128, 28, 28, 3, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.analyze(l, 4, cfg));
+    }
+}
+BENCHMARK(BM_CostModelQuery);
+
+void
+BM_CostModelQueryFlexible(benchmark::State& state)
+{
+    cost::CostModel model;
+    cost::SubAccelConfig cfg =
+        accel::makeSubAccel(cost::DataflowStyle::HB, 128, 580);
+    cfg.flexibleShape = true;
+    dnn::LayerShape l = dnn::conv(256, 128, 28, 28, 3, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.analyze(l, 4, cfg));
+    }
+}
+BENCHMARK(BM_CostModelQueryFlexible);
+
+void
+BM_JobAnalysisTableBuild(benchmark::State& state)
+{
+    dnn::WorkloadGenerator gen(7);
+    dnn::JobGroup group = gen.makeGroup(dnn::TaskType::Mix, 100);
+    accel::Platform platform = accel::makeSetting(accel::Setting::S4, 64.0);
+    cost::CostModel model;
+    sched::JobAnalyzer analyzer(model);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analyzer.analyze(group, platform));
+    }
+}
+BENCHMARK(BM_JobAnalysisTableBuild);
+
+void
+BM_FitnessEvaluation(benchmark::State& state)
+{
+    const auto& p = sharedProblem();
+    common::Rng rng(11);
+    sched::Mapping m =
+        sched::Mapping::random(100, p.evaluator().numAccels(), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(p.evaluator().fitness(m));
+    }
+}
+BENCHMARK(BM_FitnessEvaluation);
+
+void
+BM_MagmaEpoch(benchmark::State& state)
+{
+    const auto& p = sharedProblem();
+    // One epoch = population-size samples (100). Search-time claim target:
+    // ~0.25s per epoch on the paper's desktop.
+    for (auto _ : state) {
+        opt::MagmaGa magma_ga(3);
+        opt::SearchOptions opts;
+        opts.sampleBudget = 200;  // init population + one generation
+        benchmark::DoNotOptimize(
+            magma_ga.search(p.evaluator(), opts).bestFitness);
+    }
+}
+BENCHMARK(BM_MagmaEpoch);
+
+void
+BM_BwAllocatorRun(benchmark::State& state)
+{
+    const auto& p = sharedProblem();
+    common::Rng rng(13);
+    sched::Mapping m =
+        sched::Mapping::random(100, p.evaluator().numAccels(), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(p.evaluator().evaluate(m));
+    }
+}
+BENCHMARK(BM_BwAllocatorRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

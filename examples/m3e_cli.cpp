@@ -1,0 +1,191 @@
+/**
+ * @file
+ * m3e_cli — command-line driver for the M3E framework.
+ *
+ * Runs any Table IV mapper on any Table III setting/task/BW/group-size
+ * combination and reports throughput, makespan and (optionally) the
+ * schedule. This is the "just let me try it" entry point a downstream
+ * user reaches for before writing code against the API.
+ *
+ * Usage:
+ *   m3e_cli [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
+ *           [--bw GBPS] [--group N] [--budget N] [--seed N]
+ *           [--method NAME | --all] [--objective NAME]
+ *           [--flexible] [--timeline]
+ *
+ * Method names are the paper's labels ("MAGMA", "Herald-like", "stdGA",
+ * "RL PPO2", ...). Objectives: throughput latency energy edp perf-per-watt.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/timeline.h"
+#include "m3e/factory.h"
+#include "m3e/problem.h"
+
+using namespace magma;
+
+namespace {
+
+struct CliArgs {
+    dnn::TaskType task = dnn::TaskType::Mix;
+    accel::Setting setting = accel::Setting::S2;
+    double bw = 16.0;
+    int group = 40;
+    int64_t budget = 2000;
+    uint64_t seed = 1;
+    std::string method = "MAGMA";
+    bool all = false;
+    bool flexible = false;
+    bool timeline = false;
+    sched::Objective objective = sched::Objective::Throughput;
+};
+
+dnn::TaskType
+parseTask(const std::string& s)
+{
+    for (dnn::TaskType t : {dnn::TaskType::Vision, dnn::TaskType::Language,
+                            dnn::TaskType::Recommendation,
+                            dnn::TaskType::Mix})
+        if (dnn::taskTypeName(t) == s)
+            return t;
+    std::fprintf(stderr, "unknown task '%s' (Vision|Lang|Recom|Mix)\n",
+                 s.c_str());
+    std::exit(2);
+}
+
+accel::Setting
+parseSetting(const std::string& s)
+{
+    for (accel::Setting st : {accel::Setting::S1, accel::Setting::S2,
+                              accel::Setting::S3, accel::Setting::S4,
+                              accel::Setting::S5, accel::Setting::S6})
+        if (accel::settingName(st) == s)
+            return st;
+    std::fprintf(stderr, "unknown setting '%s' (S1..S6)\n", s.c_str());
+    std::exit(2);
+}
+
+sched::Objective
+parseObjective(const std::string& s)
+{
+    if (s == "throughput")
+        return sched::Objective::Throughput;
+    if (s == "latency")
+        return sched::Objective::Latency;
+    if (s == "energy")
+        return sched::Objective::Energy;
+    if (s == "edp")
+        return sched::Objective::EnergyDelay;
+    if (s == "perf-per-watt")
+        return sched::Objective::PerfPerWatt;
+    std::fprintf(stderr, "unknown objective '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+CliArgs
+parse(int argc, char** argv)
+{
+    CliArgs a;
+    auto need = [&](int i) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(2);
+        }
+        return std::string(argv[i + 1]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--task")
+            a.task = parseTask(need(i++));
+        else if (flag == "--setting")
+            a.setting = parseSetting(need(i++));
+        else if (flag == "--bw")
+            a.bw = std::stod(need(i++));
+        else if (flag == "--group")
+            a.group = std::stoi(need(i++));
+        else if (flag == "--budget")
+            a.budget = std::stoll(need(i++));
+        else if (flag == "--seed")
+            a.seed = std::stoull(need(i++));
+        else if (flag == "--method")
+            a.method = need(i++);
+        else if (flag == "--objective")
+            a.objective = parseObjective(need(i++));
+        else if (flag == "--all")
+            a.all = true;
+        else if (flag == "--flexible")
+            a.flexible = true;
+        else if (flag == "--timeline")
+            a.timeline = true;
+        else {
+            std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+            std::exit(2);
+        }
+    }
+    return a;
+}
+
+void
+runOne(m3e::Method method, m3e::Problem& problem, const CliArgs& args)
+{
+    auto optimizer = m3e::makeOptimizer(method, args.seed);
+    opt::SearchOptions opts;
+    opts.sampleBudget = args.budget;
+    opt::SearchResult res = optimizer->search(problem.evaluator(), opts);
+    sched::ScheduleResult sim =
+        problem.evaluator().evaluate(res.best, args.timeline);
+
+    std::printf("%-14s fitness %12.3f (%s)   throughput %9.2f GFLOP/s   "
+                "makespan %.4g s   samples %lld\n",
+                optimizer->name().c_str(), res.bestFitness,
+                sched::objectiveName(problem.evaluator().objective())
+                    .c_str(),
+                problem.evaluator().throughputGflops(sim.makespanSeconds),
+                sim.makespanSeconds,
+                static_cast<long long>(res.samplesUsed));
+    if (args.timeline) {
+        analysis::TimelineExporter tl(sim, problem.group(),
+                                      problem.evaluator().numAccels());
+        std::printf("%s", tl.renderGantt(72).c_str());
+        std::printf("%s\n", tl.renderBwProfile(72).c_str());
+    }
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliArgs args = parse(argc, argv);
+
+    auto problem =
+        args.flexible
+            ? m3e::makeFlexibleProblem(args.task, args.setting, args.bw,
+                                       args.group, args.seed)
+            : m3e::makeProblem(args.task, args.setting, args.bw,
+                               args.group, args.seed);
+    problem->evaluator().setObjective(args.objective);
+
+    std::printf("%s (%s), task %s, BW %g GB/s, group %d, budget %lld, "
+                "objective %s\n",
+                problem->platform().name.c_str(),
+                problem->platform().description.c_str(),
+                dnn::taskTypeName(args.task).c_str(), args.bw, args.group,
+                static_cast<long long>(args.budget),
+                sched::objectiveName(args.objective).c_str());
+    std::printf("peak %.0f GFLOP/s, group total %.2f GFLOPs\n\n",
+                problem->platform().peakGflops(),
+                problem->group().totalFlops() / 1e9);
+
+    if (args.all) {
+        for (m3e::Method m : m3e::paperMethods())
+            runOne(m, *problem, args);
+    } else {
+        runOne(m3e::methodFromName(args.method), *problem, args);
+    }
+    return 0;
+}

@@ -1,0 +1,101 @@
+#include "accel/platform.h"
+
+#include <cassert>
+
+namespace magma::accel {
+
+std::string
+settingName(Setting s)
+{
+    switch (s) {
+      case Setting::S1: return "S1";
+      case Setting::S2: return "S2";
+      case Setting::S3: return "S3";
+      case Setting::S4: return "S4";
+      case Setting::S5: return "S5";
+      case Setting::S6: return "S6";
+    }
+    return "?";
+}
+
+cost::SubAccelConfig
+makeSubAccel(cost::DataflowStyle style, int rows, double sg_kib)
+{
+    cost::SubAccelConfig cfg;
+    cfg.dataflow = style;
+    cfg.rows = rows;
+    cfg.cols = 64;
+    cfg.sgBytes = sg_kib * 1024.0;
+    cfg.slBytes = 1024.0;
+    cfg.name = cost::dataflowName(style) + "-" + std::to_string(rows);
+    return cfg;
+}
+
+Platform
+makeSetting(Setting s, double system_bw_gbps)
+{
+    Platform p;
+    p.name = settingName(s);
+    p.systemBwGbps = system_bw_gbps;
+    auto add = [&p](cost::DataflowStyle style, int rows, double sg_kib,
+                    int count) {
+        for (int i = 0; i < count; ++i)
+            p.subAccels.push_back(makeSubAccel(style, rows, sg_kib));
+    };
+    using cost::DataflowStyle;
+    switch (s) {
+      case Setting::S1:
+        p.description = "Small Homog";
+        add(DataflowStyle::HB, 32, 146, 4);
+        break;
+      case Setting::S2:
+        p.description = "Small Hetero";
+        add(DataflowStyle::HB, 32, 146, 3);
+        add(DataflowStyle::LB, 32, 110, 1);
+        break;
+      case Setting::S3:
+        p.description = "Large Homog";
+        add(DataflowStyle::HB, 128, 580, 8);
+        break;
+      case Setting::S4:
+        p.description = "Large Hetero";
+        add(DataflowStyle::HB, 128, 580, 7);
+        add(DataflowStyle::LB, 128, 434, 1);
+        break;
+      case Setting::S5:
+        p.description = "Large Hetero BigLittle";
+        add(DataflowStyle::HB, 128, 580, 3);
+        add(DataflowStyle::LB, 128, 434, 1);
+        add(DataflowStyle::HB, 64, 291, 3);
+        add(DataflowStyle::LB, 64, 218, 1);
+        break;
+      case Setting::S6:
+        p.description = "Large Scale-up";
+        add(DataflowStyle::HB, 128, 580, 7);
+        add(DataflowStyle::LB, 128, 434, 1);
+        add(DataflowStyle::HB, 64, 291, 7);
+        add(DataflowStyle::LB, 64, 218, 1);
+        break;
+    }
+    // Give every sub-accelerator a numbered instance name.
+    for (size_t i = 0; i < p.subAccels.size(); ++i)
+        p.subAccels[i].name += "#" + std::to_string(i);
+    return p;
+}
+
+Platform
+makeFlexibleSetting(Setting s, double system_bw_gbps)
+{
+    Platform p = makeSetting(s, system_bw_gbps);
+    p.name += "-flex";
+    p.description += " (flexible PE array)";
+    for (auto& sub : p.subAccels) {
+        sub.flexibleShape = true;
+        sub.slBytes = 1024.0;            // 1KB per PE (Section VI-F)
+        sub.sgBytes = 2.0 * 1024 * 1024; // 2MB SG (Section VI-F)
+        sub.name = "flex-" + sub.name;
+    }
+    return p;
+}
+
+}  // namespace magma::accel

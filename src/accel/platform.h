@@ -1,0 +1,70 @@
+#ifndef MAGMA_ACCEL_PLATFORM_H_
+#define MAGMA_ACCEL_PLATFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+
+namespace magma::accel {
+
+/**
+ * A multi-core accelerator: several sub-accelerators sharing one "system
+ * BW" (the minimum of host-memory and host-to-accelerator bandwidth,
+ * Section II-B1). The interconnect topology itself is abstracted away —
+ * the scheduler is agnostic to it, exactly as in the paper.
+ */
+struct Platform {
+    std::string name;
+    std::string description;
+    std::vector<cost::SubAccelConfig> subAccels;
+    double systemBwGbps = 16.0;
+
+    int numSubAccels() const { return static_cast<int>(subAccels.size()); }
+
+    /** Aggregate peak compute of all sub-accelerators in GFLOP/s. */
+    double peakGflops() const
+    {
+        double total = 0.0;
+        for (const auto& s : subAccels)
+            total += s.peakGflops();
+        return total;
+    }
+};
+
+/** The six test-bed settings of Table III. */
+enum class Setting { S1, S2, S3, S4, S5, S6 };
+
+/** Setting name ("S1".."S6"). */
+std::string settingName(Setting s);
+
+/**
+ * Build a Table III platform.
+ *
+ *  S1 Small Homog        4x (h=32,  HB, 146KB)
+ *  S2 Small Hetero       3x (h=32,  HB, 146KB) + 1x (h=32,  LB, 110KB)
+ *  S3 Large Homog        8x (h=128, HB, 580KB)
+ *  S4 Large Hetero       7x (h=128, HB, 580KB) + 1x (h=128, LB, 434KB)
+ *  S5 Large BigLittle    3x (128,HB,580K) 1x (128,LB,434K)
+ *                        3x ( 64,HB,291K) 1x ( 64,LB,218K)
+ *  S6 Large Scale-up     7x (128,HB,580K) 1x (128,LB,434K)
+ *                        7x ( 64,HB,291K) 1x ( 64,LB,218K)
+ *
+ * All arrays are h x 64 PEs at 200 MHz with 1-Byte operands.
+ */
+Platform makeSetting(Setting s, double system_bw_gbps);
+
+/**
+ * Flexible-accelerator variant of a setting (Section VI-F): same PE
+ * counts and dataflow styles, but each sub-accelerator may reshape its
+ * 2-D array per job; SL fixed at 1KB/PE and SG at 2MB as in the paper.
+ */
+Platform makeFlexibleSetting(Setting s, double system_bw_gbps);
+
+/** One sub-accelerator config helper used by the factories and tests. */
+cost::SubAccelConfig makeSubAccel(cost::DataflowStyle style, int rows,
+                                  double sg_kib);
+
+}  // namespace magma::accel
+
+#endif  // MAGMA_ACCEL_PLATFORM_H_

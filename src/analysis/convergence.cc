@@ -1,0 +1,48 @@
+#include "analysis/convergence.h"
+
+#include <algorithm>
+
+namespace magma::analysis {
+
+std::vector<double>
+resampleCurve(const std::vector<double>& curve, int points)
+{
+    std::vector<double> out;
+    out.reserve(points);
+    if (curve.empty()) {
+        out.assign(points, 0.0);
+        return out;
+    }
+    for (int i = 1; i <= points; ++i) {
+        size_t idx = static_cast<size_t>(
+            static_cast<double>(i) / points * curve.size());
+        idx = std::min(idx == 0 ? 0 : idx - 1, curve.size() - 1);
+        out.push_back(curve[idx]);
+    }
+    return out;
+}
+
+std::vector<int>
+resampleGrid(int total_samples, int points)
+{
+    std::vector<int> out;
+    out.reserve(points);
+    for (int i = 1; i <= points; ++i)
+        out.push_back(static_cast<int>(
+            static_cast<double>(i) / points * total_samples));
+    return out;
+}
+
+int
+samplesToFraction(const std::vector<double>& curve, double fraction)
+{
+    if (curve.empty())
+        return -1;
+    double target = curve.back() * fraction;
+    for (size_t i = 0; i < curve.size(); ++i)
+        if (curve[i] >= target)
+            return static_cast<int>(i);
+    return -1;
+}
+
+}  // namespace magma::analysis

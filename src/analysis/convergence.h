@@ -1,0 +1,34 @@
+#ifndef MAGMA_ANALYSIS_CONVERGENCE_H_
+#define MAGMA_ANALYSIS_CONVERGENCE_H_
+
+#include <string>
+#include <vector>
+
+namespace magma::analysis {
+
+/**
+ * Helpers for the convergence-curve figures (Figs. 11 and 16): resample a
+ * per-sample best-so-far curve onto a fixed grid of checkpoints so curves
+ * of different methods/budgets align in one table or CSV.
+ */
+
+/**
+ * Values of `curve` at `points` evenly spaced sample counts (the last
+ * checkpoint is the final sample). Short curves are right-extended with
+ * their final value.
+ */
+std::vector<double> resampleCurve(const std::vector<double>& curve,
+                                  int points);
+
+/** The sample counts the resampled grid corresponds to. */
+std::vector<int> resampleGrid(int total_samples, int points);
+
+/**
+ * First sample index at which the curve reaches `fraction` of its final
+ * value — the "samples to X% convergence" metric. Returns -1 if never.
+ */
+int samplesToFraction(const std::vector<double>& curve, double fraction);
+
+}  // namespace magma::analysis
+
+#endif  // MAGMA_ANALYSIS_CONVERGENCE_H_

@@ -1,0 +1,33 @@
+#include "analysis/projection.h"
+
+namespace magma::analysis {
+
+std::vector<ProjectedSeries>
+MapSpaceProjector::project(
+    const std::vector<std::string>& methods,
+    const std::vector<std::vector<sched::Mapping>>& samples,
+    const std::vector<std::vector<double>>& fitness, int num_accels)
+{
+    // Union of all flattened samples defines the plane.
+    std::vector<std::vector<double>> all;
+    for (const auto& series : samples)
+        for (const auto& m : series)
+            all.push_back(m.toFlat(num_accels));
+
+    common::Pca pca;
+    pca.fit(all, 2);
+    explained_ = pca.explainedVarianceRatio();
+
+    std::vector<ProjectedSeries> out;
+    for (size_t s = 0; s < methods.size(); ++s) {
+        ProjectedSeries series;
+        series.method = methods[s];
+        series.fitness = fitness[s];
+        for (const auto& m : samples[s])
+            series.points.push_back(pca.transform(m.toFlat(num_accels)));
+        out.push_back(std::move(series));
+    }
+    return out;
+}
+
+}  // namespace magma::analysis

@@ -1,0 +1,48 @@
+#ifndef MAGMA_ANALYSIS_PROJECTION_H_
+#define MAGMA_ANALYSIS_PROJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/pca.h"
+#include "sched/mapping.h"
+
+namespace magma::analysis {
+
+/** One optimizer's sampled points projected into the shared PCA plane. */
+struct ProjectedSeries {
+    std::string method;
+    std::vector<std::vector<double>> points;  // 2-D coordinates
+    std::vector<double> fitness;
+};
+
+/**
+ * Fig. 10 support: fit one PCA over the union of all methods' sampled
+ * mappings (flattened), then project each method's samples into that
+ * shared 2-D plane so the explored regions are directly comparable.
+ */
+class MapSpaceProjector {
+  public:
+    /**
+     * `samples[i]` / `fitness[i]` belong to `methods[i]`. num_accels is
+     * needed to flatten the genomes consistently.
+     */
+    std::vector<ProjectedSeries>
+    project(const std::vector<std::string>& methods,
+            const std::vector<std::vector<sched::Mapping>>& samples,
+            const std::vector<std::vector<double>>& fitness,
+            int num_accels);
+
+    /** Variance explained by the two kept components (after project()). */
+    const std::vector<double>& explainedVariance() const
+    {
+        return explained_;
+    }
+
+  private:
+    std::vector<double> explained_;
+};
+
+}  // namespace magma::analysis
+
+#endif  // MAGMA_ANALYSIS_PROJECTION_H_

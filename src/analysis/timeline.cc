@@ -1,0 +1,102 @@
+#include "analysis/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace magma::analysis {
+
+TimelineExporter::TimelineExporter(const sched::ScheduleResult& result,
+                                   const dnn::JobGroup& group,
+                                   int num_accels)
+    : result_(&result), group_(&group), num_accels_(num_accels)
+{}
+
+char
+TimelineExporter::taskGlyph(int job) const
+{
+    switch (group_->jobs[job].task) {
+      case dnn::TaskType::Vision:
+        return 'V';
+      case dnn::TaskType::Language:
+        return 'L';
+      case dnn::TaskType::Recommendation:
+        return 'R';
+      default:
+        return '?';
+    }
+}
+
+std::string
+TimelineExporter::renderGantt(int width) const
+{
+    double span = std::max(result_->makespanSeconds, 1e-30);
+    std::ostringstream os;
+    for (int a = 0; a < num_accels_; ++a) {
+        std::string row(width, '.');
+        for (const auto& ev : result_->events) {
+            if (ev.accel != a)
+                continue;
+            int lo = static_cast<int>(ev.start / span * width);
+            int hi = static_cast<int>(ev.end / span * width);
+            lo = std::clamp(lo, 0, width - 1);
+            hi = std::clamp(hi, lo, width - 1);
+            for (int c = lo; c <= hi; ++c)
+                row[c] = taskGlyph(ev.job);
+        }
+        os << "S-Accel-" << a << " |" << row << "|\n";
+    }
+    os << "             0" << std::string(width - 12, ' ')
+       << common::CsvWriter::num(span) << "s\n";
+    return os.str();
+}
+
+std::vector<std::vector<std::string>>
+TimelineExporter::bwRows() const
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(result_->events.size());
+    for (const auto& ev : result_->events) {
+        rows.push_back({common::CsvWriter::num(ev.start),
+                        common::CsvWriter::num(ev.end),
+                        std::to_string(ev.accel), std::to_string(ev.job),
+                        dnn::taskTypeName(group_->jobs[ev.job].task),
+                        common::CsvWriter::num(ev.allocBw)});
+    }
+    return rows;
+}
+
+std::string
+TimelineExporter::renderBwProfile(int width) const
+{
+    double span = std::max(result_->makespanSeconds, 1e-30);
+    // Total granted BW per column (time bucket).
+    std::vector<double> total(width, 0.0);
+    for (const auto& ev : result_->events) {
+        int lo = std::clamp(static_cast<int>(ev.start / span * width), 0,
+                            width - 1);
+        int hi = std::clamp(static_cast<int>(ev.end / span * width), lo,
+                            width - 1);
+        for (int c = lo; c <= hi; ++c)
+            total[c] += ev.allocBw;
+    }
+    double peak = *std::max_element(total.begin(), total.end());
+    peak = std::max(peak, 1e-30);
+
+    std::ostringstream os;
+    const int bars = 8;
+    for (int level = bars; level >= 1; --level) {
+        os << (level == bars ? "BW " : "   ") << "|";
+        for (int c = 0; c < width; ++c)
+            os << (total[c] / peak >= static_cast<double>(level) / bars
+                       ? '#' : ' ');
+        os << "|\n";
+    }
+    os << "    peak granted BW = " << common::CsvWriter::num(peak)
+       << " GB/s\n";
+    return os.str();
+}
+
+}  // namespace magma::analysis

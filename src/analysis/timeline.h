@@ -1,0 +1,49 @@
+#ifndef MAGMA_ANALYSIS_TIMELINE_H_
+#define MAGMA_ANALYSIS_TIMELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "dnn/workload.h"
+#include "sched/bw_allocator.h"
+
+namespace magma::accel {
+struct Platform;
+}
+
+namespace magma::analysis {
+
+/**
+ * Fig. 15-style schedule visualization: renders the BW allocator's event
+ * stream as (a) an ASCII Gantt chart of sub-accelerator occupancy tagged
+ * by task category, and (b) a bandwidth-allocation-over-time table.
+ */
+class TimelineExporter {
+  public:
+    TimelineExporter(const sched::ScheduleResult& result,
+                     const dnn::JobGroup& group, int num_accels);
+
+    /** ASCII Gantt chart, `width` columns spanning the makespan. */
+    std::string renderGantt(int width = 80) const;
+
+    /**
+     * Rows "time_start,time_end,accel,job,task,alloc_bw" for CSV export.
+     */
+    std::vector<std::vector<std::string>> bwRows() const;
+
+    /** Aggregate BW granted per task category over time (Fig. 15 d). */
+    std::string renderBwProfile(int width = 80) const;
+
+    double makespan() const { return result_->makespanSeconds; }
+
+  private:
+    const sched::ScheduleResult* result_;
+    const dnn::JobGroup* group_;
+    int num_accels_;
+
+    char taskGlyph(int job) const;
+};
+
+}  // namespace magma::analysis
+
+#endif  // MAGMA_ANALYSIS_TIMELINE_H_

@@ -1,0 +1,74 @@
+#include "baselines/ai_mt_like.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace magma::baselines {
+
+sched::Mapping
+AiMtLike::buildMapping(const sched::MappingEvaluator& eval)
+{
+    const int g = eval.groupSize();
+    const int a_n = eval.numAccels();
+    const sched::JobAnalysisTable& table = eval.table();
+
+    // Reference profile: core 0 (homogeneity assumption baked in).
+    auto ref_latency = [&](int j) {
+        return table.lookup(j, 0).noStallSeconds;
+    };
+    auto ref_bw = [&](int j) { return table.lookup(j, 0).reqBwGbps; };
+
+    // LPT load balancing with the reference latency.
+    std::vector<int> order(g);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+        return ref_latency(x) > ref_latency(y);
+    });
+
+    std::vector<std::vector<int>> queues(a_n);
+    std::vector<double> load(a_n, 0.0);
+    for (int j : order) {
+        int a = static_cast<int>(std::min_element(load.begin(),
+                                                  load.end()) -
+                                 load.begin());
+        queues[a].push_back(j);
+        load[a] += ref_latency(j);
+    }
+
+    // Within each core: pair memory-blocks with compute — interleave the
+    // most BW-hungry jobs with the most compute-bound ones so prefetch of
+    // the former hides behind the latter.
+    sched::Mapping m;
+    m.accelSel.assign(g, 0);
+    m.priority.assign(g, 0.0);
+    for (int a = 0; a < a_n; ++a) {
+        auto& q = queues[a];
+        std::stable_sort(q.begin(), q.end(), [&](int x, int y) {
+            return ref_bw(x) > ref_bw(y);
+        });
+        std::vector<int> interleaved;
+        interleaved.reserve(q.size());
+        size_t lo = 0, hi = q.size();
+        while (lo < hi) {
+            interleaved.push_back(q[lo++]);       // BW-heavy
+            if (lo < hi)
+                interleaved.push_back(q[--hi]);   // compute-heavy
+        }
+        for (size_t r = 0; r < interleaved.size(); ++r) {
+            int j = interleaved[r];
+            m.accelSel[j] = a;
+            m.priority[j] = static_cast<double>(r) / (g + 1);
+        }
+    }
+    return m;
+}
+
+void
+AiMtLike::run(const sched::MappingEvaluator& eval,
+              const opt::SearchOptions&, opt::SearchRecorder& rec)
+{
+    rec.evaluate(buildMapping(eval));
+}
+
+}  // namespace magma::baselines

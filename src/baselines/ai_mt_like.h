@@ -1,0 +1,38 @@
+#ifndef MAGMA_BASELINES_AI_MT_LIKE_H_
+#define MAGMA_BASELINES_AI_MT_LIKE_H_
+
+#include "opt/optimizer.h"
+
+namespace magma::baselines {
+
+/**
+ * AI-MT-like manual mapper (Section VI-B).
+ *
+ * AI-MT [3] targets HOMOGENEOUS multi-systolic-array accelerators for
+ * vision and language: every core is interchangeable, so it balances load
+ * using a single reference latency per job (we use core 0's profile, as an
+ * AI-MT port to a new platform would) and orders each core's queue to
+ * overlap memory blocks with compute — approximated here by interleaving
+ * BW-heavy and compute-heavy jobs.
+ *
+ * Because the heuristic assumes core interchangeability, it happily places
+ * FC-heavy language/recommendation jobs on LB-style cores of heterogeneous
+ * platforms where they run orders of magnitude slower — reproducing the
+ * 39-52x gap the paper reports on S2/S4 (Section VI-E).
+ */
+class AiMtLike : public opt::Optimizer {
+  public:
+    explicit AiMtLike(uint64_t seed) : Optimizer(seed) {}
+    std::string name() const override { return "AI-MT-like"; }
+
+    /** Deterministically construct the heuristic mapping (no search). */
+    static sched::Mapping buildMapping(const sched::MappingEvaluator& eval);
+
+  protected:
+    void run(const sched::MappingEvaluator& eval, const opt::SearchOptions&,
+             opt::SearchRecorder& rec) override;
+};
+
+}  // namespace magma::baselines
+
+#endif  // MAGMA_BASELINES_AI_MT_LIKE_H_

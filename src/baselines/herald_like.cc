@@ -1,0 +1,60 @@
+#include "baselines/herald_like.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace magma::baselines {
+
+sched::Mapping
+HeraldLike::buildMapping(const sched::MappingEvaluator& eval)
+{
+    const int g = eval.groupSize();
+    const int a_n = eval.numAccels();
+    const sched::JobAnalysisTable& table = eval.table();
+
+    // Longest-processing-time-first ordering over each job's best-core
+    // latency, so the big rocks are placed while all cores are still open.
+    std::vector<int> order(g);
+    std::iota(order.begin(), order.end(), 0);
+    auto best_latency = [&](int j) {
+        double best = table.lookup(j, 0).noStallSeconds;
+        for (int a = 1; a < a_n; ++a)
+            best = std::min(best, table.lookup(j, a).noStallSeconds);
+        return best;
+    };
+    std::stable_sort(order.begin(), order.end(), [&](int x, int y) {
+        return best_latency(x) > best_latency(y);
+    });
+
+    sched::Mapping m;
+    m.accelSel.assign(g, 0);
+    m.priority.assign(g, 0.0);
+    std::vector<double> finish(a_n, 0.0);
+    std::vector<int> rank(a_n, 0);
+    for (int j : order) {
+        int best_a = 0;
+        double best_f = finish[0] + table.lookup(j, 0).noStallSeconds;
+        for (int a = 1; a < a_n; ++a) {
+            double f = finish[a] + table.lookup(j, a).noStallSeconds;
+            if (f < best_f) {
+                best_f = f;
+                best_a = a;
+            }
+        }
+        m.accelSel[j] = best_a;
+        finish[best_a] = best_f;
+        // Priority encodes placement order within the chosen core.
+        m.priority[j] = static_cast<double>(rank[best_a]++) / (g + 1);
+    }
+    return m;
+}
+
+void
+HeraldLike::run(const sched::MappingEvaluator& eval,
+                const opt::SearchOptions&, opt::SearchRecorder& rec)
+{
+    rec.evaluate(buildMapping(eval));
+}
+
+}  // namespace magma::baselines

@@ -1,0 +1,38 @@
+#ifndef MAGMA_BASELINES_HERALD_LIKE_H_
+#define MAGMA_BASELINES_HERALD_LIKE_H_
+
+#include "opt/optimizer.h"
+
+namespace magma::baselines {
+
+/**
+ * Herald-like manual mapper (Section VI-B).
+ *
+ * Herald [49] hand-designs layer-to-accelerator assignment for
+ * heterogeneous multi-core edge accelerators running vision workloads:
+ * it is dataflow-affinity aware (it knows each layer's latency on each
+ * core style) and load balances across cores. We reproduce that recipe:
+ * jobs are taken longest-first and greedily placed on the sub-accelerator
+ * with the earliest estimated finish time given that core's own no-stall
+ * latency for the job; queue order follows placement order.
+ *
+ * Its characteristic blind spot — shared-bandwidth contention — is left
+ * intact on purpose: the paper shows Herald-like front-loads BW-hungry
+ * jobs (Fig. 15) and degrades in BW-limited settings.
+ */
+class HeraldLike : public opt::Optimizer {
+  public:
+    explicit HeraldLike(uint64_t seed) : Optimizer(seed) {}
+    std::string name() const override { return "Herald-like"; }
+
+    /** Deterministically construct the heuristic mapping (no search). */
+    static sched::Mapping buildMapping(const sched::MappingEvaluator& eval);
+
+  protected:
+    void run(const sched::MappingEvaluator& eval, const opt::SearchOptions&,
+             opt::SearchRecorder& rec) override;
+};
+
+}  // namespace magma::baselines
+
+#endif  // MAGMA_BASELINES_HERALD_LIKE_H_

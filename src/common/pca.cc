@@ -1,0 +1,81 @@
+#include "common/pca.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace magma::common {
+
+void
+Pca::fit(const std::vector<std::vector<double>>& samples, int components)
+{
+    assert(!samples.empty());
+    size_t dim = samples[0].size();
+    components_ = components;
+
+    mean_.assign(dim, 0.0);
+    for (const auto& s : samples) {
+        assert(s.size() == dim);
+        for (size_t j = 0; j < dim; ++j)
+            mean_[j] += s[j];
+    }
+    for (double& m : mean_)
+        m /= static_cast<double>(samples.size());
+
+    Matrix cov(dim, dim, 0.0);
+    for (const auto& s : samples) {
+        for (size_t i = 0; i < dim; ++i) {
+            double di = s[i] - mean_[i];
+            if (di == 0.0)
+                continue;
+            for (size_t j = i; j < dim; ++j)
+                cov.at(i, j) += di * (s[j] - mean_[j]);
+        }
+    }
+    double denom = std::max<size_t>(samples.size() - 1, 1);
+    for (size_t i = 0; i < dim; ++i)
+        for (size_t j = i; j < dim; ++j) {
+            cov.at(i, j) /= denom;
+            cov.at(j, i) = cov.at(i, j);
+        }
+
+    EigenSym eig = jacobiEigenSym(cov);
+
+    basis_ = Matrix(dim, components);
+    double total = 0.0;
+    for (double ev : eig.eigenvalues)
+        total += std::max(ev, 0.0);
+    explained_.clear();
+    for (int c = 0; c < components; ++c) {
+        for (size_t i = 0; i < dim; ++i)
+            basis_.at(i, c) = eig.eigenvectors.at(i, c);
+        explained_.push_back(total > 0
+                                 ? std::max(eig.eigenvalues[c], 0.0) / total
+                                 : 0.0);
+    }
+}
+
+std::vector<double>
+Pca::transform(const std::vector<double>& x) const
+{
+    assert(x.size() == mean_.size());
+    std::vector<double> out(components_, 0.0);
+    for (int c = 0; c < components_; ++c) {
+        double acc = 0.0;
+        for (size_t i = 0; i < x.size(); ++i)
+            acc += (x[i] - mean_[i]) * basis_.at(i, c);
+        out[c] = acc;
+    }
+    return out;
+}
+
+std::vector<std::vector<double>>
+Pca::transform(const std::vector<std::vector<double>>& xs) const
+{
+    std::vector<std::vector<double>> out;
+    out.reserve(xs.size());
+    for (const auto& x : xs)
+        out.push_back(transform(x));
+    return out;
+}
+
+}  // namespace magma::common

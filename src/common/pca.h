@@ -1,0 +1,49 @@
+#ifndef MAGMA_COMMON_PCA_H_
+#define MAGMA_COMMON_PCA_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace magma::common {
+
+/**
+ * Principal component analysis over row-vector samples.
+ *
+ * Used by the Fig. 10 harness to project the sampled mapping genomes of each
+ * optimizer into 2-D, mirroring the paper's PCA visualization of the
+ * explored map-space.
+ */
+class Pca {
+  public:
+    /**
+     * Fit on `samples` (each inner vector is one observation; all must share
+     * a dimension) keeping `components` principal directions.
+     */
+    void fit(const std::vector<std::vector<double>>& samples, int components);
+
+    /** Project one observation into the principal subspace. */
+    std::vector<double> transform(const std::vector<double>& x) const;
+
+    /** Project a batch. */
+    std::vector<std::vector<double>>
+    transform(const std::vector<std::vector<double>>& xs) const;
+
+    /** Fraction of variance captured by each kept component. */
+    const std::vector<double>& explainedVarianceRatio() const
+    {
+        return explained_;
+    }
+
+    int components() const { return components_; }
+
+  private:
+    int components_ = 0;
+    std::vector<double> mean_;
+    Matrix basis_;  // dim x components, columns are principal directions
+    std::vector<double> explained_;
+};
+
+}  // namespace magma::common
+
+#endif  // MAGMA_COMMON_PCA_H_

@@ -1,0 +1,78 @@
+#ifndef MAGMA_COMMON_RNG_H_
+#define MAGMA_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace magma::common {
+
+/**
+ * Deterministic seeded random number generator used by every stochastic
+ * component (optimizers, workload generation, RL agents).
+ *
+ * All randomness in the repository flows through an Rng instance so that
+ * experiments are reproducible given a seed. The generator is a
+ * std::mt19937_64 wrapped with the handful of draw shapes the search
+ * algorithms need.
+ */
+class Rng {
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double uniform() { return unit_(engine_); }
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /** Uniform integer in [0, n). n must be positive. */
+    int uniformInt(int n)
+    {
+        return static_cast<int>(
+            std::uniform_int_distribution<int64_t>(0, n - 1)(engine_));
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int uniformInt(int lo, int hi)
+    {
+        return static_cast<int>(
+            std::uniform_int_distribution<int64_t>(lo, hi)(engine_));
+    }
+
+    /** Standard normal draw. */
+    double gauss() { return normal_(engine_); }
+
+    /** Normal draw with given mean and standard deviation. */
+    double gauss(double mean, double stddev) { return mean + stddev * gauss(); }
+
+    /** Bernoulli draw with probability p of true. */
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /** Random permutation of [0, n). */
+    std::vector<int> permutation(int n);
+
+    /**
+     * Sample k distinct indices from [0, n) without replacement.
+     * k must be <= n.
+     */
+    std::vector<int> sampleWithoutReplacement(int n, int k);
+
+    /**
+     * Draw an index from an unnormalized non-negative weight vector.
+     * Falls back to uniform choice when all weights are zero.
+     */
+    int weightedChoice(const std::vector<double>& weights);
+
+    /** Access to the raw engine for std distributions. */
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+    std::uniform_real_distribution<double> unit_{0.0, 1.0};
+    std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace magma::common
+
+#endif  // MAGMA_COMMON_RNG_H_

@@ -1,0 +1,53 @@
+#ifndef MAGMA_COMMON_STATS_H_
+#define MAGMA_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace magma::common {
+
+/** Arithmetic mean of a sample. Returns 0 for an empty sample. */
+double mean(const std::vector<double>& xs);
+
+/** Geometric mean of a strictly positive sample. Returns 0 if empty. */
+double geomean(const std::vector<double>& xs);
+
+/** Unbiased sample standard deviation. Returns 0 when n < 2. */
+double stddev(const std::vector<double>& xs);
+
+/** Minimum; returns +inf for an empty sample. */
+double minOf(const std::vector<double>& xs);
+
+/** Maximum; returns -inf for an empty sample. */
+double maxOf(const std::vector<double>& xs);
+
+/** Median (by copy-and-sort). Returns 0 for an empty sample. */
+double median(std::vector<double> xs);
+
+/**
+ * Online mean/variance accumulator (Welford).
+ *
+ * Used by the benchmark harnesses to aggregate repeated search trials
+ * without storing every observation.
+ */
+class RunningStat {
+  public:
+    void push(double x);
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const { return n_ > 1 ? m2_ / (n_ - 1) : 0.0; }
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+}  // namespace magma::common
+
+#endif  // MAGMA_COMMON_STATS_H_

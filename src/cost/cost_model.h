@@ -1,0 +1,118 @@
+#ifndef MAGMA_COST_COST_MODEL_H_
+#define MAGMA_COST_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cost/dataflow.h"
+#include "dnn/layer.h"
+
+namespace magma::cost {
+
+/**
+ * Hardware description of one sub-accelerator (Section II-B2): a 2-D PE
+ * array with per-PE scratchpads (SL), a shared double-buffered global
+ * scratchpad (SG) and a NoC distributing operands from the SG to the SLs.
+ *
+ * `rows` is the configurable array height of Table III; `cols` is fixed to
+ * 64 in the paper's experiments. `flexibleShape` enables the Section VI-F
+ * mode where the array can be reshaped per job (PE count constant).
+ */
+struct SubAccelConfig {
+    std::string name = "sub-accel";
+    DataflowStyle dataflow = DataflowStyle::HB;
+    int rows = 64;
+    int cols = 64;
+    double slBytes = 1024.0;          ///< per-PE scratchpad capacity
+    double sgBytes = 291.0 * 1024.0;  ///< shared global scratchpad capacity
+    double freqGhz = 0.2;             ///< 200 MHz (Section VI-A3)
+    double bytesPerElem = 1.0;        ///< 1-Byte operands (Section VI-A3)
+    double nocElemsPerCycle = 1024.0; ///< SG->SL distribution bus width
+    double nocLatency = 2.0;          ///< per-tile NoC pipeline fill cycles
+    bool flexibleShape = false;       ///< Section VI-F reconfigurable array
+
+    int pes() const { return rows * cols; }
+    /** Peak throughput in GFLOP/s (2 FLOPs per MAC per cycle). */
+    double peakGflops() const { return 2.0 * pes() * freqGhz; }
+};
+
+/** Per-access energy constants in pJ (Eyeriss-style hierarchy ratios). */
+struct EnergyParams {
+    double macPj = 1.0;
+    double slPj = 1.0;       ///< per accessed element in a PE scratchpad
+    double sgPj = 6.0;       ///< per accessed element in the global buffer
+    double dramPjPerByte = 200.0;
+};
+
+/**
+ * What the cost model reports for one (job, sub-accelerator) pair —
+ * exactly the quantities M3E's Job Analysis Table stores (Section IV-D4)
+ * plus energy and diagnostics.
+ */
+struct CostResult {
+    double noStallCycles = 0.0;  ///< latency given unlimited DRAM BW
+    double reqBwGbps = 0.0;      ///< minimum BW to stay compute bound
+    int64_t macs = 0;
+    double dramBytes = 0.0;      ///< DRAM traffic of the whole job
+    double energyPj = 0.0;
+    double utilization = 0.0;    ///< MACs / (cycles * PEs)
+    int usedRows = 0;            ///< array shape used (differs from config
+    int usedCols = 0;            ///< shape only in flexible mode)
+
+    /** No-stall wall-clock seconds at the configured frequency. */
+    double noStallSeconds(const SubAccelConfig& cfg) const
+    {
+        return noStallCycles / (cfg.freqGhz * 1e9);
+    }
+};
+
+/**
+ * MAESTRO-like analytical cost model (Section IV-D3 substitution).
+ *
+ * Given a layer, a mini-batch and a sub-accelerator configuration it
+ * derives:
+ *  - no-stall latency from the dataflow's parallelization of the nested
+ *    loop (tile-quantized over the PE array) plus per-tile NoC fill;
+ *  - DRAM traffic from an SG-capacity-bounded tiling with dataflow-specific
+ *    reuse (weight-stationary for HB, activation-stationary for LB);
+ *  - no-stall bandwidth = traffic / no-stall time;
+ *  - energy from per-level access counts.
+ *
+ * In flexible-shape mode (Section VI-F) every factor pair (h, w) of the PE
+ * count is evaluated and the lowest-latency shape is chosen, mirroring the
+ * paper's "align the array to factors of the parallelized tile dims".
+ */
+class CostModel {
+  public:
+    /**
+     * Fraction of a streamed (non-SG-resident) layer's activation bytes
+     * that actually reach DRAM. Batched inference pipelines pass most
+     * producer/consumer activation rows through the double-buffered SG,
+     * so vision layers end up weight-traffic dominated — the behaviour
+     * behind Fig. 7's low vision bandwidth numbers.
+     */
+    static constexpr double kActLocality = 0.25;
+
+    explicit CostModel(EnergyParams energy = {}) : energy_(energy) {}
+
+    /**
+     * Analyze one job. Uses the config's fixed shape, or searches shapes
+     * when `cfg.flexibleShape` is set.
+     */
+    CostResult analyze(const dnn::LayerShape& layer, int batch,
+                       const SubAccelConfig& cfg) const;
+
+    /** Analyze with an explicit array shape (flexible-mode inner call). */
+    CostResult analyzeWithShape(const dnn::LayerShape& layer, int batch,
+                                const SubAccelConfig& cfg, int rows,
+                                int cols) const;
+
+    const EnergyParams& energy() const { return energy_; }
+
+  private:
+    EnergyParams energy_;
+};
+
+}  // namespace magma::cost
+
+#endif  // MAGMA_COST_COST_MODEL_H_

@@ -1,0 +1,11 @@
+#include "cost/dataflow.h"
+
+namespace magma::cost {
+
+std::string
+dataflowName(DataflowStyle d)
+{
+    return d == DataflowStyle::HB ? "HB" : "LB";
+}
+
+}  // namespace magma::cost

@@ -1,0 +1,30 @@
+#ifndef MAGMA_COST_DATAFLOW_H_
+#define MAGMA_COST_DATAFLOW_H_
+
+#include <string>
+
+namespace magma::cost {
+
+/**
+ * The two sub-accelerator dataflow styles the paper evaluates
+ * (Section VI-A3).
+ *
+ * HB — "High Bandwidth usage" style, inspired by NVDLA: weight-stationary,
+ * parallelizes output channels (K) over PE rows and input channels (C) over
+ * PE columns. Compute-efficient on channel-rich layers (late CNN layers,
+ * FC/GEMM) but re-streams activations and is bandwidth hungry.
+ *
+ * LB — "Low Bandwidth usage" style, inspired by Eyeriss: output/activation-
+ * stationary, parallelizes the activation plane (output rows over PE rows,
+ * output columns over PE columns, mini-batch folded into rows). Excellent
+ * on early CNN layers with large activation planes, frugal on bandwidth,
+ * but badly under-utilized on FC layers whose activation plane is 1x1.
+ */
+enum class DataflowStyle { HB, LB };
+
+/** Short name ("HB" / "LB"). */
+std::string dataflowName(DataflowStyle d);
+
+}  // namespace magma::cost
+
+#endif  // MAGMA_COST_DATAFLOW_H_

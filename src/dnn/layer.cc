@@ -1,0 +1,88 @@
+#include "dnn/layer.h"
+
+#include <sstream>
+
+namespace magma::dnn {
+
+std::string
+layerTypeName(LayerType t)
+{
+    switch (t) {
+      case LayerType::Conv2d:
+        return "CONV";
+      case LayerType::DepthwiseConv2d:
+        return "DWCONV";
+      case LayerType::PointwiseConv2d:
+        return "PWCONV";
+      case LayerType::FullyConnected:
+        return "FC";
+    }
+    return "?";
+}
+
+int64_t
+LayerShape::macsPerSample() const
+{
+    int64_t spatial = static_cast<int64_t>(y) * x * r * s;
+    if (type == LayerType::DepthwiseConv2d)
+        return static_cast<int64_t>(c) * spatial;
+    return static_cast<int64_t>(k) * c * spatial;
+}
+
+int64_t
+LayerShape::weightElems() const
+{
+    if (type == LayerType::DepthwiseConv2d)
+        return static_cast<int64_t>(c) * r * s;
+    return static_cast<int64_t>(k) * c * r * s;
+}
+
+int64_t
+LayerShape::inputElemsPerSample() const
+{
+    return static_cast<int64_t>(c) * inY() * inX();
+}
+
+int64_t
+LayerShape::outputElemsPerSample() const
+{
+    int64_t out_ch = (type == LayerType::DepthwiseConv2d) ? c : k;
+    return out_ch * y * x;
+}
+
+std::string
+LayerShape::toString() const
+{
+    std::ostringstream os;
+    os << layerTypeName(type) << " k" << k << " c" << c << " y" << y << " x"
+       << x << " r" << r << " s" << s << " /" << stride;
+    return os.str();
+}
+
+LayerShape
+conv(int k, int c, int out_y, int out_x, int r, int s, int stride)
+{
+    return LayerShape{LayerType::Conv2d, k, c, out_y, out_x, r, s, stride};
+}
+
+LayerShape
+depthwise(int c, int out_y, int out_x, int r, int s, int stride)
+{
+    return LayerShape{LayerType::DepthwiseConv2d,
+                      c, c, out_y, out_x, r, s, stride};
+}
+
+LayerShape
+pointwise(int k, int c, int out_y, int out_x, int stride)
+{
+    return LayerShape{LayerType::PointwiseConv2d,
+                      k, c, out_y, out_x, 1, 1, stride};
+}
+
+LayerShape
+fc(int k, int c)
+{
+    return LayerShape{LayerType::FullyConnected, k, c, 1, 1, 1, 1, 1};
+}
+
+}  // namespace magma::dnn

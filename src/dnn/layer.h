@@ -1,0 +1,80 @@
+#ifndef MAGMA_DNN_LAYER_H_
+#define MAGMA_DNN_LAYER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace magma::dnn {
+
+/**
+ * DNN layer kinds the cost model understands.
+ *
+ * Following the paper (Section II-A): vision models are dominated by 2-D /
+ * depth-wise / point-wise convolutions plus a trailing FC; language and
+ * recommendation models are modeled as collections of FC (GEMM) jobs
+ * (MLPs, attention projections and attention score/context products are
+ * "modeled as several FCs"). Embedding lookups stay on the CPU host and are
+ * therefore not layer jobs.
+ */
+enum class LayerType {
+    Conv2d,           ///< regular 2-D convolution
+    DepthwiseConv2d,  ///< per-channel convolution (K == C groups)
+    PointwiseConv2d,  ///< 1x1 convolution (R == S == 1)
+    FullyConnected,   ///< GEMM: K outputs from C inputs
+};
+
+/** Human-readable layer-type name. */
+std::string layerTypeName(LayerType t);
+
+/**
+ * Shape of one layer in output-centric form.
+ *
+ * `k` output channels (or FC output features), `c` input channels (FC input
+ * features), `y` x `x` output spatial extent (1 for FC), `r` x `s` filter
+ * extent (1 for FC / pointwise), `stride` convolution stride.
+ *
+ * For DepthwiseConv2d, `k` must equal `c` and each channel convolves
+ * independently with one rxs filter.
+ */
+struct LayerShape {
+    LayerType type = LayerType::Conv2d;
+    int k = 1;
+    int c = 1;
+    int y = 1;
+    int x = 1;
+    int r = 1;
+    int s = 1;
+    int stride = 1;
+
+    /** Input spatial height implied by output height, filter and stride. */
+    int inY() const { return (y - 1) * stride + r; }
+    /** Input spatial width implied by output width, filter and stride. */
+    int inX() const { return (x - 1) * stride + s; }
+
+    /** Multiply-accumulates for one sample of this layer. */
+    int64_t macsPerSample() const;
+    /** Weight parameter count. */
+    int64_t weightElems() const;
+    /** Input activation elements for one sample. */
+    int64_t inputElemsPerSample() const;
+    /** Output activation elements for one sample. */
+    int64_t outputElemsPerSample() const;
+
+    /** Structural equality (used to memoise cost-model queries). */
+    bool operator==(const LayerShape& o) const = default;
+
+    /** Compact shape string, e.g. "CONV k256 c128 y14 x14 r3 s3 /1". */
+    std::string toString() const;
+};
+
+/** Convenience constructors used by the model zoo. */
+LayerShape conv(int k, int c, int out_y, int out_x, int r, int s,
+                int stride = 1);
+LayerShape depthwise(int c, int out_y, int out_x, int r, int s,
+                     int stride = 1);
+LayerShape pointwise(int k, int c, int out_y, int out_x, int stride = 1);
+LayerShape fc(int k, int c);
+
+}  // namespace magma::dnn
+
+#endif  // MAGMA_DNN_LAYER_H_

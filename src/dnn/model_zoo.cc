@@ -1,0 +1,60 @@
+#include "dnn/model_zoo.h"
+
+#include <stdexcept>
+
+namespace magma::dnn {
+
+std::string
+taskTypeName(TaskType t)
+{
+    switch (t) {
+      case TaskType::Vision:
+        return "Vision";
+      case TaskType::Language:
+        return "Lang";
+      case TaskType::Recommendation:
+        return "Recom";
+      case TaskType::Mix:
+        return "Mix";
+    }
+    return "?";
+}
+
+std::vector<Model>
+allModels()
+{
+    std::vector<Model> out = visionModels();
+    for (const auto& m : languageModels())
+        out.push_back(m);
+    for (const auto& m : recomModels())
+        out.push_back(m);
+    return out;
+}
+
+std::vector<Model>
+modelsForTask(TaskType t)
+{
+    switch (t) {
+      case TaskType::Vision:
+        return visionModels();
+      case TaskType::Language:
+        return languageModels();
+      case TaskType::Recommendation:
+        return recomModels();
+      case TaskType::Mix:
+        return allModels();
+    }
+    return {};
+}
+
+const Model&
+findModel(const std::string& name)
+{
+    static const std::vector<Model> all = allModels();
+    for (const auto& m : all)
+        if (m.name == name)
+            return m;
+    throw std::out_of_range("unknown model: " + name);
+}
+
+}  // namespace magma::dnn

@@ -1,0 +1,85 @@
+#include "dnn/model_zoo.h"
+
+/**
+ * @file
+ * Language model zoo. Following Section II-A, transformer blocks are
+ * lowered to FC jobs with correct MAC counts:
+ *   Q/K/V projections   -> 3x fc(hidden, hidden)
+ *   attention scores    -> fc(seq, hidden)  (each token dotted with `seq`
+ *                          keys of `hidden` total dims across heads)
+ *   attention context   -> fc(hidden, seq)  (weighted sum of `seq` values)
+ *   output projection   -> fc(hidden, hidden)
+ *   feed-forward        -> fc(ff, hidden), fc(hidden, ff)
+ * Embedding lookups stay on the host and are not emitted.
+ */
+
+namespace magma::dnn {
+namespace {
+
+void
+transformerLayer(std::vector<LayerShape>& ls, int hidden, int ff, int seq)
+{
+    ls.push_back(fc(hidden, hidden));  // Q
+    ls.push_back(fc(hidden, hidden));  // K
+    ls.push_back(fc(hidden, hidden));  // V
+    ls.push_back(fc(seq, hidden));     // scores
+    ls.push_back(fc(hidden, seq));     // context
+    ls.push_back(fc(hidden, hidden));  // output projection
+    ls.push_back(fc(ff, hidden));      // FFN up
+    ls.push_back(fc(hidden, ff));      // FFN down
+}
+
+Model
+makeTransformer(const std::string& name, int layers, int hidden, int ff,
+                int seq)
+{
+    Model m{name, TaskType::Language, {}};
+    for (int i = 0; i < layers; ++i)
+        transformerLayer(m.layers, hidden, ff, seq);
+    return m;
+}
+
+/**
+ * MobileBERT: 24 thin blocks with a 128-wide intra-block bottleneck,
+ * 512-wide inter-block body and 4 stacked FFNs per block.
+ */
+Model
+makeMobileBert()
+{
+    Model m{"MobileBert", TaskType::Language, {}};
+    auto& ls = m.layers;
+    const int body = 512, bottleneck = 128, ffn = 512, seq = 512;
+    for (int i = 0; i < 24; ++i) {
+        ls.push_back(fc(bottleneck, body));      // input bottleneck
+        ls.push_back(fc(bottleneck, bottleneck));  // Q
+        ls.push_back(fc(bottleneck, bottleneck));  // K
+        ls.push_back(fc(bottleneck, bottleneck));  // V
+        ls.push_back(fc(seq, bottleneck));         // scores
+        ls.push_back(fc(bottleneck, seq));         // context
+        ls.push_back(fc(bottleneck, bottleneck));  // output proj
+        for (int f = 0; f < 4; ++f) {              // stacked FFNs
+            ls.push_back(fc(ffn, bottleneck));
+            ls.push_back(fc(bottleneck, ffn));
+        }
+        ls.push_back(fc(body, bottleneck));      // output bottleneck
+    }
+    return m;
+}
+
+}  // namespace
+
+const std::vector<Model>&
+languageModels()
+{
+    static const std::vector<Model> models = {
+        makeTransformer("GPT2", 12, 768, 3072, 1024),
+        makeMobileBert(),
+        makeTransformer("TransformerXL", 12, 512, 2048, 512),
+        makeTransformer("BERT", 12, 768, 3072, 512),
+        makeTransformer("XLM", 12, 1024, 4096, 256),
+        makeTransformer("T5-small", 12, 512, 2048, 512),
+    };
+    return models;
+}
+
+}  // namespace magma::dnn

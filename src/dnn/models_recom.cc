@@ -1,0 +1,86 @@
+#include "dnn/model_zoo.h"
+
+/**
+ * @file
+ * Recommendation model zoo. MLP towers and attention units are lowered to
+ * FC layers (Section II-A models attention as several FCs); embedding
+ * lookups run on the host CPU and do not produce accelerator jobs.
+ */
+
+namespace magma::dnn {
+namespace {
+
+/** Chain of FC layers given the width sequence (input first). */
+void
+mlp(std::vector<LayerShape>& ls, std::initializer_list<int> widths)
+{
+    int prev = -1;
+    for (int w : widths) {
+        if (prev > 0)
+            ls.push_back(fc(w, prev));
+        prev = w;
+    }
+}
+
+Model
+makeDlrm()
+{
+    Model m{"DLRM", TaskType::Recommendation, {}};
+    mlp(m.layers, {13, 512, 256, 64});    // bottom MLP over dense features
+    mlp(m.layers, {512, 512, 256, 1});    // top MLP over interactions
+    return m;
+}
+
+Model
+makeWideDeep()
+{
+    Model m{"WideDeep", TaskType::Recommendation, {}};
+    mlp(m.layers, {750, 1024, 512, 256, 1});  // deep tower
+    return m;
+}
+
+Model
+makeNcf()
+{
+    Model m{"NCF", TaskType::Recommendation, {}};
+    mlp(m.layers, {256, 128, 64, 32, 1});  // NeuMF MLP tower
+    return m;
+}
+
+Model
+makeDin()
+{
+    Model m{"DIN", TaskType::Recommendation, {}};
+    // attention unit MLPs (per-behaviour activation weights)
+    mlp(m.layers, {144, 36, 1});
+    mlp(m.layers, {144, 36, 1});
+    // prediction MLP
+    mlp(m.layers, {512, 200, 80, 2});
+    return m;
+}
+
+Model
+makeDien()
+{
+    Model m{"DIEN", TaskType::Recommendation, {}};
+    // two GRU stages lowered to gate GEMMs (3 gates x hidden 128)
+    mlp(m.layers, {256, 384});
+    mlp(m.layers, {256, 384});
+    // attention unit + prediction MLP
+    mlp(m.layers, {144, 36, 1});
+    mlp(m.layers, {512, 200, 80, 2});
+    return m;
+}
+
+}  // namespace
+
+const std::vector<Model>&
+recomModels()
+{
+    static const std::vector<Model> models = {
+        makeDlrm(), makeWideDeep(), makeNcf(), makeDin(), makeDien(),
+    };
+    return models;
+}
+
+}  // namespace magma::dnn

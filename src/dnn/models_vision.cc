@@ -1,0 +1,246 @@
+#include "dnn/model_zoo.h"
+
+/**
+ * @file
+ * Vision model zoo: CONV-dominated classifiers with the published shapes.
+ * Spatial extents are output extents after the preceding stride/pool.
+ */
+
+namespace magma::dnn {
+namespace {
+
+/** ResNet-50 bottleneck: 1x1 reduce, 3x3 (optionally strided), 1x1 expand. */
+void
+bottleneck(std::vector<LayerShape>& ls, int in_c, int mid, int out_c,
+           int out_yx, int stride, bool project)
+{
+    int in_yx = out_yx * stride;
+    ls.push_back(pointwise(mid, in_c, in_yx, in_yx));
+    ls.push_back(conv(mid, mid, out_yx, out_yx, 3, 3, stride));
+    ls.push_back(pointwise(out_c, mid, out_yx, out_yx));
+    if (project)
+        ls.push_back(pointwise(out_c, in_c, out_yx, out_yx, stride));
+}
+
+Model
+makeResNet50()
+{
+    Model m{"Resnet50", TaskType::Vision, {}};
+    auto& ls = m.layers;
+    ls.push_back(conv(64, 3, 112, 112, 7, 7, 2));
+    struct Stage { int blocks, mid, out, yx, stride; };
+    const Stage stages[] = {
+        {3, 64, 256, 56, 1},
+        {4, 128, 512, 28, 2},
+        {6, 256, 1024, 14, 2},
+        {3, 512, 2048, 7, 2},
+    };
+    int in_c = 64;
+    for (const auto& st : stages) {
+        for (int b = 0; b < st.blocks; ++b) {
+            bottleneck(ls, in_c, st.mid, st.out, st.yx,
+                       b == 0 ? st.stride : 1, b == 0);
+            in_c = st.out;
+        }
+    }
+    ls.push_back(fc(1000, 2048));
+    return m;
+}
+
+/** MobileNetV2 inverted residual (expand, depthwise, project). */
+void
+invertedResidual(std::vector<LayerShape>& ls, int in_c, int out_c, int expand,
+                 int out_yx, int stride, int kernel = 3)
+{
+    int exp_c = in_c * expand;
+    int in_yx = out_yx * stride;
+    if (expand != 1)
+        ls.push_back(pointwise(exp_c, in_c, in_yx, in_yx));
+    ls.push_back(depthwise(exp_c, out_yx, out_yx, kernel, kernel, stride));
+    ls.push_back(pointwise(out_c, exp_c, out_yx, out_yx));
+}
+
+Model
+makeMobileNetV2()
+{
+    Model m{"MobileNetv2", TaskType::Vision, {}};
+    auto& ls = m.layers;
+    ls.push_back(conv(32, 3, 112, 112, 3, 3, 2));
+    struct Block { int t, c, n, s, yx; };  // yx = output extent of the block
+    const Block blocks[] = {
+        {1, 16, 1, 1, 112}, {6, 24, 2, 2, 56}, {6, 32, 3, 2, 28},
+        {6, 64, 4, 2, 14},  {6, 96, 3, 1, 14}, {6, 160, 3, 2, 7},
+        {6, 320, 1, 1, 7},
+    };
+    int in_c = 32;
+    for (const auto& b : blocks) {
+        for (int i = 0; i < b.n; ++i) {
+            invertedResidual(ls, in_c, b.c, b.t, b.yx, i == 0 ? b.s : 1);
+            in_c = b.c;
+        }
+    }
+    ls.push_back(pointwise(1280, 320, 7, 7));
+    ls.push_back(fc(1000, 1280));
+    return m;
+}
+
+/** ShuffleNetV2 basic unit approximated on the half-channel branch. */
+void
+shuffleUnit(std::vector<LayerShape>& ls, int in_c, int out_c, int out_yx,
+            int stride)
+{
+    int branch = out_c / 2;
+    int in_yx = out_yx * stride;
+    ls.push_back(pointwise(branch, stride == 1 ? branch : in_c,
+                           in_yx, in_yx));
+    ls.push_back(depthwise(branch, out_yx, out_yx, 3, 3, stride));
+    ls.push_back(pointwise(branch, branch, out_yx, out_yx));
+    if (stride != 1) {
+        // second (shortcut) branch of the downsampling unit
+        ls.push_back(depthwise(in_c, out_yx, out_yx, 3, 3, stride));
+        ls.push_back(pointwise(branch, in_c, out_yx, out_yx));
+    }
+}
+
+Model
+makeShuffleNetV2()
+{
+    Model m{"Shufflenet", TaskType::Vision, {}};
+    auto& ls = m.layers;
+    ls.push_back(conv(24, 3, 112, 112, 3, 3, 2));
+    struct Stage { int out_c, repeat, yx; };
+    const Stage stages[] = {{116, 4, 28}, {232, 8, 14}, {464, 4, 7}};
+    int in_c = 24;
+    for (const auto& st : stages) {
+        for (int i = 0; i < st.repeat; ++i) {
+            shuffleUnit(ls, in_c, st.out_c, st.yx, i == 0 ? 2 : 1);
+            in_c = st.out_c;
+        }
+    }
+    ls.push_back(pointwise(1024, 464, 7, 7));
+    ls.push_back(fc(1000, 1024));
+    return m;
+}
+
+/** SqueezeNet fire module: squeeze 1x1 then parallel 1x1/3x3 expands. */
+void
+fire(std::vector<LayerShape>& ls, int in_c, int squeeze, int e1, int e3,
+     int yx)
+{
+    ls.push_back(pointwise(squeeze, in_c, yx, yx));
+    ls.push_back(pointwise(e1, squeeze, yx, yx));
+    ls.push_back(conv(e3, squeeze, yx, yx, 3, 3, 1));
+}
+
+Model
+makeSqueezeNet()
+{
+    Model m{"SqueezeNet", TaskType::Vision, {}};
+    auto& ls = m.layers;
+    ls.push_back(conv(96, 3, 54, 54, 7, 7, 2));
+    fire(ls, 96, 16, 64, 64, 54);
+    fire(ls, 128, 16, 64, 64, 54);
+    fire(ls, 128, 32, 128, 128, 27);
+    fire(ls, 256, 32, 128, 128, 27);
+    fire(ls, 256, 48, 192, 192, 13);
+    fire(ls, 384, 48, 192, 192, 13);
+    fire(ls, 384, 64, 256, 256, 13);
+    fire(ls, 512, 64, 256, 256, 13);
+    ls.push_back(pointwise(1000, 512, 13, 13));
+    return m;
+}
+
+Model
+makeVgg16()
+{
+    Model m{"VGG16", TaskType::Vision, {}};
+    auto& ls = m.layers;
+    struct C { int k, c, yx; };
+    const C convs[] = {
+        {64, 3, 224},   {64, 64, 224},  {128, 64, 112}, {128, 128, 112},
+        {256, 128, 56}, {256, 256, 56}, {256, 256, 56}, {512, 256, 28},
+        {512, 512, 28}, {512, 512, 28}, {512, 512, 14}, {512, 512, 14},
+        {512, 512, 14},
+    };
+    for (const auto& cdef : convs)
+        ls.push_back(conv(cdef.k, cdef.c, cdef.yx, cdef.yx, 3, 3, 1));
+    ls.push_back(fc(4096, 25088));
+    ls.push_back(fc(4096, 4096));
+    ls.push_back(fc(1000, 4096));
+    return m;
+}
+
+/** GoogLeNet inception module with the published branch widths. */
+void
+inception(std::vector<LayerShape>& ls, int in_c, int c1, int c3r, int c3,
+          int c5r, int c5, int cp, int yx)
+{
+    ls.push_back(pointwise(c1, in_c, yx, yx));
+    ls.push_back(pointwise(c3r, in_c, yx, yx));
+    ls.push_back(conv(c3, c3r, yx, yx, 3, 3, 1));
+    ls.push_back(pointwise(c5r, in_c, yx, yx));
+    ls.push_back(conv(c5, c5r, yx, yx, 5, 5, 1));
+    ls.push_back(pointwise(cp, in_c, yx, yx));
+}
+
+Model
+makeGoogLeNet()
+{
+    Model m{"GoogLeNet", TaskType::Vision, {}};
+    auto& ls = m.layers;
+    ls.push_back(conv(64, 3, 112, 112, 7, 7, 2));
+    ls.push_back(pointwise(64, 64, 56, 56));
+    ls.push_back(conv(192, 64, 56, 56, 3, 3, 1));
+    inception(ls, 192, 64, 96, 128, 16, 32, 32, 28);    // 3a
+    inception(ls, 256, 128, 128, 192, 32, 96, 64, 28);  // 3b
+    inception(ls, 480, 192, 96, 208, 16, 48, 64, 14);   // 4a
+    inception(ls, 512, 160, 112, 224, 24, 64, 64, 14);  // 4b
+    inception(ls, 512, 128, 128, 256, 24, 64, 64, 14);  // 4c
+    inception(ls, 512, 112, 144, 288, 32, 64, 64, 14);  // 4d
+    inception(ls, 528, 256, 160, 320, 32, 128, 128, 14);// 4e
+    inception(ls, 832, 256, 160, 320, 32, 128, 128, 7); // 5a
+    inception(ls, 832, 384, 192, 384, 48, 128, 128, 7); // 5b
+    ls.push_back(fc(1000, 1024));
+    return m;
+}
+
+Model
+makeMnasNet()
+{
+    Model m{"MnasNet", TaskType::Vision, {}};
+    auto& ls = m.layers;
+    ls.push_back(conv(32, 3, 112, 112, 3, 3, 2));
+    // SepConv head
+    ls.push_back(depthwise(32, 112, 112, 3, 3, 1));
+    ls.push_back(pointwise(16, 32, 112, 112));
+    struct Block { int t, c, n, s, yx, k; };
+    const Block blocks[] = {
+        {3, 24, 3, 2, 56, 3}, {3, 40, 3, 2, 28, 5}, {6, 80, 3, 2, 14, 3},
+        {6, 96, 2, 1, 14, 3}, {6, 192, 4, 2, 7, 5}, {6, 320, 1, 1, 7, 3},
+    };
+    int in_c = 16;
+    for (const auto& b : blocks) {
+        for (int i = 0; i < b.n; ++i) {
+            invertedResidual(ls, in_c, b.c, b.t, b.yx, i == 0 ? b.s : 1, b.k);
+            in_c = b.c;
+        }
+    }
+    ls.push_back(pointwise(1280, 320, 7, 7));
+    ls.push_back(fc(1000, 1280));
+    return m;
+}
+
+}  // namespace
+
+const std::vector<Model>&
+visionModels()
+{
+    static const std::vector<Model> models = {
+        makeMobileNetV2(), makeResNet50(),  makeShuffleNetV2(),
+        makeSqueezeNet(),  makeVgg16(),     makeGoogLeNet(),
+        makeMnasNet(),
+    };
+    return models;
+}
+
+}  // namespace magma::dnn

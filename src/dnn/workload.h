@@ -1,0 +1,82 @@
+#ifndef MAGMA_DNN_WORKLOAD_H_
+#define MAGMA_DNN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dnn/model.h"
+
+namespace magma::dnn {
+
+/**
+ * A job: one mini-batch of one layer of one model (Section III).
+ *
+ * `batch` counts samples for vision/recommendation jobs and tokens for
+ * language jobs — either way it multiplies the per-sample compute and
+ * activation traffic of the layer.
+ */
+struct Job {
+    int id = 0;
+    LayerShape layer;
+    int batch = 1;
+    TaskType task = TaskType::Vision;
+    std::string model;
+
+    /** Total multiply-accumulates of the job. */
+    int64_t macs() const { return layer.macsPerSample() * batch; }
+    /** Total FLOPs (2 per MAC). */
+    int64_t flops() const { return 2 * macs(); }
+};
+
+/**
+ * A dependency-free group of jobs — the unit the mapper schedules
+ * (Section III "Group"). Jobs within a group may execute in any order on
+ * any sub-accelerator.
+ */
+struct JobGroup {
+    TaskType task = TaskType::Mix;
+    std::vector<Job> jobs;
+
+    int size() const { return static_cast<int>(jobs.size()); }
+    int64_t totalMacs() const;
+    int64_t totalFlops() const { return 2 * totalMacs(); }
+};
+
+/**
+ * Default mini-batch per task category, chosen so that per-job no-stall
+ * latencies land in the ranges Fig. 7 reports (vision jobs are compute
+ * heavy; language jobs carry a token chunk; recommendation jobs are tiny
+ * but bandwidth hungry).
+ */
+int defaultBatch(TaskType t);
+
+/**
+ * Synthetic batched-job workload generator (Section VI-A2).
+ *
+ * Draws jobs by walking the layers of randomly chosen models of the task
+ * category, mimicking a pool of queued mini-batches from several tenant
+ * models, then chops the pool into dependency-free groups.
+ */
+class WorkloadGenerator {
+  public:
+    explicit WorkloadGenerator(uint64_t seed = 1) : rng_(seed) {}
+
+    /** Generate one group of `group_size` jobs for the task. */
+    JobGroup makeGroup(TaskType task, int group_size);
+
+    /**
+     * Generate `count` consecutive groups (e.g. Table V's Insts0..4).
+     * Groups are independent draws from the same task distribution.
+     */
+    std::vector<JobGroup> makeGroups(TaskType task, int group_size,
+                                     int count);
+
+  private:
+    common::Rng rng_;
+};
+
+}  // namespace magma::dnn
+
+#endif  // MAGMA_DNN_WORKLOAD_H_

@@ -1,0 +1,87 @@
+#include "m3e/factory.h"
+
+#include <stdexcept>
+
+#include "baselines/ai_mt_like.h"
+#include "baselines/herald_like.h"
+#include "opt/cma_es.h"
+#include "opt/de.h"
+#include "opt/magma_ga.h"
+#include "opt/pso.h"
+#include "opt/random_search.h"
+#include "opt/std_ga.h"
+#include "opt/tbpsa.h"
+#include "rl/a2c.h"
+#include "rl/ppo2.h"
+
+namespace magma::m3e {
+
+std::string
+methodName(Method m)
+{
+    switch (m) {
+      case Method::HeraldLike: return "Herald-like";
+      case Method::AiMtLike:   return "AI-MT-like";
+      case Method::Pso:        return "PSO";
+      case Method::Cma:        return "CMA";
+      case Method::De:         return "DE";
+      case Method::Tbpsa:      return "TBPSA";
+      case Method::StdGa:      return "stdGA";
+      case Method::RlA2c:      return "RL A2C";
+      case Method::RlPpo2:     return "RL PPO2";
+      case Method::Magma:      return "MAGMA";
+      case Method::Random:     return "Random";
+    }
+    return "?";
+}
+
+std::unique_ptr<opt::Optimizer>
+makeOptimizer(Method m, uint64_t seed)
+{
+    switch (m) {
+      case Method::HeraldLike:
+        return std::make_unique<baselines::HeraldLike>(seed);
+      case Method::AiMtLike:
+        return std::make_unique<baselines::AiMtLike>(seed);
+      case Method::Pso:
+        return std::make_unique<opt::Pso>(seed);
+      case Method::Cma:
+        return std::make_unique<opt::CmaEs>(seed);
+      case Method::De:
+        return std::make_unique<opt::De>(seed);
+      case Method::Tbpsa:
+        return std::make_unique<opt::Tbpsa>(seed);
+      case Method::StdGa:
+        return std::make_unique<opt::StdGa>(seed);
+      case Method::RlA2c:
+        return std::make_unique<rl::A2c>(seed);
+      case Method::RlPpo2:
+        return std::make_unique<rl::Ppo2>(seed);
+      case Method::Magma:
+        return std::make_unique<opt::MagmaGa>(seed);
+      case Method::Random:
+        return std::make_unique<opt::RandomSearch>(seed);
+    }
+    throw std::invalid_argument("unknown method");
+}
+
+std::vector<Method>
+paperMethods()
+{
+    return {Method::HeraldLike, Method::AiMtLike, Method::Pso, Method::Cma,
+            Method::De,         Method::Tbpsa,    Method::StdGa,
+            Method::RlA2c,      Method::RlPpo2,   Method::Magma};
+}
+
+Method
+methodFromName(const std::string& name)
+{
+    for (Method m : paperMethods())
+        if (methodName(m) == name)
+            return m;
+    if (name == "Random")
+        return Method::Random;
+    throw std::invalid_argument("unknown method name: " + name);
+}
+
+}  // namespace magma::m3e

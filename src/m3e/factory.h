@@ -1,0 +1,43 @@
+#ifndef MAGMA_M3E_FACTORY_H_
+#define MAGMA_M3E_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/optimizer.h"
+
+namespace magma::m3e {
+
+/**
+ * The mapper line-up of Table IV / Figs. 8-9, in the paper's plot order.
+ */
+enum class Method {
+    HeraldLike,
+    AiMtLike,
+    Pso,
+    Cma,
+    De,
+    Tbpsa,
+    StdGa,
+    RlA2c,
+    RlPpo2,
+    Magma,
+    Random,  // reference method (Fig. 10's exhaustive sampling)
+};
+
+/** The paper's label for a method. */
+std::string methodName(Method m);
+
+/** Construct a method with its Table IV hyper-parameters. */
+std::unique_ptr<opt::Optimizer> makeOptimizer(Method m, uint64_t seed);
+
+/** The ten methods of Figs. 8-9 in plot order (excludes Random). */
+std::vector<Method> paperMethods();
+
+/** Parse a method from its name; throws std::invalid_argument. */
+Method methodFromName(const std::string& name);
+
+}  // namespace magma::m3e
+
+#endif  // MAGMA_M3E_FACTORY_H_

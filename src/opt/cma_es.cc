@@ -1,0 +1,170 @@
+#include "opt/cma_es.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/matrix.h"
+#include "opt/flat.h"
+
+namespace magma::opt {
+
+using common::Matrix;
+
+void
+CmaEs::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+           SearchRecorder& rec)
+{
+    const int dim = 2 * eval.groupSize();
+    const int n_accels = eval.numAccels();
+    const int lambda =
+        cfg_.population > 0
+            ? cfg_.population
+            : 4 + static_cast<int>(3.0 * std::log(static_cast<double>(dim)));
+    const int mu = std::max(1, lambda / 2);  // Table IV: 1/2 as elites
+
+    // Log-linear recombination weights.
+    std::vector<double> weights(mu);
+    for (int i = 0; i < mu; ++i)
+        weights[i] = std::log(mu + 0.5) - std::log(i + 1.0);
+    double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+    for (double& w : weights)
+        w /= wsum;
+    double mu_eff = 0.0;
+    for (double w : weights)
+        mu_eff += w * w;
+    mu_eff = 1.0 / mu_eff;
+
+    // Strategy constants (Hansen's defaults).
+    const double n = dim;
+    const double cc = (4.0 + mu_eff / n) / (n + 4.0 + 2.0 * mu_eff / n);
+    const double cs = (mu_eff + 2.0) / (n + mu_eff + 5.0);
+    const double c1 = 2.0 / ((n + 1.3) * (n + 1.3) + mu_eff);
+    const double cmu = std::min(1.0 - c1,
+                                2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) /
+                                    ((n + 2.0) * (n + 2.0) + mu_eff));
+    const double damps =
+        1.0 + 2.0 * std::max(0.0, std::sqrt((mu_eff - 1.0) / (n + 1.0)) -
+                                      1.0) + cs;
+    const double chi_n =
+        std::sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+
+    // State.
+    std::vector<double> mean =
+        opts.seeds.empty() ? std::vector<double>(dim, 0.5)
+                           : opts.seeds.front().toFlat(n_accels);
+    double sigma = cfg_.initialSigma;
+    Matrix cov = Matrix::identity(dim);
+    Matrix b = Matrix::identity(dim);
+    std::vector<double> d_diag(dim, 1.0);
+    std::vector<double> ps(dim, 0.0), pc(dim, 0.0);
+    int gen = 0;
+
+    struct Cand {
+        std::vector<double> x;  // candidate point
+        std::vector<double> z;  // N(0, I) draw behind it
+        double fitness;
+    };
+
+    while (!rec.exhausted()) {
+        // Refresh eigensystem lazily.
+        if (gen % std::max(cfg_.eigenInterval, 1) == 0) {
+            common::EigenSym eig = common::jacobiEigenSym(cov, 8);
+            b = eig.eigenvectors;
+            for (int i = 0; i < dim; ++i)
+                d_diag[i] = std::sqrt(std::max(eig.eigenvalues[i], 1e-20));
+        }
+
+        std::vector<Cand> cands;
+        cands.reserve(lambda);
+        for (int k = 0; k < lambda && !rec.exhausted(); ++k) {
+            Cand c;
+            c.z.resize(dim);
+            for (double& z : c.z)
+                z = rng_.gauss();
+            // x = mean + sigma * B * D * z
+            std::vector<double> bdz(dim, 0.0);
+            for (int i = 0; i < dim; ++i) {
+                double acc = 0.0;
+                for (int j = 0; j < dim; ++j)
+                    acc += b.at(i, j) * d_diag[j] * c.z[j];
+                bdz[i] = acc;
+            }
+            c.x.resize(dim);
+            for (int i = 0; i < dim; ++i)
+                c.x[i] = std::clamp(mean[i] + sigma * bdz[i], 0.0, 1.0);
+            c.fitness = flat::evaluate(rec, c.x, n_accels);
+            cands.push_back(std::move(c));
+        }
+        if (static_cast<int>(cands.size()) < mu)
+            break;  // budget ran out mid-generation
+
+        std::sort(cands.begin(), cands.end(),
+                  [](const Cand& a, const Cand& b2) {
+                      return a.fitness > b2.fitness;
+                  });
+
+        // Recombine mean and the z-path.
+        std::vector<double> old_mean = mean;
+        std::vector<double> zw(dim, 0.0);
+        for (int i = 0; i < dim; ++i) {
+            double m = 0.0;
+            for (int k = 0; k < mu; ++k)
+                m += weights[k] * cands[k].x[i];
+            mean[i] = m;
+        }
+        for (int j = 0; j < dim; ++j) {
+            double z = 0.0;
+            for (int k = 0; k < mu; ++k)
+                z += weights[k] * cands[k].z[j];
+            zw[j] = z;
+        }
+
+        // ps = (1-cs) ps + sqrt(cs(2-cs) mu_eff) * B * zw
+        double ps_norm2 = 0.0;
+        for (int i = 0; i < dim; ++i) {
+            double bz = 0.0;
+            for (int j = 0; j < dim; ++j)
+                bz += b.at(i, j) * zw[j];
+            ps[i] = (1.0 - cs) * ps[i] +
+                    std::sqrt(cs * (2.0 - cs) * mu_eff) * bz;
+            ps_norm2 += ps[i] * ps[i];
+        }
+        double ps_norm = std::sqrt(ps_norm2);
+
+        // pc and hsig.
+        double hsig =
+            (ps_norm / std::sqrt(1.0 - std::pow(1.0 - cs, 2.0 * (gen + 1))) /
+                 chi_n < 1.4 + 2.0 / (n + 1.0))
+                ? 1.0
+                : 0.0;
+        for (int i = 0; i < dim; ++i) {
+            pc[i] = (1.0 - cc) * pc[i] +
+                    hsig * std::sqrt(cc * (2.0 - cc) * mu_eff) *
+                        (mean[i] - old_mean[i]) / sigma;
+        }
+
+        // Covariance update: rank-one + rank-mu.
+        double c1a = c1 * (1.0 - (1.0 - hsig * hsig) * cc * (2.0 - cc));
+        for (int i = 0; i < dim; ++i) {
+            for (int j = 0; j < dim; ++j) {
+                double rank_mu = 0.0;
+                for (int k = 0; k < mu; ++k) {
+                    double yi = (cands[k].x[i] - old_mean[i]) / sigma;
+                    double yj = (cands[k].x[j] - old_mean[j]) / sigma;
+                    rank_mu += weights[k] * yi * yj;
+                }
+                cov.at(i, j) = (1.0 - c1a - cmu) * cov.at(i, j) +
+                               c1 * pc[i] * pc[j] + cmu * rank_mu;
+            }
+        }
+
+        // Step-size adaptation.
+        sigma *= std::exp((cs / damps) * (ps_norm / chi_n - 1.0));
+        sigma = std::clamp(sigma, 1e-8, 1.0);
+        ++gen;
+    }
+}
+
+}  // namespace magma::opt

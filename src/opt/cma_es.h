@@ -1,0 +1,44 @@
+#ifndef MAGMA_OPT_CMA_ES_H_
+#define MAGMA_OPT_CMA_ES_H_
+
+#include "opt/optimizer.h"
+
+namespace magma::opt {
+
+/**
+ * Table IV: half of the best-performing individuals form the elite
+ * (recombination) group. Population defaults to the usual
+ * 4 + floor(3 ln n) unless overridden.
+ */
+struct CmaEsConfig {
+    int population = 0;       ///< 0 = 4 + 3 ln(dim)
+    double initialSigma = 0.3;
+    int eigenInterval = 10;   ///< generations between eigendecompositions
+};
+
+/**
+ * Covariance Matrix Adaptation Evolution Strategy on the flat encoding.
+ *
+ * Full-covariance CMA-ES with rank-one and rank-mu updates and cumulative
+ * step-size adaptation. The eigendecomposition (Jacobi, from
+ * common/matrix.h) is refreshed lazily every `eigenInterval` generations,
+ * which is the standard trick for higher-dimensional problems.
+ */
+class CmaEs : public Optimizer {
+  public:
+    explicit CmaEs(uint64_t seed, CmaEsConfig cfg = {})
+        : Optimizer(seed), cfg_(cfg)
+    {}
+    std::string name() const override { return "CMA"; }
+
+  protected:
+    void run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+             SearchRecorder& rec) override;
+
+  private:
+    CmaEsConfig cfg_;
+};
+
+}  // namespace magma::opt
+
+#endif  // MAGMA_OPT_CMA_ES_H_

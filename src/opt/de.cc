@@ -1,0 +1,57 @@
+#include "opt/de.h"
+
+#include <vector>
+
+#include "opt/flat.h"
+
+namespace magma::opt {
+
+void
+De::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+        SearchRecorder& rec)
+{
+    const int dim = 2 * eval.groupSize();
+    const int n_accels = eval.numAccels();
+    const int np = cfg_.population;
+
+    std::vector<std::vector<double>> pop(np);
+    std::vector<double> fit(np);
+    for (int i = 0; i < np; ++i) {
+        if (i < static_cast<int>(opts.seeds.size()))
+            pop[i] = opts.seeds[i].toFlat(n_accels);
+        else
+            pop[i] = flat::randomPoint(dim, rng_);
+        if (rec.exhausted())
+            return;
+        fit[i] = flat::evaluate(rec, pop[i], n_accels);
+    }
+
+    while (!rec.exhausted()) {
+        int best = 0;
+        for (int i = 1; i < np; ++i)
+            if (fit[i] > fit[best])
+                best = i;
+
+        for (int i = 0; i < np && !rec.exhausted(); ++i) {
+            int r1 = rng_.uniformInt(np);
+            int r2 = rng_.uniformInt(np);
+            std::vector<double> trial = pop[i];
+            int forced = rng_.uniformInt(dim);  // at least one mutated gene
+            for (int d = 0; d < dim; ++d) {
+                if (d != forced && !rng_.bernoulli(cfg_.crossoverProb))
+                    continue;
+                trial[d] = pop[i][d] +
+                           cfg_.globalWeight * (pop[best][d] - pop[i][d]) +
+                           cfg_.localWeight * (pop[r1][d] - pop[r2][d]);
+            }
+            flat::clamp01(trial);
+            double f = flat::evaluate(rec, trial, n_accels);
+            if (f >= fit[i]) {
+                pop[i] = std::move(trial);
+                fit[i] = f;
+            }
+        }
+    }
+}
+
+}  // namespace magma::opt

@@ -1,0 +1,36 @@
+#ifndef MAGMA_OPT_DE_H_
+#define MAGMA_OPT_DE_H_
+
+#include "opt/optimizer.h"
+
+namespace magma::opt {
+
+/** Table IV: weighting for local DV 0.8, weighting for global DV 0.8. */
+struct DeConfig {
+    int population = 100;
+    double localWeight = 0.8;   ///< F applied to the random pair difference
+    double globalWeight = 0.8;  ///< F applied toward the population best
+    double crossoverProb = 0.9;
+};
+
+/**
+ * Differential Evolution (current-to-best/1/bin variant) on the flat
+ * [0,1]^{2G} encoding.
+ */
+class De : public Optimizer {
+  public:
+    explicit De(uint64_t seed, DeConfig cfg = {}) : Optimizer(seed), cfg_(cfg)
+    {}
+    std::string name() const override { return "DE"; }
+
+  protected:
+    void run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+             SearchRecorder& rec) override;
+
+  private:
+    DeConfig cfg_;
+};
+
+}  // namespace magma::opt
+
+#endif  // MAGMA_OPT_DE_H_

@@ -1,0 +1,143 @@
+#include "opt/magma_ga.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace magma::opt {
+namespace {
+
+struct Scored {
+    sched::Mapping m;
+    double fitness = 0.0;
+};
+
+}  // namespace
+
+void
+MagmaGa::crossoverGen(sched::Mapping& a, sched::Mapping& b, common::Rng& rng)
+{
+    int g = a.size();
+    int pivot = rng.uniformInt(g);
+    if (rng.bernoulli(0.5)) {
+        for (int i = pivot; i < g; ++i)
+            std::swap(a.accelSel[i], b.accelSel[i]);
+    } else {
+        for (int i = pivot; i < g; ++i)
+            std::swap(a.priority[i], b.priority[i]);
+    }
+}
+
+void
+MagmaGa::crossoverRg(sched::Mapping& a, sched::Mapping& b, common::Rng& rng)
+{
+    int g = a.size();
+    int lo = rng.uniformInt(g);
+    int hi = rng.uniformInt(g);
+    if (lo > hi)
+        std::swap(lo, hi);
+    for (int i = lo; i <= hi; ++i) {
+        std::swap(a.accelSel[i], b.accelSel[i]);
+        std::swap(a.priority[i], b.priority[i]);
+    }
+}
+
+void
+MagmaGa::crossoverAccel(sched::Mapping& child, const sched::Mapping& donor,
+                        int num_accels, common::Rng& rng)
+{
+    int g = child.size();
+    int accel = rng.uniformInt(num_accels);
+    // Jobs the child currently runs on `accel` get displaced (randomly
+    // re-assigned, for load balancing) unless the donor also puts them
+    // there; then the donor's job set and ordering for `accel` is pasted.
+    for (int j = 0; j < g; ++j) {
+        if (child.accelSel[j] == accel && donor.accelSel[j] != accel)
+            child.accelSel[j] = rng.uniformInt(num_accels);
+    }
+    for (int j = 0; j < g; ++j) {
+        if (donor.accelSel[j] == accel) {
+            child.accelSel[j] = accel;
+            child.priority[j] = donor.priority[j];
+        }
+    }
+}
+
+void
+MagmaGa::mutate(sched::Mapping& m, double rate, int num_accels,
+                common::Rng& rng)
+{
+    int g = m.size();
+    for (int i = 0; i < g; ++i) {
+        if (rng.bernoulli(rate))
+            m.accelSel[i] = rng.uniformInt(num_accels);
+        if (rng.bernoulli(rate))
+            m.priority[i] = rng.uniform();
+    }
+}
+
+void
+MagmaGa::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+             SearchRecorder& rec)
+{
+    const int g = eval.groupSize();
+    const int n_accels = eval.numAccels();
+    const int pop_size = cfg_.population;
+
+    std::vector<Scored> pop;
+    pop.reserve(pop_size);
+    for (const auto& s : opts.seeds) {
+        if (static_cast<int>(pop.size()) >= pop_size)
+            break;
+        pop.push_back({s, 0.0});
+    }
+    while (static_cast<int>(pop.size()) < pop_size)
+        pop.push_back({sched::Mapping::random(g, n_accels, rng_), 0.0});
+
+    for (auto& ind : pop) {
+        if (rec.exhausted())
+            return;
+        ind.fitness = rec.evaluate(ind.m);
+    }
+
+    const int elites = std::max(2, static_cast<int>(pop_size *
+                                                    cfg_.eliteRatio));
+    while (!rec.exhausted()) {
+        std::sort(pop.begin(), pop.end(), [](const Scored& a,
+                                             const Scored& b) {
+            return a.fitness > b.fitness;
+        });
+
+        // Elites survive unchanged; children are bred from elite pairs.
+        std::vector<Scored> next(pop.begin(), pop.begin() + elites);
+        while (static_cast<int>(next.size()) < pop_size) {
+            int di = rng_.uniformInt(elites);
+            int mi = rng_.uniformInt(elites);
+            sched::Mapping son = pop[di].m;
+            sched::Mapping daughter = pop[mi].m;
+
+            if (cfg_.enableCrossoverGen &&
+                rng_.bernoulli(cfg_.crossoverGenRate))
+                crossoverGen(son, daughter, rng_);
+            if (cfg_.enableCrossoverRg &&
+                rng_.bernoulli(cfg_.crossoverRgRate))
+                crossoverRg(son, daughter, rng_);
+            if (cfg_.enableCrossoverAccel &&
+                rng_.bernoulli(cfg_.crossoverAccelRate))
+                crossoverAccel(son, pop[mi].m, n_accels, rng_);
+
+            mutate(son, cfg_.mutationRate, n_accels, rng_);
+            next.push_back({std::move(son), 0.0});
+            if (static_cast<int>(next.size()) < pop_size) {
+                mutate(daughter, cfg_.mutationRate, n_accels, rng_);
+                next.push_back({std::move(daughter), 0.0});
+            }
+        }
+
+        for (int i = elites; i < pop_size && !rec.exhausted(); ++i)
+            next[i].fitness = rec.evaluate(next[i].m);
+        pop = std::move(next);
+    }
+}
+
+}  // namespace magma::opt

@@ -1,0 +1,51 @@
+#include "opt/optimizer.h"
+
+#include <cassert>
+
+namespace magma::opt {
+
+SearchRecorder::SearchRecorder(const sched::MappingEvaluator& eval,
+                               const SearchOptions& opts)
+    : eval_(&eval), opts_(opts)
+{
+    if (opts_.recordConvergence)
+        result_.convergence.reserve(opts_.sampleBudget);
+}
+
+double
+SearchRecorder::evaluate(const sched::Mapping& m)
+{
+    assert(!exhausted());
+    double f = eval_->fitness(m);
+    ++used_;
+    if (f > result_.bestFitness) {
+        result_.bestFitness = f;
+        result_.best = m;
+    }
+    if (opts_.recordConvergence)
+        result_.convergence.push_back(result_.bestFitness);
+    if (opts_.recordSamples) {
+        result_.sampled.push_back(m);
+        result_.sampledFitness.push_back(f);
+    }
+    return f;
+}
+
+SearchResult
+SearchRecorder::finish()
+{
+    result_.samplesUsed = used_;
+    return std::move(result_);
+}
+
+SearchResult
+Optimizer::search(const sched::MappingEvaluator& eval,
+                  const SearchOptions& opts)
+{
+    SearchRecorder rec(eval, opts);
+    if (!rec.exhausted())
+        run(eval, opts, rec);
+    return rec.finish();
+}
+
+}  // namespace magma::opt

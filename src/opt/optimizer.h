@@ -1,0 +1,102 @@
+#ifndef MAGMA_OPT_OPTIMIZER_H_
+#define MAGMA_OPT_OPTIMIZER_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/evaluator.h"
+#include "sched/mapping.h"
+
+namespace magma::opt {
+
+/**
+ * Search knobs shared by every optimization method (Section VI-B: "all
+ * optimization methods are given the same sampling budget").
+ */
+struct SearchOptions {
+    /** Fitness evaluations allowed (10K in the paper's main experiments). */
+    int64_t sampleBudget = 10000;
+    /** Record the best-so-far fitness after every sample (Figs. 11, 16). */
+    bool recordConvergence = false;
+    /** Record every sampled mapping for PCA projection (Fig. 10). */
+    bool recordSamples = false;
+    /** Warm-start seeds injected into the initial population (Section V-C). */
+    std::vector<sched::Mapping> seeds;
+};
+
+/** Outcome of one search run. */
+struct SearchResult {
+    sched::Mapping best;
+    double bestFitness = -std::numeric_limits<double>::infinity();
+    int64_t samplesUsed = 0;
+    /** best-so-far fitness after sample i (when recordConvergence). */
+    std::vector<double> convergence;
+    /** every sampled mapping (when recordSamples). */
+    std::vector<sched::Mapping> sampled;
+    /** fitness of every sampled mapping (when recordSamples). */
+    std::vector<double> sampledFitness;
+};
+
+/**
+ * Budget meter + incumbent tracker every optimizer funnels its fitness
+ * calls through, so budget accounting and convergence curves are uniform
+ * across methods.
+ */
+class SearchRecorder {
+  public:
+    SearchRecorder(const sched::MappingEvaluator& eval,
+                   const SearchOptions& opts);
+
+    /**
+     * Evaluate a candidate, spend one budget unit, update the incumbent.
+     * Must not be called once exhausted().
+     */
+    double evaluate(const sched::Mapping& m);
+
+    bool exhausted() const { return used_ >= opts_.sampleBudget; }
+    int64_t remaining() const { return opts_.sampleBudget - used_; }
+    int64_t used() const { return used_; }
+    double bestFitness() const { return result_.bestFitness; }
+    const sched::Mapping& best() const { return result_.best; }
+
+    /** Finalize and hand out the result. */
+    SearchResult finish();
+
+  private:
+    const sched::MappingEvaluator* eval_;
+    SearchOptions opts_;
+    SearchResult result_;
+    int64_t used_ = 0;
+};
+
+/**
+ * Base class of every mapping-search method in M3E (Table IV): the manual
+ * baselines, the black-box optimizers, the RL agents and MAGMA all
+ * implement this interface, which is what lets M3E swap them freely.
+ */
+class Optimizer {
+  public:
+    explicit Optimizer(uint64_t seed) : rng_(seed) {}
+    virtual ~Optimizer() = default;
+
+    /** Method name as the paper's plots label it. */
+    virtual std::string name() const = 0;
+
+    /** Run the search against an evaluator under the given options. */
+    SearchResult search(const sched::MappingEvaluator& eval,
+                        const SearchOptions& opts = {});
+
+  protected:
+    /** Method body; draw randomness from rng_, evaluate through rec. */
+    virtual void run(const sched::MappingEvaluator& eval,
+                     const SearchOptions& opts, SearchRecorder& rec) = 0;
+
+    common::Rng rng_;
+};
+
+}  // namespace magma::opt
+
+#endif  // MAGMA_OPT_OPTIMIZER_H_

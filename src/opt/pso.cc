@@ -1,0 +1,66 @@
+#include "opt/pso.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "opt/flat.h"
+
+namespace magma::opt {
+
+void
+Pso::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+         SearchRecorder& rec)
+{
+    const int dim = 2 * eval.groupSize();
+    const int n_accels = eval.numAccels();
+    const int np = cfg_.population;
+
+    std::vector<std::vector<double>> pos(np), vel(np), pbest(np);
+    std::vector<double> pbest_fit(np);
+    std::vector<double> gbest;
+    double gbest_fit = -1e300;
+
+    for (int i = 0; i < np; ++i) {
+        if (i < static_cast<int>(opts.seeds.size()))
+            pos[i] = opts.seeds[i].toFlat(n_accels);
+        else
+            pos[i] = flat::randomPoint(dim, rng_);
+        vel[i].assign(dim, 0.0);
+        for (double& v : vel[i])
+            v = rng_.uniform(-cfg_.velocityClamp, cfg_.velocityClamp);
+        if (rec.exhausted())
+            return;
+        pbest[i] = pos[i];
+        pbest_fit[i] = flat::evaluate(rec, pos[i], n_accels);
+        if (pbest_fit[i] > gbest_fit) {
+            gbest_fit = pbest_fit[i];
+            gbest = pos[i];
+        }
+    }
+
+    while (!rec.exhausted()) {
+        for (int i = 0; i < np && !rec.exhausted(); ++i) {
+            for (int d = 0; d < dim; ++d) {
+                double v = cfg_.momentum * vel[i][d] +
+                           cfg_.personalWeight * rng_.uniform() *
+                               (pbest[i][d] - pos[i][d]) +
+                           cfg_.globalWeight * rng_.uniform() *
+                               (gbest[d] - pos[i][d]);
+                vel[i][d] = std::clamp(v, -cfg_.velocityClamp,
+                                       cfg_.velocityClamp);
+                pos[i][d] = std::clamp(pos[i][d] + vel[i][d], 0.0, 1.0);
+            }
+            double f = flat::evaluate(rec, pos[i], n_accels);
+            if (f > pbest_fit[i]) {
+                pbest_fit[i] = f;
+                pbest[i] = pos[i];
+            }
+            if (f > gbest_fit) {
+                gbest_fit = f;
+                gbest = pos[i];
+            }
+        }
+    }
+}
+
+}  // namespace magma::opt

@@ -1,0 +1,39 @@
+#ifndef MAGMA_OPT_PSO_H_
+#define MAGMA_OPT_PSO_H_
+
+#include "opt/optimizer.h"
+
+namespace magma::opt {
+
+/**
+ * Table IV: weighting for global best 0.8, for parent (personal) best 0.8,
+ * momentum 1.6. Velocities and positions are clamped to keep the swarm in
+ * the unit box despite the aggressive momentum.
+ */
+struct PsoConfig {
+    int population = 100;
+    double globalWeight = 0.8;
+    double personalWeight = 0.8;
+    double momentum = 1.6;
+    double velocityClamp = 0.25;
+};
+
+/** Particle Swarm Optimization on the flat [0,1]^{2G} encoding. */
+class Pso : public Optimizer {
+  public:
+    explicit Pso(uint64_t seed, PsoConfig cfg = {})
+        : Optimizer(seed), cfg_(cfg)
+    {}
+    std::string name() const override { return "PSO"; }
+
+  protected:
+    void run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+             SearchRecorder& rec) override;
+
+  private:
+    PsoConfig cfg_;
+};
+
+}  // namespace magma::opt
+
+#endif  // MAGMA_OPT_PSO_H_

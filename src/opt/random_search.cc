@@ -1,0 +1,20 @@
+#include "opt/random_search.h"
+
+namespace magma::opt {
+
+void
+RandomSearch::run(const sched::MappingEvaluator& eval,
+                  const SearchOptions& opts, SearchRecorder& rec)
+{
+    for (const auto& seed : opts.seeds) {
+        if (rec.exhausted())
+            return;
+        rec.evaluate(seed);
+    }
+    while (!rec.exhausted()) {
+        rec.evaluate(sched::Mapping::random(eval.groupSize(),
+                                            eval.numAccels(), rng_));
+    }
+}
+
+}  // namespace magma::opt

@@ -1,0 +1,25 @@
+#ifndef MAGMA_OPT_RANDOM_SEARCH_H_
+#define MAGMA_OPT_RANDOM_SEARCH_H_
+
+#include "opt/optimizer.h"
+
+namespace magma::opt {
+
+/**
+ * Uniform random sampling of the mapping space — the "Exhaustively
+ * Sampled" reference of Fig. 10 when given a very large budget, and the
+ * sanity baseline every other method must beat.
+ */
+class RandomSearch : public Optimizer {
+  public:
+    explicit RandomSearch(uint64_t seed) : Optimizer(seed) {}
+    std::string name() const override { return "Random"; }
+
+  protected:
+    void run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+             SearchRecorder& rec) override;
+};
+
+}  // namespace magma::opt
+
+#endif  // MAGMA_OPT_RANDOM_SEARCH_H_

@@ -1,0 +1,89 @@
+#include "opt/std_ga.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace magma::opt {
+namespace {
+
+struct Scored {
+    sched::Mapping m;
+    double fitness = 0.0;
+};
+
+}  // namespace
+
+void
+StdGa::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+           SearchRecorder& rec)
+{
+    const int g = eval.groupSize();
+    const int n_accels = eval.numAccels();
+    const int pop_size = cfg_.population;
+
+    // --- Initial population: seeds first, then random fill. ---
+    std::vector<Scored> pop;
+    pop.reserve(pop_size);
+    for (const auto& s : opts.seeds) {
+        if (static_cast<int>(pop.size()) >= pop_size)
+            break;
+        pop.push_back({s, 0.0});
+    }
+    while (static_cast<int>(pop.size()) < pop_size)
+        pop.push_back({sched::Mapping::random(g, n_accels, rng_), 0.0});
+
+    for (auto& ind : pop) {
+        if (rec.exhausted())
+            return;
+        ind.fitness = rec.evaluate(ind.m);
+    }
+
+    auto tournament = [&]() -> const Scored& {
+        int best = rng_.uniformInt(pop_size);
+        for (int i = 1; i < cfg_.tournamentSize; ++i) {
+            int c = rng_.uniformInt(pop_size);
+            if (pop[c].fitness > pop[best].fitness)
+                best = c;
+        }
+        return pop[best];
+    };
+
+    const int elites = std::max(1, static_cast<int>(pop_size *
+                                                    cfg_.eliteRatio));
+    while (!rec.exhausted()) {
+        std::sort(pop.begin(), pop.end(), [](const Scored& a,
+                                             const Scored& b) {
+            return a.fitness > b.fitness;
+        });
+
+        std::vector<Scored> next(pop.begin(), pop.begin() + elites);
+        while (static_cast<int>(next.size()) < pop_size) {
+            sched::Mapping child = tournament().m;
+            // Single-pivot crossover over the concatenated gene string.
+            if (rng_.bernoulli(cfg_.crossoverRate)) {
+                const sched::Mapping& other = tournament().m;
+                int pivot = rng_.uniformInt(2 * g);
+                for (int i = pivot; i < 2 * g; ++i) {
+                    if (i < g)
+                        child.accelSel[i] = other.accelSel[i];
+                    else
+                        child.priority[i - g] = other.priority[i - g];
+                }
+            }
+            // Per-gene mutation.
+            for (int i = 0; i < g; ++i) {
+                if (rng_.bernoulli(cfg_.mutationRate))
+                    child.accelSel[i] = rng_.uniformInt(n_accels);
+                if (rng_.bernoulli(cfg_.mutationRate))
+                    child.priority[i] = rng_.uniform();
+            }
+            next.push_back({std::move(child), 0.0});
+        }
+
+        for (int i = elites; i < pop_size && !rec.exhausted(); ++i)
+            next[i].fitness = rec.evaluate(next[i].m);
+        pop = std::move(next);
+    }
+}
+
+}  // namespace magma::opt

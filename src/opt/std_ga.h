@@ -1,0 +1,44 @@
+#ifndef MAGMA_OPT_STD_GA_H_
+#define MAGMA_OPT_STD_GA_H_
+
+#include "opt/optimizer.h"
+
+namespace magma::opt {
+
+/** Knobs of the standard GA (Table IV: mutation 0.1, crossover 0.1). */
+struct StdGaConfig {
+    int population = 100;
+    double mutationRate = 0.1;
+    double crossoverRate = 0.1;
+    double eliteRatio = 0.1;
+    int tournamentSize = 3;
+};
+
+/**
+ * Textbook genetic algorithm (Table IV "stdGA").
+ *
+ * The individual is the concatenated 2G gene string; crossover is a single
+ * random pivot over that string — i.e. it crosses the sub-accel genome and
+ * the priority genome as if adjacency carried meaning, which is exactly
+ * the order-dependency assumption MAGMA's genome-wise operators remove
+ * (Section V-B2).
+ */
+class StdGa : public Optimizer {
+  public:
+    explicit StdGa(uint64_t seed, StdGaConfig cfg = {})
+        : Optimizer(seed), cfg_(cfg)
+    {}
+    std::string name() const override { return "stdGA"; }
+    const StdGaConfig& config() const { return cfg_; }
+
+  protected:
+    void run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+             SearchRecorder& rec) override;
+
+  private:
+    StdGaConfig cfg_;
+};
+
+}  // namespace magma::opt
+
+#endif  // MAGMA_OPT_STD_GA_H_

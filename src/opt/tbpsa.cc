@@ -1,0 +1,82 @@
+#include "opt/tbpsa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "opt/flat.h"
+
+namespace magma::opt {
+
+void
+Tbpsa::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+           SearchRecorder& rec)
+{
+    const int dim = 2 * eval.groupSize();
+    const int n_accels = eval.numAccels();
+
+    int lambda = cfg_.initialPopulation;
+    double sigma = cfg_.initialSigma;
+    std::vector<double> mean =
+        opts.seeds.empty() ? std::vector<double>(dim, 0.5)
+                           : opts.seeds.front().toFlat(n_accels);
+
+    double prev_gen_best = -1e300;
+    int stall = 0;
+
+    struct Cand {
+        std::vector<double> x;
+        double fitness;
+    };
+
+    while (!rec.exhausted()) {
+        int mu = std::max(1, lambda / 4);
+        std::vector<Cand> cands;
+        cands.reserve(lambda);
+        for (int k = 0; k < lambda && !rec.exhausted(); ++k) {
+            Cand c;
+            c.x.resize(dim);
+            for (int i = 0; i < dim; ++i)
+                c.x[i] = std::clamp(mean[i] + sigma * rng_.gauss(), 0.0,
+                                    1.0);
+            c.fitness = flat::evaluate(rec, c.x, n_accels);
+            cands.push_back(std::move(c));
+        }
+        if (cands.empty())
+            break;
+        std::sort(cands.begin(), cands.end(),
+                  [](const Cand& a, const Cand& b) {
+                      return a.fitness > b.fitness;
+                  });
+        mu = std::min<int>(mu, cands.size());
+
+        for (int i = 0; i < dim; ++i) {
+            double m = 0.0;
+            for (int k = 0; k < mu; ++k)
+                m += cands[k].x[i];
+            mean[i] = m / mu;
+        }
+
+        // Progress test: population grows under stagnation (the "test"
+        // part of TBPSA), shrinks on clear progress; sigma follows a
+        // success-style rule.
+        double gen_best = cands.front().fitness;
+        if (gen_best <= prev_gen_best * (1.0 + 1e-9)) {
+            ++stall;
+            sigma *= 0.95;
+            if (stall >= 2) {
+                lambda = std::min(cfg_.maxPopulation, lambda * 2);
+                stall = 0;
+            }
+        } else {
+            sigma = std::min(0.5, sigma * 1.05);
+            lambda = std::max(cfg_.initialPopulation,
+                              static_cast<int>(lambda * 0.9));
+            stall = 0;
+        }
+        sigma = std::max(sigma, 1e-6);
+        prev_gen_best = gen_best;
+    }
+}
+
+}  // namespace magma::opt

@@ -1,0 +1,39 @@
+#ifndef MAGMA_OPT_TBPSA_H_
+#define MAGMA_OPT_TBPSA_H_
+
+#include "opt/optimizer.h"
+
+namespace magma::opt {
+
+/** Table IV: initial population 50, allowed to evolve. */
+struct TbpsaConfig {
+    int initialPopulation = 50;
+    int maxPopulation = 400;
+    double initialSigma = 0.3;
+};
+
+/**
+ * Test-based Population-Size Adaptation (Hellwig & Beyer style, as shipped
+ * in Nevergrad): a (mu, lambda) evolution strategy whose population grows
+ * when successive generations fail a progress test (a symptom of noise or
+ * ruggedness) and shrinks again on clear progress. Recombination is the
+ * average of the mu best; step size follows a success-based rule.
+ */
+class Tbpsa : public Optimizer {
+  public:
+    explicit Tbpsa(uint64_t seed, TbpsaConfig cfg = {})
+        : Optimizer(seed), cfg_(cfg)
+    {}
+    std::string name() const override { return "TBPSA"; }
+
+  protected:
+    void run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
+             SearchRecorder& rec) override;
+
+  private:
+    TbpsaConfig cfg_;
+};
+
+}  // namespace magma::opt
+
+#endif  // MAGMA_OPT_TBPSA_H_

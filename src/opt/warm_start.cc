@@ -1,0 +1,137 @@
+#include "opt/warm_start.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "opt/magma_ga.h"
+
+namespace magma::opt {
+namespace {
+
+/** Similarity bucket for job-matched transfer: task + layer type +
+ * log2-size class of the job's MAC count. */
+std::string
+jobKey(const dnn::Job& job, bool with_size)
+{
+    std::string key = dnn::taskTypeName(job.task) + "/" +
+                      dnn::layerTypeName(job.layer.type);
+    if (with_size) {
+        int bucket = static_cast<int>(
+            std::log2(static_cast<double>(std::max<int64_t>(job.macs(),
+                                                            1))));
+        key += "/" + std::to_string(bucket / 2);  // 4x-wide size classes
+    }
+    return key;
+}
+
+}  // namespace
+
+void
+WarmStartEngine::store(dnn::TaskType task, const sched::Mapping& best)
+{
+    library_[task] = Entry{best, dnn::JobGroup{}};
+}
+
+void
+WarmStartEngine::store(dnn::TaskType task, const sched::Mapping& best,
+                       const dnn::JobGroup& group)
+{
+    library_[task] = Entry{best, group};
+}
+
+bool
+WarmStartEngine::has(dnn::TaskType task) const
+{
+    return library_.count(task) > 0;
+}
+
+std::vector<sched::Mapping>
+WarmStartEngine::makeSeeds(dnn::TaskType task, int count, int group_size,
+                           int num_accels, common::Rng& rng) const
+{
+    std::vector<sched::Mapping> seeds;
+    auto it = library_.find(task);
+    if (it == library_.end())
+        return seeds;
+
+    // Adapt the stored genome to the new group size by tiling/truncation,
+    // and clamp accel genes into the new platform's range.
+    const sched::Mapping& stored = it->second.mapping;
+    sched::Mapping base;
+    base.accelSel.resize(group_size);
+    base.priority.resize(group_size);
+    int n = stored.size();
+    for (int i = 0; i < group_size; ++i) {
+        base.accelSel[i] = std::min(stored.accelSel[i % n], num_accels - 1);
+        base.priority[i] = stored.priority[i % n];
+    }
+
+    seeds.push_back(base);
+    while (static_cast<int>(seeds.size()) < count) {
+        sched::Mapping m = base;
+        MagmaGa::mutate(m, 0.05, num_accels, rng);
+        seeds.push_back(std::move(m));
+    }
+    return seeds;
+}
+
+std::vector<sched::Mapping>
+WarmStartEngine::makeSeeds(dnn::TaskType task, int count,
+                           const dnn::JobGroup& target, int num_accels,
+                           common::Rng& rng) const
+{
+    auto it = library_.find(task);
+    if (it == library_.end())
+        return {};
+    const Entry& entry = it->second;
+    if (entry.group.jobs.empty())
+        return makeSeeds(task, count, target.size(), num_accels, rng);
+
+    // Index the stored jobs by similarity bucket (fine and coarse).
+    std::unordered_map<std::string, std::vector<int>> fine, coarse;
+    for (int j = 0; j < entry.group.size(); ++j) {
+        fine[jobKey(entry.group.jobs[j], true)].push_back(j);
+        coarse[jobKey(entry.group.jobs[j], false)].push_back(j);
+    }
+
+    sched::Mapping base;
+    base.accelSel.resize(target.size());
+    base.priority.resize(target.size());
+    std::unordered_map<std::string, int> cursor;  // round-robin per bucket
+    for (int i = 0; i < target.size(); ++i) {
+        const dnn::Job& job = target.jobs[i];
+        const std::vector<int>* pool = nullptr;
+        std::string key = jobKey(job, true);
+        auto fit = fine.find(key);
+        if (fit != fine.end()) {
+            pool = &fit->second;
+        } else {
+            key = jobKey(job, false);
+            auto cit = coarse.find(key);
+            if (cit != coarse.end())
+                pool = &cit->second;
+        }
+        if (pool) {
+            int src = (*pool)[cursor[key]++ % pool->size()];
+            base.accelSel[i] = std::min(entry.mapping.accelSel[src],
+                                        num_accels - 1);
+            base.priority[i] = entry.mapping.priority[src];
+        } else {
+            base.accelSel[i] = rng.uniformInt(num_accels);
+            base.priority[i] = rng.uniform();
+        }
+    }
+
+    std::vector<sched::Mapping> seeds;
+    seeds.push_back(base);
+    while (static_cast<int>(seeds.size()) < count) {
+        sched::Mapping m = base;
+        MagmaGa::mutate(m, 0.05, num_accels, rng);
+        seeds.push_back(std::move(m));
+    }
+    return seeds;
+}
+
+}  // namespace magma::opt

@@ -1,0 +1,77 @@
+#ifndef MAGMA_OPT_WARM_START_H_
+#define MAGMA_OPT_WARM_START_H_
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "dnn/workload.h"
+#include "sched/mapping.h"
+
+namespace magma::opt {
+
+/**
+ * Warm-start engine (Section V-C): remembers the best mapping found for
+ * each task type and, when a new group of the same type arrives, takes
+ * over population initialization from the random Init engine.
+ *
+ * Two transfer modes:
+ *  - positional (makeSeeds with a group size): genes are tiled onto the
+ *    new genome by index — cheap, but only meaningful when consecutive
+ *    groups are positionally similar;
+ *  - job-matched (makeSeeds with the target JobGroup, requires the solved
+ *    group to have been stored): each new job inherits the gene of a
+ *    stored job of the same task + layer type + size class, which is what
+ *    carries the "language jobs avoid the LB core" style knowledge across
+ *    independently drawn groups.
+ *
+ * Seeds are the transferred solution plus lightly mutated copies, so the
+ * population starts clustered around previous knowledge but retains
+ * diversity for further optimization (Trf-N-ep in Table V).
+ */
+class WarmStartEngine {
+  public:
+    /** Remember (or replace) the solved mapping for a task type. */
+    void store(dnn::TaskType task, const sched::Mapping& best);
+
+    /** Remember the solved mapping together with its job group, enabling
+     * job-matched transfer. */
+    void store(dnn::TaskType task, const sched::Mapping& best,
+               const dnn::JobGroup& group);
+
+    /** Whether previous knowledge exists for this task type. */
+    bool has(dnn::TaskType task) const;
+
+    /**
+     * Positional transfer: build `count` seed mappings for a new group of
+     * `group_size` jobs on `num_accels` cores. The first seed is the
+     * stored solution verbatim (resized by gene tiling if the group size
+     * changed); the rest are mutated copies. Returns empty when nothing
+     * is stored.
+     */
+    std::vector<sched::Mapping> makeSeeds(dnn::TaskType task, int count,
+                                          int group_size, int num_accels,
+                                          common::Rng& rng) const;
+
+    /**
+     * Job-matched transfer: each job of `target` inherits the gene of a
+     * similar stored job (same task, layer type and log-size bucket,
+     * with coarser fallbacks). Falls back to positional transfer when
+     * the stored entry has no group attached.
+     */
+    std::vector<sched::Mapping> makeSeeds(dnn::TaskType task, int count,
+                                          const dnn::JobGroup& target,
+                                          int num_accels,
+                                          common::Rng& rng) const;
+
+  private:
+    struct Entry {
+        sched::Mapping mapping;
+        dnn::JobGroup group;  // empty when stored without a group
+    };
+    std::map<dnn::TaskType, Entry> library_;
+};
+
+}  // namespace magma::opt
+
+#endif  // MAGMA_OPT_WARM_START_H_

@@ -1,0 +1,41 @@
+#ifndef MAGMA_RL_A2C_H_
+#define MAGMA_RL_A2C_H_
+
+#include "opt/optimizer.h"
+
+namespace magma::rl {
+
+/** Table IV: 3x128 MLPs, discount 0.99, lr 0.0007, RMSProp. */
+struct A2cConfig {
+    int hidden = 128;
+    double gamma = 0.99;
+    double learningRate = 7e-4;
+    double entropyCoef = 0.01;
+    double valueCoef = 0.5;
+    double maxGradNorm = 0.5;
+};
+
+/**
+ * Advantage Actor-Critic (Table IV "RL A2C") on the sequential
+ * mapping-construction environment. One episode constructs one complete
+ * mapping and consumes one budget sample; the update runs per episode.
+ */
+class A2c : public opt::Optimizer {
+  public:
+    explicit A2c(uint64_t seed, A2cConfig cfg = {})
+        : Optimizer(seed), cfg_(cfg)
+    {}
+    std::string name() const override { return "RL A2C"; }
+
+  protected:
+    void run(const sched::MappingEvaluator& eval,
+             const opt::SearchOptions& opts,
+             opt::SearchRecorder& rec) override;
+
+  private:
+    A2cConfig cfg_;
+};
+
+}  // namespace magma::rl
+
+#endif  // MAGMA_RL_A2C_H_

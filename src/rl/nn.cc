@@ -1,0 +1,165 @@
+#include "rl/nn.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace magma::rl {
+
+using common::Matrix;
+
+Linear::Linear(int in, int out, common::Rng& rng)
+    : in_(in), out_(out), w_(out, in), b_(out, 0.0), gw_(out, in),
+      gb_(out, 0.0)
+{
+    // He-style initialization for the ReLU stacks.
+    double scale = std::sqrt(2.0 / in);
+    for (size_t i = 0; i < w_.rows(); ++i)
+        for (size_t j = 0; j < w_.cols(); ++j)
+            w_.at(i, j) = rng.gauss() * scale;
+}
+
+Matrix
+Linear::forward(const Matrix& x)
+{
+    assert(static_cast<int>(x.cols()) == in_);
+    cached_x_ = x;
+    Matrix y(x.rows(), out_);
+    for (size_t r = 0; r < x.rows(); ++r) {
+        for (int o = 0; o < out_; ++o) {
+            double acc = b_[o];
+            for (int i = 0; i < in_; ++i)
+                acc += x.at(r, i) * w_.at(o, i);
+            y.at(r, o) = acc;
+        }
+    }
+    return y;
+}
+
+Matrix
+Linear::backward(const Matrix& grad_out)
+{
+    assert(static_cast<int>(grad_out.cols()) == out_);
+    assert(grad_out.rows() == cached_x_.rows());
+    // dW += g^T x ; db += sum g ; dx = g W
+    for (size_t r = 0; r < grad_out.rows(); ++r) {
+        for (int o = 0; o < out_; ++o) {
+            double g = grad_out.at(r, o);
+            if (g == 0.0)
+                continue;
+            gb_[o] += g;
+            for (int i = 0; i < in_; ++i)
+                gw_.at(o, i) += g * cached_x_.at(r, i);
+        }
+    }
+    Matrix dx(grad_out.rows(), in_, 0.0);
+    for (size_t r = 0; r < grad_out.rows(); ++r)
+        for (int o = 0; o < out_; ++o) {
+            double g = grad_out.at(r, o);
+            if (g == 0.0)
+                continue;
+            for (int i = 0; i < in_; ++i)
+                dx.at(r, i) += g * w_.at(o, i);
+        }
+    return dx;
+}
+
+void
+Linear::zeroGrad()
+{
+    gw_.scale(0.0);
+    std::fill(gb_.begin(), gb_.end(), 0.0);
+}
+
+std::vector<double*>
+Linear::paramPtrs()
+{
+    std::vector<double*> out;
+    out.reserve(w_.rows() * w_.cols() + b_.size());
+    for (size_t i = 0; i < w_.rows() * w_.cols(); ++i)
+        out.push_back(w_.data() + i);
+    for (double& b : b_)
+        out.push_back(&b);
+    return out;
+}
+
+std::vector<double*>
+Linear::gradPtrs()
+{
+    std::vector<double*> out;
+    out.reserve(gw_.rows() * gw_.cols() + gb_.size());
+    for (size_t i = 0; i < gw_.rows() * gw_.cols(); ++i)
+        out.push_back(gw_.data() + i);
+    for (double& g : gb_)
+        out.push_back(&g);
+    return out;
+}
+
+Mlp::Mlp(const std::vector<int>& dims, uint64_t seed)
+{
+    assert(dims.size() >= 2);
+    common::Rng rng(seed);
+    for (size_t i = 0; i + 1 < dims.size(); ++i)
+        layers_.emplace_back(dims[i], dims[i + 1], rng);
+}
+
+Matrix
+Mlp::forward(const Matrix& x)
+{
+    relu_in_.clear();
+    Matrix h = x;
+    for (size_t l = 0; l < layers_.size(); ++l) {
+        h = layers_[l].forward(h);
+        if (l + 1 < layers_.size()) {
+            relu_in_.push_back(h);
+            for (size_t r = 0; r < h.rows(); ++r)
+                for (size_t c = 0; c < h.cols(); ++c)
+                    h.at(r, c) = std::max(h.at(r, c), 0.0);
+        }
+    }
+    return h;
+}
+
+void
+Mlp::backward(const Matrix& grad_out)
+{
+    Matrix g = grad_out;
+    for (size_t l = layers_.size(); l-- > 0;) {
+        g = layers_[l].backward(g);
+        if (l > 0) {
+            const Matrix& pre = relu_in_[l - 1];
+            for (size_t r = 0; r < g.rows(); ++r)
+                for (size_t c = 0; c < g.cols(); ++c)
+                    if (pre.at(r, c) <= 0.0)
+                        g.at(r, c) = 0.0;
+        }
+    }
+}
+
+void
+Mlp::zeroGrad()
+{
+    for (auto& l : layers_)
+        l.zeroGrad();
+}
+
+std::vector<double*>
+Mlp::paramPtrs()
+{
+    std::vector<double*> out;
+    for (auto& l : layers_)
+        for (double* p : l.paramPtrs())
+            out.push_back(p);
+    return out;
+}
+
+std::vector<double*>
+Mlp::gradPtrs()
+{
+    std::vector<double*> out;
+    for (auto& l : layers_)
+        for (double* p : l.gradPtrs())
+            out.push_back(p);
+    return out;
+}
+
+}  // namespace magma::rl

@@ -1,0 +1,156 @@
+#include "rl/policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace magma::rl {
+
+std::vector<double>
+softmax(const std::vector<double>& logits)
+{
+    double mx = *std::max_element(logits.begin(), logits.end());
+    std::vector<double> p(logits.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < logits.size(); ++i) {
+        p[i] = std::exp(logits[i] - mx);
+        sum += p[i];
+    }
+    for (double& v : p)
+        v /= sum;
+    return p;
+}
+
+int
+sampleCategorical(const std::vector<double>& logits, common::Rng& rng)
+{
+    std::vector<double> p = softmax(logits);
+    double r = rng.uniform();
+    double acc = 0.0;
+    for (size_t i = 0; i < p.size(); ++i) {
+        acc += p[i];
+        if (r < acc)
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(p.size()) - 1;
+}
+
+double
+logProb(const std::vector<double>& logits, int action)
+{
+    double mx = *std::max_element(logits.begin(), logits.end());
+    double sum = 0.0;
+    for (double l : logits)
+        sum += std::exp(l - mx);
+    return logits[action] - mx - std::log(sum);
+}
+
+double
+entropy(const std::vector<double>& logits)
+{
+    std::vector<double> p = softmax(logits);
+    double h = 0.0;
+    for (double v : p)
+        if (v > 0.0)
+            h -= v * std::log(v);
+    return h;
+}
+
+std::vector<double>
+policyGradLogits(const std::vector<double>& logits, int action, double coeff)
+{
+    std::vector<double> g = softmax(logits);
+    for (double& v : g)
+        v *= coeff;
+    g[action] -= coeff;
+    return g;
+}
+
+std::vector<double>
+entropyGradLogits(const std::vector<double>& logits, double coeff)
+{
+    // d(-H)/dlogit_i = p_i * (log p_i + H); scaled by coeff.
+    std::vector<double> p = softmax(logits);
+    double h = 0.0;
+    for (double v : p)
+        if (v > 0.0)
+            h -= v * std::log(v);
+    std::vector<double> g(p.size());
+    for (size_t i = 0; i < p.size(); ++i) {
+        double logp = p[i] > 0.0 ? std::log(p[i]) : -40.0;
+        g[i] = coeff * p[i] * (logp + h);
+    }
+    return g;
+}
+
+MappingEnv::MappingEnv(const sched::MappingEvaluator& eval)
+    : eval_(&eval),
+      num_accels_(eval.numAccels()),
+      group_size_(eval.groupSize()),
+      loads_(num_accels_, 0.0),
+      feat_scale_(num_accels_, 1.0)
+{
+    // Normalizer: mean per-core no-stall latency over the group.
+    const auto& table = eval.table();
+    for (int a = 0; a < num_accels_; ++a) {
+        double sum = 0.0;
+        for (int j = 0; j < group_size_; ++j)
+            sum += table.lookup(j, a).noStallSeconds;
+        feat_scale_[a] = std::max(sum / group_size_, 1e-12);
+    }
+}
+
+int
+MappingEnv::featureDim() const
+{
+    return 3 * num_accels_ + 4;
+}
+
+void
+MappingEnv::reset()
+{
+    std::fill(loads_.begin(), loads_.end(), 0.0);
+}
+
+std::vector<double>
+MappingEnv::observe(int step) const
+{
+    const auto& table = eval_->table();
+    const dnn::Job& job = eval_->group().jobs[step];
+    std::vector<double> f;
+    f.reserve(featureDim());
+
+    // Per-core log-scaled latency and required BW of this job.
+    for (int a = 0; a < num_accels_; ++a) {
+        const auto& p = table.lookup(step, a);
+        f.push_back(std::log1p(p.noStallSeconds / feat_scale_[a]));
+    }
+    for (int a = 0; a < num_accels_; ++a) {
+        const auto& p = table.lookup(step, a);
+        f.push_back(std::log1p(p.reqBwGbps) / 6.0);
+    }
+    // Per-core load fractions accumulated so far.
+    double total = 0.0;
+    for (double l : loads_)
+        total += l;
+    for (int a = 0; a < num_accels_; ++a)
+        f.push_back(total > 0.0 ? loads_[a] / total : 0.0);
+    // Task one-hot + progress.
+    f.push_back(job.task == dnn::TaskType::Vision ? 1.0 : 0.0);
+    f.push_back(job.task == dnn::TaskType::Language ? 1.0 : 0.0);
+    f.push_back(job.task == dnn::TaskType::Recommendation ? 1.0 : 0.0);
+    f.push_back(static_cast<double>(step) / group_size_);
+    return f;
+}
+
+void
+MappingEnv::act(int step, int accel, int bucket, sched::Mapping& m)
+{
+    assert(accel >= 0 && accel < num_accels_);
+    assert(bucket >= 0 && bucket < kPriorityBuckets);
+    m.accelSel[step] = accel;
+    m.priority[step] = (bucket + 0.5) / kPriorityBuckets;
+    loads_[accel] += eval_->table().lookup(step, accel).noStallSeconds;
+}
+
+}  // namespace magma::rl

@@ -1,0 +1,76 @@
+#ifndef MAGMA_RL_POLICY_H_
+#define MAGMA_RL_POLICY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/evaluator.h"
+#include "sched/mapping.h"
+
+namespace magma::rl {
+
+/** Softmax of a logit vector (numerically stabilized). */
+std::vector<double> softmax(const std::vector<double>& logits);
+
+/** Sample an index from softmax(logits). */
+int sampleCategorical(const std::vector<double>& logits, common::Rng& rng);
+
+/** log softmax(logits)[action]. */
+double logProb(const std::vector<double>& logits, int action);
+
+/** Entropy of softmax(logits). */
+double entropy(const std::vector<double>& logits);
+
+/**
+ * Gradient of (-coeff * log pi(action)) w.r.t. the logits:
+ *   coeff * (softmax - onehot(action)).
+ * This is the policy-gradient building block for both A2C and PPO.
+ */
+std::vector<double> policyGradLogits(const std::vector<double>& logits,
+                                     int action, double coeff);
+
+/** Gradient of (-coeff * entropy) w.r.t. the logits (entropy bonus). */
+std::vector<double> entropyGradLogits(const std::vector<double>& logits,
+                                      double coeff);
+
+/**
+ * The sequential mapping-construction environment both RL agents share.
+ *
+ * An episode walks the G jobs of the group in order; at step j the agent
+ * picks a sub-accelerator and a priority bucket for job j. The state
+ * summarizes job j's per-core profile from the Job Analysis Table, the
+ * per-core load accumulated so far, the job's task category and progress.
+ * The episode's final reward is the mapping's throughput normalized by
+ * the platform's peak (intermediate rewards are zero).
+ */
+class MappingEnv {
+  public:
+    static constexpr int kPriorityBuckets = 10;
+
+    explicit MappingEnv(const sched::MappingEvaluator& eval);
+
+    int featureDim() const;
+    int accelActions() const { return num_accels_; }
+    int priorityActions() const { return kPriorityBuckets; }
+    int steps() const { return group_size_; }
+
+    /** Reset per-episode accumulators. */
+    void reset();
+
+    /** Features of the current step's state. */
+    std::vector<double> observe(int step) const;
+
+    /** Commit the step's actions; fills the mapping under construction. */
+    void act(int step, int accel, int bucket, sched::Mapping& m);
+
+  private:
+    const sched::MappingEvaluator* eval_;
+    int num_accels_;
+    int group_size_;
+    std::vector<double> loads_;        // accumulated no-stall secs per core
+    std::vector<double> feat_scale_;   // per-core latency normalizer
+};
+
+}  // namespace magma::rl
+
+#endif  // MAGMA_RL_POLICY_H_

@@ -1,0 +1,44 @@
+#ifndef MAGMA_RL_PPO2_H_
+#define MAGMA_RL_PPO2_H_
+
+#include "opt/optimizer.h"
+
+namespace magma::rl {
+
+/** Table IV: 3x128 MLPs, discount 0.99, clip 0.2, lr 0.00025, Adam. */
+struct Ppo2Config {
+    int hidden = 128;
+    double gamma = 0.99;
+    double learningRate = 2.5e-4;
+    double clipRange = 0.2;
+    double entropyCoef = 0.01;
+    double valueCoef = 0.5;
+    double maxGradNorm = 0.5;
+    int episodesPerBatch = 8;
+    int epochsPerBatch = 4;
+};
+
+/**
+ * Proximal Policy Optimization (Table IV "RL PPO2"): collects a batch of
+ * episodes, then performs several epochs of clipped-surrogate updates
+ * against the behaviour policy's stored log-probs.
+ */
+class Ppo2 : public opt::Optimizer {
+  public:
+    explicit Ppo2(uint64_t seed, Ppo2Config cfg = {})
+        : Optimizer(seed), cfg_(cfg)
+    {}
+    std::string name() const override { return "RL PPO2"; }
+
+  protected:
+    void run(const sched::MappingEvaluator& eval,
+             const opt::SearchOptions& opts,
+             opt::SearchRecorder& rec) override;
+
+  private:
+    Ppo2Config cfg_;
+};
+
+}  // namespace magma::rl
+
+#endif  // MAGMA_RL_PPO2_H_

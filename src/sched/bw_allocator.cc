@@ -1,0 +1,121 @@
+#include "sched/bw_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace magma::sched {
+
+ScheduleResult
+BwAllocator::run(const DecodedMapping& decoded, const JobAnalysisTable& table,
+                 bool record_timeline) const
+{
+    int num_accels = static_cast<int>(decoded.queues.size());
+    ScheduleResult result;
+    result.finishTime.assign(table.numJobs(), 0.0);
+
+    // Per-accelerator cursor into its queue and live-job state.
+    std::vector<size_t> cursor(num_accels, 0);
+    std::vector<double> remaining(num_accels, 0.0);  // no-stall secs left
+    std::vector<double> req_bw(num_accels, 0.0);
+    std::vector<int> live_job(num_accels, -1);
+
+    auto launchNext = [&](int a) {
+        const auto& q = decoded.queues[a];
+        if (cursor[a] < q.size()) {
+            int j = q[cursor[a]++];
+            const JobProfile& p = table.lookup(j, a);
+            live_job[a] = j;
+            remaining[a] = p.noStallSeconds;
+            req_bw[a] = p.reqBwGbps;
+        } else {
+            live_job[a] = -1;
+            remaining[a] = 0.0;
+            req_bw[a] = 0.0;
+        }
+    };
+
+    for (int a = 0; a < num_accels; ++a)
+        launchNext(a);
+
+    double now = 0.0;
+    const double eps = 1e-18;
+    while (true) {
+        // Gather live demand.
+        double total_req = 0.0;
+        int live_count = 0;
+        for (int a = 0; a < num_accels; ++a) {
+            if (live_job[a] >= 0) {
+                total_req += req_bw[a];
+                ++live_count;
+            }
+        }
+        if (live_count == 0)
+            break;
+
+        // Allocation: proportional share (Algorithm 1) or even split.
+        // rate[a] = alloc/req (capped at 1) is the progress slowdown.
+        std::vector<double> rate(num_accels, 0.0);
+        for (int a = 0; a < num_accels; ++a) {
+            if (live_job[a] < 0)
+                continue;
+            double alloc;
+            if (policy_ == BwPolicy::Proportional) {
+                alloc = (total_req <= system_bw_)
+                            ? req_bw[a]
+                            : req_bw[a] * system_bw_ / total_req;
+            } else {
+                // Static even split: every core owns 1/N of the system
+                // BW whether it needs it or not (Section IV-D1's naive
+                // heuristic).
+                alloc = std::min(req_bw[a], system_bw_ / num_accels);
+            }
+            rate[a] = (req_bw[a] <= eps) ? 1.0
+                                         : std::min(1.0, alloc / req_bw[a]);
+        }
+
+        // Advance to the earliest completion under the current rates.
+        double dt = std::numeric_limits<double>::infinity();
+        for (int a = 0; a < num_accels; ++a) {
+            if (live_job[a] < 0)
+                continue;
+            double t = (rate[a] > eps)
+                           ? remaining[a] / rate[a]
+                           : std::numeric_limits<double>::infinity();
+            dt = std::min(dt, t);
+        }
+        assert(std::isfinite(dt));
+        dt = std::max(dt, 0.0);
+
+        if (record_timeline) {
+            for (int a = 0; a < num_accels; ++a) {
+                if (live_job[a] < 0)
+                    continue;
+                ScheduleEvent ev;
+                ev.start = now;
+                ev.end = now + dt;
+                ev.job = live_job[a];
+                ev.accel = a;
+                ev.allocBw = rate[a] * req_bw[a];
+                result.events.push_back(ev);
+            }
+        }
+
+        now += dt;
+        for (int a = 0; a < num_accels; ++a) {
+            if (live_job[a] < 0)
+                continue;
+            remaining[a] -= rate[a] * dt;
+            if (remaining[a] <= eps * std::max(1.0, now)) {
+                result.finishTime[live_job[a]] = now;
+                launchNext(a);
+            }
+        }
+    }
+
+    result.makespanSeconds = now;
+    return result;
+}
+
+}  // namespace magma::sched

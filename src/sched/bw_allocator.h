@@ -1,0 +1,76 @@
+#ifndef MAGMA_SCHED_BW_ALLOCATOR_H_
+#define MAGMA_SCHED_BW_ALLOCATOR_H_
+
+#include <vector>
+
+#include "sched/job_analyzer.h"
+#include "sched/mapping.h"
+
+namespace magma::sched {
+
+/**
+ * One constant-allocation segment of the executed schedule, for the Fig. 15
+ * style visualizations: between `start` and `end` seconds, `job` ran on
+ * `accel` with `allocBw` GB/s granted.
+ */
+struct ScheduleEvent {
+    double start = 0.0;
+    double end = 0.0;
+    int job = -1;
+    int accel = -1;
+    double allocBw = 0.0;
+};
+
+/** Outcome of simulating one decoded mapping. */
+struct ScheduleResult {
+    double makespanSeconds = 0.0;
+    /** Per-job completion time (seconds). */
+    std::vector<double> finishTime;
+    /** Timeline segments; filled only when requested. */
+    std::vector<ScheduleEvent> events;
+};
+
+/**
+ * Allocation policy ablation: the paper's proportional-share policy
+ * (Algorithm 1) versus the naive heuristic it argues against
+ * (Section IV-D1: "evenly allocate the same amount of BW to all the
+ * sub-accelerators") — a STATIC per-core share of systemBW / numCores,
+ * which strands the unused share of compute-bound cores.
+ */
+enum class BwPolicy { Proportional, EvenSplit };
+
+/**
+ * The BW Allocator (Algorithm 1).
+ *
+ * Event-driven simulation: at any instant the head job of every non-empty
+ * sub-accelerator queue is live. If the sum of live jobs' required BW
+ * exceeds the system BW, bandwidth is granted proportionally to demand and
+ * each job progresses at rate alloc/req (< 1) of its no-stall speed;
+ * otherwise every job runs at full speed. Time advances to the earliest
+ * completion, that queue pops, and BW is re-allocated.
+ */
+class BwAllocator {
+  public:
+    explicit BwAllocator(double system_bw_gbps,
+                         BwPolicy policy = BwPolicy::Proportional)
+        : system_bw_(system_bw_gbps), policy_(policy)
+    {}
+
+    /**
+     * Simulate `decoded` queues of `group` using profiles from `table`.
+     * Set `record_timeline` to fill ScheduleResult::events.
+     */
+    ScheduleResult run(const DecodedMapping& decoded,
+                       const JobAnalysisTable& table,
+                       bool record_timeline = false) const;
+
+    double systemBw() const { return system_bw_; }
+
+  private:
+    double system_bw_;
+    BwPolicy policy_;
+};
+
+}  // namespace magma::sched
+
+#endif  // MAGMA_SCHED_BW_ALLOCATOR_H_

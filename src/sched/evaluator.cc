@@ -1,0 +1,96 @@
+#include "sched/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace magma::sched {
+
+std::string
+objectiveName(Objective o)
+{
+    switch (o) {
+      case Objective::Throughput:
+        return "throughput";
+      case Objective::Latency:
+        return "latency";
+      case Objective::Energy:
+        return "energy";
+      case Objective::EnergyDelay:
+        return "energy-delay-product";
+      case Objective::PerfPerWatt:
+        return "performance-per-watt";
+    }
+    return "?";
+}
+
+MappingEvaluator::MappingEvaluator(const dnn::JobGroup& group,
+                                   const accel::Platform& platform,
+                                   const cost::CostModel& model,
+                                   BwPolicy policy)
+    : group_(&group),
+      platform_(&platform),
+      allocator_(platform.systemBwGbps, policy)
+{
+    JobAnalyzer analyzer(model);
+    table_ = analyzer.analyze(group, platform);
+}
+
+double
+MappingEvaluator::throughputGflops(double makespan_seconds) const
+{
+    if (makespan_seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(group_->totalFlops()) / makespan_seconds /
+           1e9;
+}
+
+ScheduleResult
+MappingEvaluator::evaluate(const Mapping& m, bool record_timeline) const
+{
+    assert(m.size() == group_->size());
+    ++samples_;
+    DecodedMapping d = decode(m, numAccels());
+    return allocator_.run(d, table_, record_timeline);
+}
+
+double
+MappingEvaluator::totalJoules(const Mapping& m) const
+{
+    double pj = 0.0;
+    for (int j = 0; j < m.size(); ++j)
+        pj += table_.lookup(j, m.accelSel[j]).energyPj;
+    return pj * 1e-12;
+}
+
+double
+MappingEvaluator::objectiveValue(const Mapping& m,
+                                 const ScheduleResult& r) const
+{
+    double seconds = r.makespanSeconds;
+    if (seconds <= 0.0)
+        return 0.0;
+    switch (objective_) {
+      case Objective::Throughput:
+        return throughputGflops(seconds);
+      case Objective::Latency:
+        return 1.0 / seconds;
+      case Objective::Energy:
+        return 1.0 / std::max(totalJoules(m), 1e-30);
+      case Objective::EnergyDelay:
+        return 1.0 / std::max(totalJoules(m) * seconds, 1e-40);
+      case Objective::PerfPerWatt: {
+        double watts = totalJoules(m) / seconds;
+        return throughputGflops(seconds) / std::max(watts, 1e-30);
+      }
+    }
+    return 0.0;
+}
+
+double
+MappingEvaluator::fitness(const Mapping& m) const
+{
+    ScheduleResult r = evaluate(m, false);
+    return objectiveValue(m, r);
+}
+
+}  // namespace magma::sched

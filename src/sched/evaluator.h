@@ -1,0 +1,94 @@
+#ifndef MAGMA_SCHED_EVALUATOR_H_
+#define MAGMA_SCHED_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "accel/platform.h"
+#include "cost/cost_model.h"
+#include "dnn/workload.h"
+#include "sched/bw_allocator.h"
+#include "sched/job_analyzer.h"
+#include "sched/mapping.h"
+
+namespace magma::sched {
+
+/**
+ * Optimization objectives (Section IV-C): throughput is the paper's
+ * default, but M3E accepts other objectives or formulations. All are
+ * expressed as maximization problems.
+ */
+enum class Objective {
+    Throughput,      ///< GFLOP/s = total FLOPs / makespan (paper default)
+    Latency,         ///< 1 / makespan-seconds (minimize completion time)
+    Energy,          ///< 1 / total-Joules (minimize energy)
+    EnergyDelay,     ///< 1 / (Joules x seconds) — inverse EDP
+    PerfPerWatt,     ///< GFLOP/s per Watt of average power
+};
+
+/** Objective name for logs and harnesses. */
+std::string objectiveName(Objective o);
+
+/**
+ * The M3E evaluation phase in one object (Fig. 3): decoder -> BW allocator
+ * -> fitness. Construction runs the pre-process step (Job Analyzer builds
+ * the Job Analysis Table); `fitness` is then a pure table-driven
+ * simulation, cheap enough for 10K-100K-sample searches.
+ *
+ * The default fitness is throughput in GFLOP/s — the paper's objective
+ * everywhere — computed as total group FLOPs / makespan; other Section
+ * IV-C objectives are selected via setObjective().
+ */
+class MappingEvaluator {
+  public:
+    MappingEvaluator(const dnn::JobGroup& group,
+                     const accel::Platform& platform,
+                     const cost::CostModel& model,
+                     BwPolicy policy = BwPolicy::Proportional);
+
+    /** Select the objective `fitness` maximizes (default Throughput). */
+    void setObjective(Objective o) { objective_ = o; }
+    Objective objective() const { return objective_; }
+
+    /** Objective value of an encoded mapping. Counts one sample. */
+    double fitness(const Mapping& m) const;
+
+    /** Full simulation; optionally records the Fig. 15 timeline. */
+    ScheduleResult evaluate(const Mapping& m,
+                            bool record_timeline = false) const;
+
+    const JobAnalysisTable& table() const { return table_; }
+    const dnn::JobGroup& group() const { return *group_; }
+    const accel::Platform& platform() const { return *platform_; }
+    int groupSize() const { return group_->size(); }
+    int numAccels() const { return platform_->numSubAccels(); }
+
+    /** Samples (fitness calls) consumed so far — the search budget meter. */
+    int64_t sampleCount() const { return samples_; }
+    void resetSampleCount() { samples_ = 0; }
+
+    /** Throughput implied by a makespan for this group. */
+    double throughputGflops(double makespan_seconds) const;
+
+    /**
+     * Total energy (Joules) of a mapping: sum of each job's cost-model
+     * energy on its assigned sub-accelerator.
+     */
+    double totalJoules(const Mapping& m) const;
+
+    /** Objective value from a simulated schedule + mapping. */
+    double objectiveValue(const Mapping& m, const ScheduleResult& r) const;
+
+  private:
+    const dnn::JobGroup* group_;
+    const accel::Platform* platform_;
+    JobAnalysisTable table_;
+    BwAllocator allocator_;
+    Objective objective_ = Objective::Throughput;
+    mutable int64_t samples_ = 0;
+};
+
+}  // namespace magma::sched
+
+#endif  // MAGMA_SCHED_EVALUATOR_H_

@@ -1,0 +1,83 @@
+#ifndef MAGMA_SCHED_JOB_ANALYZER_H_
+#define MAGMA_SCHED_JOB_ANALYZER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/platform.h"
+#include "cost/cost_model.h"
+#include "dnn/workload.h"
+
+namespace magma::sched {
+
+/**
+ * One entry of the Job Analysis Table (Section IV-D4): the profile of one
+ * job on one sub-accelerator.
+ */
+struct JobProfile {
+    double noStallSeconds = 0.0;  ///< latency with unlimited memory BW
+    double reqBwGbps = 0.0;       ///< minimum BW to stay compute bound
+    double dramBytes = 0.0;
+    double energyPj = 0.0;
+    int64_t macs = 0;
+};
+
+/**
+ * The Job Analysis Table: per-(job, sub-accelerator) profiles, built once
+ * before the optimization loop so fitness evaluation never re-queries the
+ * cost model (Section IV-D4's "quick look-up table").
+ */
+class JobAnalysisTable {
+  public:
+    JobAnalysisTable() = default;
+    JobAnalysisTable(int jobs, int accels)
+        : accels_(accels), profiles_(static_cast<size_t>(jobs) * accels)
+    {}
+
+    const JobProfile& lookup(int job, int accel) const
+    {
+        return profiles_[static_cast<size_t>(job) * accels_ + accel];
+    }
+
+    JobProfile& at(int job, int accel)
+    {
+        return profiles_[static_cast<size_t>(job) * accels_ + accel];
+    }
+
+    int numAccels() const { return accels_; }
+    int numJobs() const
+    {
+        return accels_ ? static_cast<int>(profiles_.size()) / accels_ : 0;
+    }
+
+  private:
+    int accels_ = 0;
+    std::vector<JobProfile> profiles_;
+};
+
+/**
+ * The Job Analyzer (Section IV-D2): profiles every job of a group on every
+ * sub-accelerator through the cost model. Queries are memoised on
+ * (layer shape, batch, sub-accelerator) because batched-job groups contain
+ * many repeated layers.
+ */
+class JobAnalyzer {
+  public:
+    explicit JobAnalyzer(const cost::CostModel& model) : model_(&model) {}
+
+    /** Build the analysis table for a group on a platform. */
+    JobAnalysisTable analyze(const dnn::JobGroup& group,
+                             const accel::Platform& platform) const;
+
+    /** Number of distinct cost-model queries the last analyze() issued. */
+    int64_t lastUniqueQueries() const { return last_unique_; }
+
+  private:
+    const cost::CostModel* model_;
+    mutable int64_t last_unique_ = 0;
+};
+
+}  // namespace magma::sched
+
+#endif  // MAGMA_SCHED_JOB_ANALYZER_H_

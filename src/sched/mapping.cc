@@ -1,0 +1,69 @@
+#include "sched/mapping.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace magma::sched {
+
+Mapping
+Mapping::random(int group_size, int num_accels, common::Rng& rng)
+{
+    Mapping m;
+    m.accelSel.resize(group_size);
+    m.priority.resize(group_size);
+    for (int i = 0; i < group_size; ++i) {
+        m.accelSel[i] = rng.uniformInt(num_accels);
+        m.priority[i] = rng.uniform();
+    }
+    return m;
+}
+
+std::vector<double>
+Mapping::toFlat(int num_accels) const
+{
+    std::vector<double> flat;
+    flat.reserve(2 * accelSel.size());
+    for (int a : accelSel)
+        flat.push_back((a + 0.5) / num_accels);
+    for (double p : priority)
+        flat.push_back(p);
+    return flat;
+}
+
+Mapping
+Mapping::fromFlat(const std::vector<double>& flat, int num_accels)
+{
+    assert(flat.size() % 2 == 0);
+    int g = static_cast<int>(flat.size() / 2);
+    Mapping m;
+    m.accelSel.resize(g);
+    m.priority.resize(g);
+    for (int i = 0; i < g; ++i) {
+        double v = std::clamp(flat[i], 0.0, std::nextafter(1.0, 0.0));
+        m.accelSel[i] = std::min(static_cast<int>(v * num_accels),
+                                 num_accels - 1);
+        m.priority[i] = std::clamp(flat[g + i], 0.0,
+                                   std::nextafter(1.0, 0.0));
+    }
+    return m;
+}
+
+DecodedMapping
+decode(const Mapping& m, int num_accels)
+{
+    DecodedMapping d;
+    d.queues.assign(num_accels, {});
+    for (int j = 0; j < m.size(); ++j) {
+        assert(m.accelSel[j] >= 0 && m.accelSel[j] < num_accels);
+        d.queues[m.accelSel[j]].push_back(j);
+    }
+    for (auto& q : d.queues) {
+        std::stable_sort(q.begin(), q.end(), [&m](int a, int b) {
+            return m.priority[a] < m.priority[b];
+        });
+    }
+    return d;
+}
+
+}  // namespace magma::sched

@@ -1,0 +1,149 @@
+/** @file Unit tests for the Table III platform factory. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "accel/platform.h"
+
+using namespace magma;
+using accel::Platform;
+using accel::Setting;
+using cost::DataflowStyle;
+
+namespace {
+
+int
+countStyle(const Platform& p, DataflowStyle s, int rows = -1)
+{
+    int n = 0;
+    for (const auto& sub : p.subAccels)
+        if (sub.dataflow == s && (rows < 0 || sub.rows == rows))
+            ++n;
+    return n;
+}
+
+}  // namespace
+
+TEST(Platform, S1SmallHomogeneous)
+{
+    Platform p = accel::makeSetting(Setting::S1, 16.0);
+    EXPECT_EQ(p.numSubAccels(), 4);
+    EXPECT_EQ(countStyle(p, DataflowStyle::HB, 32), 4);
+    for (const auto& s : p.subAccels) {
+        EXPECT_EQ(s.cols, 64);
+        EXPECT_DOUBLE_EQ(s.sgBytes, 146.0 * 1024);
+    }
+    EXPECT_DOUBLE_EQ(p.systemBwGbps, 16.0);
+}
+
+TEST(Platform, S2SmallHeterogeneous)
+{
+    Platform p = accel::makeSetting(Setting::S2, 16.0);
+    EXPECT_EQ(p.numSubAccels(), 4);
+    EXPECT_EQ(countStyle(p, DataflowStyle::HB, 32), 3);
+    EXPECT_EQ(countStyle(p, DataflowStyle::LB, 32), 1);
+    // The LB core carries the 110KB buffer of Table III.
+    for (const auto& s : p.subAccels) {
+        if (s.dataflow == DataflowStyle::LB) {
+            EXPECT_DOUBLE_EQ(s.sgBytes, 110.0 * 1024);
+        }
+    }
+}
+
+TEST(Platform, S3LargeHomogeneous)
+{
+    Platform p = accel::makeSetting(Setting::S3, 256.0);
+    EXPECT_EQ(p.numSubAccels(), 8);
+    EXPECT_EQ(countStyle(p, DataflowStyle::HB, 128), 8);
+    for (const auto& s : p.subAccels)
+        EXPECT_DOUBLE_EQ(s.sgBytes, 580.0 * 1024);
+}
+
+TEST(Platform, S4LargeHeterogeneous)
+{
+    Platform p = accel::makeSetting(Setting::S4, 256.0);
+    EXPECT_EQ(p.numSubAccels(), 8);
+    EXPECT_EQ(countStyle(p, DataflowStyle::HB, 128), 7);
+    EXPECT_EQ(countStyle(p, DataflowStyle::LB, 128), 1);
+}
+
+TEST(Platform, S5BigLittle)
+{
+    Platform p = accel::makeSetting(Setting::S5, 64.0);
+    EXPECT_EQ(p.numSubAccels(), 8);
+    EXPECT_EQ(countStyle(p, DataflowStyle::HB, 128), 3);
+    EXPECT_EQ(countStyle(p, DataflowStyle::LB, 128), 1);
+    EXPECT_EQ(countStyle(p, DataflowStyle::HB, 64), 3);
+    EXPECT_EQ(countStyle(p, DataflowStyle::LB, 64), 1);
+}
+
+TEST(Platform, S6ScaleUp)
+{
+    Platform p = accel::makeSetting(Setting::S6, 256.0);
+    EXPECT_EQ(p.numSubAccels(), 16);
+    EXPECT_EQ(countStyle(p, DataflowStyle::HB, 128), 7);
+    EXPECT_EQ(countStyle(p, DataflowStyle::LB, 128), 1);
+    EXPECT_EQ(countStyle(p, DataflowStyle::HB, 64), 7);
+    EXPECT_EQ(countStyle(p, DataflowStyle::LB, 64), 1);
+}
+
+TEST(Platform, NamesUniquePerInstance)
+{
+    for (Setting s : {Setting::S1, Setting::S2, Setting::S3, Setting::S4,
+                      Setting::S5, Setting::S6}) {
+        Platform p = accel::makeSetting(s, 16.0);
+        std::set<std::string> names;
+        for (const auto& sub : p.subAccels)
+            EXPECT_TRUE(names.insert(sub.name).second)
+                << accel::settingName(s) << " " << sub.name;
+    }
+}
+
+TEST(Platform, PeakGflopsSumsSubAccels)
+{
+    Platform p = accel::makeSetting(Setting::S1, 16.0);
+    // 4 cores x 32x64 PEs x 2 FLOPs x 0.2 GHz.
+    EXPECT_DOUBLE_EQ(p.peakGflops(), 4 * 32 * 64 * 2 * 0.2);
+}
+
+TEST(Platform, LargerSettingsHaveMorePeak)
+{
+    double s1 = accel::makeSetting(Setting::S1, 16).peakGflops();
+    double s3 = accel::makeSetting(Setting::S3, 16).peakGflops();
+    double s5 = accel::makeSetting(Setting::S5, 16).peakGflops();
+    double s6 = accel::makeSetting(Setting::S6, 16).peakGflops();
+    EXPECT_GT(s3, s1);
+    EXPECT_GT(s3, s5);  // BigLittle is a smaller setting than Bigs
+    EXPECT_GT(s6, s3);
+}
+
+TEST(Platform, SettingNames)
+{
+    EXPECT_EQ(accel::settingName(Setting::S1), "S1");
+    EXPECT_EQ(accel::settingName(Setting::S6), "S6");
+}
+
+TEST(Platform, FlexibleVariantFlagsAndBuffers)
+{
+    Platform p = accel::makeFlexibleSetting(Setting::S1, 16.0);
+    EXPECT_EQ(p.numSubAccels(), 4);
+    for (const auto& s : p.subAccels) {
+        EXPECT_TRUE(s.flexibleShape);
+        EXPECT_DOUBLE_EQ(s.sgBytes, 2.0 * 1024 * 1024);
+        EXPECT_DOUBLE_EQ(s.slBytes, 1024.0);
+    }
+    // PE counts preserved.
+    EXPECT_DOUBLE_EQ(p.peakGflops(),
+                     accel::makeSetting(Setting::S1, 16.0).peakGflops());
+}
+
+TEST(Platform, FrequencyAndWidthDefaults)
+{
+    Platform p = accel::makeSetting(Setting::S4, 256.0);
+    for (const auto& s : p.subAccels) {
+        EXPECT_DOUBLE_EQ(s.freqGhz, 0.2);   // 200 MHz (Section VI-A3)
+        EXPECT_DOUBLE_EQ(s.bytesPerElem, 1.0);
+        EXPECT_EQ(s.cols, 64);              // fixed array width
+    }
+}

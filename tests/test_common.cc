@@ -1,0 +1,442 @@
+/** @file Unit tests for src/common: rng, stats, csv, matrix, pca. */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/matrix.h"
+#include "common/pca.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+using namespace magma::common;
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-3.0, 7.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(3);
+    std::set<int> seen;
+    for (int i = 0; i < 1000; ++i) {
+        int v = rng.uniformInt(5);
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+        int v = rng.uniformInt(3, 9);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform() == b.uniform())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, GaussHasRoughlyUnitMoments)
+{
+    Rng rng(5);
+    RunningStat s;
+    for (int i = 0; i < 20000; ++i)
+        s.push(rng.gauss());
+    EXPECT_NEAR(s.mean(), 0.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(6);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, BernoulliDegenerateRates)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, PermutationIsPermutation)
+{
+    Rng rng(8);
+    std::vector<int> p = rng.permutation(50);
+    ASSERT_EQ(p.size(), 50u);
+    std::vector<int> sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(9);
+    std::vector<int> s = rng.sampleWithoutReplacement(20, 10);
+    ASSERT_EQ(s.size(), 10u);
+    std::set<int> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (int v : s) {
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 20);
+    }
+}
+
+TEST(Rng, WeightedChoiceFollowsWeights)
+{
+    Rng rng(10);
+    std::vector<double> w = {0.0, 1.0, 3.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++counts[rng.weightedChoice(w)];
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(counts[2] / static_cast<double>(counts[1]), 3.0, 0.4);
+}
+
+TEST(Rng, WeightedChoiceAllZeroFallsBackUniform)
+{
+    Rng rng(11);
+    std::vector<double> w = {0.0, 0.0, 0.0, 0.0};
+    std::set<int> seen;
+    for (int i = 0; i < 400; ++i)
+        seen.insert(rng.weightedChoice(w));
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+// -------------------------------------------------------------- stats ----
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, GeomeanIsBelowMeanForSpreadData)
+{
+    std::vector<double> xs = {1.0, 100.0};
+    EXPECT_LT(geomean(xs), mean(xs));
+}
+
+TEST(Stats, StddevBasics)
+{
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, -1.0, 2.0}), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, -1.0, 2.0}), 3.0);
+    EXPECT_TRUE(std::isinf(minOf({})));
+    EXPECT_TRUE(std::isinf(maxOf({})));
+}
+
+TEST(Stats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, RunningStatMatchesBatch)
+{
+    std::vector<double> xs = {1.5, -2.0, 3.25, 0.0, 10.0, -7.5};
+    RunningStat s;
+    for (double x : xs)
+        s.push(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), -7.5);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Stats, RunningStatEmpty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+// ---------------------------------------------------------------- csv ----
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    std::string path = "test_csv_out.csv";
+    {
+        CsvWriter w(path, {"a", "b"});
+        ASSERT_TRUE(w.ok());
+        w.row({"1", "x"});
+        w.rowNumeric({2.5, 3.0});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,x");
+    std::getline(in, line);
+    EXPECT_EQ(line, "2.5,3");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, NumFormatsCompactly)
+{
+    EXPECT_EQ(CsvWriter::num(2.0), "2");
+    EXPECT_EQ(CsvWriter::num(0.5), "0.5");
+}
+
+// ------------------------------------------------------------- matrix ----
+
+TEST(Matrix, IdentityMultiplyIsNoop)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(0, 1) = 2.0;
+    a.at(1, 0) = 3.0;
+    a.at(1, 1) = 4.0;
+    Matrix r = a.multiply(Matrix::identity(2));
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t j = 0; j < 2; ++j)
+            EXPECT_DOUBLE_EQ(r.at(i, j), a.at(i, j));
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a(2, 3), b(3, 2);
+    int v = 1;
+    for (size_t i = 0; i < 2; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            a.at(i, j) = v++;
+    v = 1;
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 2; ++j)
+            b.at(i, j) = v++;
+    Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 22.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 28.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 49.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 64.0);
+}
+
+TEST(Matrix, MatVec)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1.0;
+    a.at(0, 1) = -1.0;
+    a.at(1, 0) = 2.0;
+    a.at(1, 1) = 0.5;
+    std::vector<double> y = a.multiply(std::vector<double>{2.0, 4.0});
+    EXPECT_DOUBLE_EQ(y[0], -2.0);
+    EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Rng rng(12);
+    Matrix a(3, 5);
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 5; ++j)
+            a.at(i, j) = rng.gauss();
+    Matrix att = a.transposed().transposed();
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 5; ++j)
+            EXPECT_DOUBLE_EQ(att.at(i, j), a.at(i, j));
+}
+
+TEST(Matrix, ScaleAndAddScaled)
+{
+    Matrix a(1, 2, 2.0), b(1, 2, 3.0);
+    a.scale(2.0);
+    a.addScaled(b, -1.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+}
+
+TEST(Jacobi, DiagonalMatrixEigen)
+{
+    Matrix a(3, 3, 0.0);
+    a.at(0, 0) = 3.0;
+    a.at(1, 1) = 1.0;
+    a.at(2, 2) = 2.0;
+    EigenSym e = jacobiEigenSym(a);
+    EXPECT_NEAR(e.eigenvalues[0], 3.0, 1e-10);
+    EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-10);
+    EXPECT_NEAR(e.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(Jacobi, KnownSymmetricMatrix)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix a(2, 2);
+    a.at(0, 0) = 2.0;
+    a.at(0, 1) = 1.0;
+    a.at(1, 0) = 1.0;
+    a.at(1, 1) = 2.0;
+    EigenSym e = jacobiEigenSym(a);
+    EXPECT_NEAR(e.eigenvalues[0], 3.0, 1e-10);
+    EXPECT_NEAR(e.eigenvalues[1], 1.0, 1e-10);
+    // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+    double v0 = e.eigenvectors.at(0, 0);
+    double v1 = e.eigenvectors.at(1, 0);
+    EXPECT_NEAR(std::abs(v0), 1.0 / std::sqrt(2.0), 1e-8);
+    EXPECT_NEAR(v0, v1, 1e-8);
+}
+
+TEST(Jacobi, ReconstructsRandomSymmetricMatrix)
+{
+    Rng rng(13);
+    const size_t n = 8;
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i; j < n; ++j) {
+            a.at(i, j) = rng.gauss();
+            a.at(j, i) = a.at(i, j);
+        }
+    EigenSym e = jacobiEigenSym(a);
+    // A == V diag(l) V^T
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (size_t k = 0; k < n; ++k)
+                acc += e.eigenvectors.at(i, k) * e.eigenvalues[k] *
+                       e.eigenvectors.at(j, k);
+            EXPECT_NEAR(acc, a.at(i, j), 1e-8);
+        }
+    }
+}
+
+TEST(Jacobi, EigenvectorsOrthonormal)
+{
+    Rng rng(14);
+    const size_t n = 6;
+    Matrix a(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = i; j < n; ++j) {
+            a.at(i, j) = rng.uniform();
+            a.at(j, i) = a.at(i, j);
+        }
+    EigenSym e = jacobiEigenSym(a);
+    for (size_t c1 = 0; c1 < n; ++c1)
+        for (size_t c2 = 0; c2 < n; ++c2) {
+            double dot = 0.0;
+            for (size_t i = 0; i < n; ++i)
+                dot += e.eigenvectors.at(i, c1) * e.eigenvectors.at(i, c2);
+            EXPECT_NEAR(dot, c1 == c2 ? 1.0 : 0.0, 1e-8);
+        }
+}
+
+// ---------------------------------------------------------------- pca ----
+
+TEST(Pca, RecoversDominantDirection)
+{
+    // Points spread along (1,1)/sqrt(2) with small noise orthogonally.
+    Rng rng(15);
+    std::vector<std::vector<double>> xs;
+    for (int i = 0; i < 500; ++i) {
+        double t = rng.gauss() * 10.0;
+        double n = rng.gauss() * 0.1;
+        xs.push_back({t + n, t - n});
+    }
+    Pca pca;
+    pca.fit(xs, 2);
+    EXPECT_GT(pca.explainedVarianceRatio()[0], 0.99);
+    // First component aligned with (1,1)/sqrt(2): transformed coordinate of
+    // (1,1) has magnitude ~sqrt(2), second ~0.
+    std::vector<double> p = pca.transform({1.0, 1.0});
+    std::vector<double> q = pca.transform({0.0, 0.0});
+    EXPECT_NEAR(std::abs(p[0] - q[0]), std::sqrt(2.0), 1e-2);
+    EXPECT_NEAR(std::abs(p[1] - q[1]), 0.0, 5e-2);
+}
+
+TEST(Pca, TransformBatchMatchesSingle)
+{
+    Rng rng(16);
+    std::vector<std::vector<double>> xs;
+    for (int i = 0; i < 50; ++i)
+        xs.push_back({rng.gauss(), rng.gauss(), rng.gauss()});
+    Pca pca;
+    pca.fit(xs, 2);
+    auto batch = pca.transform(xs);
+    for (size_t i = 0; i < xs.size(); ++i) {
+        auto single = pca.transform(xs[i]);
+        EXPECT_DOUBLE_EQ(batch[i][0], single[0]);
+        EXPECT_DOUBLE_EQ(batch[i][1], single[1]);
+    }
+}
+
+TEST(Pca, ExplainedVarianceSumsToAtMostOne)
+{
+    Rng rng(17);
+    std::vector<std::vector<double>> xs;
+    for (int i = 0; i < 100; ++i)
+        xs.push_back({rng.gauss(), 2.0 * rng.gauss(), 0.5 * rng.gauss(),
+                      rng.gauss()});
+    Pca pca;
+    pca.fit(xs, 3);
+    double sum = 0.0;
+    for (double r : pca.explainedVarianceRatio()) {
+        EXPECT_GE(r, 0.0);
+        sum += r;
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9);
+}

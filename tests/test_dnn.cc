@@ -1,0 +1,316 @@
+/** @file Unit tests for src/dnn: layer IR, model zoo, workload generator. */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dnn/layer.h"
+#include "dnn/model_zoo.h"
+#include "dnn/workload.h"
+
+using namespace magma::dnn;
+
+// -------------------------------------------------------------- layer ----
+
+TEST(Layer, ConvMacsAndElems)
+{
+    LayerShape l = conv(64, 32, 16, 16, 3, 3, 1);
+    EXPECT_EQ(l.macsPerSample(), 64LL * 32 * 16 * 16 * 9);
+    EXPECT_EQ(l.weightElems(), 64LL * 32 * 9);
+    EXPECT_EQ(l.inY(), 18);
+    EXPECT_EQ(l.inX(), 18);
+    EXPECT_EQ(l.inputElemsPerSample(), 32LL * 18 * 18);
+    EXPECT_EQ(l.outputElemsPerSample(), 64LL * 16 * 16);
+}
+
+TEST(Layer, StridedConvInputExtent)
+{
+    LayerShape l = conv(8, 8, 112, 112, 7, 7, 2);
+    EXPECT_EQ(l.inY(), 111 * 2 + 7);
+    EXPECT_EQ(l.inX(), 111 * 2 + 7);
+}
+
+TEST(Layer, DepthwiseMacsExcludeChannelProduct)
+{
+    LayerShape l = depthwise(128, 14, 14, 3, 3, 1);
+    EXPECT_EQ(l.k, l.c);
+    EXPECT_EQ(l.macsPerSample(), 128LL * 14 * 14 * 9);
+    EXPECT_EQ(l.weightElems(), 128LL * 9);
+    EXPECT_EQ(l.outputElemsPerSample(), 128LL * 14 * 14);
+}
+
+TEST(Layer, PointwiseIsOneByOne)
+{
+    LayerShape l = pointwise(256, 64, 28, 28);
+    EXPECT_EQ(l.r, 1);
+    EXPECT_EQ(l.s, 1);
+    EXPECT_EQ(l.macsPerSample(), 256LL * 64 * 28 * 28);
+    EXPECT_EQ(l.inY(), 28);
+}
+
+TEST(Layer, FullyConnectedShape)
+{
+    LayerShape l = fc(1000, 2048);
+    EXPECT_EQ(l.type, LayerType::FullyConnected);
+    EXPECT_EQ(l.macsPerSample(), 1000LL * 2048);
+    EXPECT_EQ(l.weightElems(), 1000LL * 2048);
+    EXPECT_EQ(l.inputElemsPerSample(), 2048);
+    EXPECT_EQ(l.outputElemsPerSample(), 1000);
+}
+
+TEST(Layer, TypeNames)
+{
+    EXPECT_EQ(layerTypeName(LayerType::Conv2d), "CONV");
+    EXPECT_EQ(layerTypeName(LayerType::DepthwiseConv2d), "DWCONV");
+    EXPECT_EQ(layerTypeName(LayerType::PointwiseConv2d), "PWCONV");
+    EXPECT_EQ(layerTypeName(LayerType::FullyConnected), "FC");
+}
+
+TEST(Layer, ToStringContainsDims)
+{
+    std::string s = conv(64, 32, 16, 8, 3, 5, 2).toString();
+    EXPECT_NE(s.find("k64"), std::string::npos);
+    EXPECT_NE(s.find("c32"), std::string::npos);
+    EXPECT_NE(s.find("y16"), std::string::npos);
+    EXPECT_NE(s.find("x8"), std::string::npos);
+    EXPECT_NE(s.find("r3"), std::string::npos);
+    EXPECT_NE(s.find("s5"), std::string::npos);
+    EXPECT_NE(s.find("/2"), std::string::npos);
+}
+
+TEST(Layer, EqualityIsStructural)
+{
+    EXPECT_EQ(fc(10, 20), fc(10, 20));
+    EXPECT_NE(fc(10, 20), fc(20, 10));
+    EXPECT_NE(conv(8, 8, 4, 4, 3, 3), pointwise(8, 8, 4, 4));
+}
+
+// ---------------------------------------------------------- model zoo ----
+
+TEST(ModelZoo, CategoryCountsMatchPaperCollection)
+{
+    EXPECT_EQ(visionModels().size(), 7u);
+    EXPECT_EQ(languageModels().size(), 6u);
+    EXPECT_EQ(recomModels().size(), 5u);
+    EXPECT_EQ(allModels().size(), 18u);
+}
+
+TEST(ModelZoo, AllModelsNonEmptyAndTagged)
+{
+    for (const auto& m : allModels()) {
+        EXPECT_FALSE(m.layers.empty()) << m.name;
+        EXPECT_FALSE(m.name.empty());
+        EXPECT_GT(m.macsPerSample(), 0) << m.name;
+    }
+}
+
+TEST(ModelZoo, NamesUnique)
+{
+    std::set<std::string> names;
+    for (const auto& m : allModels())
+        EXPECT_TRUE(names.insert(m.name).second) << "dup " << m.name;
+}
+
+TEST(ModelZoo, FindModelRoundTrip)
+{
+    for (const auto& m : allModels())
+        EXPECT_EQ(findModel(m.name).name, m.name);
+    EXPECT_THROW(findModel("NoSuchNet"), std::out_of_range);
+}
+
+TEST(ModelZoo, VisionModelsAreConvDominated)
+{
+    for (const auto& m : visionModels()) {
+        int64_t conv_macs = 0, total = 0;
+        for (const auto& l : m.layers) {
+            int64_t macs = l.macsPerSample();
+            total += macs;
+            if (l.type != LayerType::FullyConnected)
+                conv_macs += macs;
+        }
+        EXPECT_GT(conv_macs, total / 2) << m.name;
+    }
+}
+
+TEST(ModelZoo, LanguageAndRecomModelsAreAllFc)
+{
+    for (const auto& m : languageModels())
+        for (const auto& l : m.layers)
+            EXPECT_EQ(l.type, LayerType::FullyConnected) << m.name;
+    for (const auto& m : recomModels())
+        for (const auto& l : m.layers)
+            EXPECT_EQ(l.type, LayerType::FullyConnected) << m.name;
+}
+
+TEST(ModelZoo, DepthwiseLayersWellFormed)
+{
+    for (const auto& m : allModels()) {
+        for (const auto& l : m.layers) {
+            if (l.type == LayerType::DepthwiseConv2d) {
+                EXPECT_EQ(l.k, l.c) << m.name;
+            }
+        }
+    }
+}
+
+TEST(ModelZoo, KnownMacCounts)
+{
+    // ResNet-50 ~4.1 GMACs, VGG16 ~15.5 GMACs, MobileNetV2 ~0.3 GMACs
+    // per 224x224 sample (published figures; ours include shortcut convs).
+    double resnet = findModel("Resnet50").macsPerSample() / 1e9;
+    double vgg = findModel("VGG16").macsPerSample() / 1e9;
+    double mbv2 = findModel("MobileNetv2").macsPerSample() / 1e9;
+    EXPECT_NEAR(resnet, 4.1, 1.0);
+    EXPECT_NEAR(vgg, 15.5, 1.5);
+    EXPECT_NEAR(mbv2, 0.32, 0.15);
+    EXPECT_GT(vgg, resnet);
+    EXPECT_GT(resnet, mbv2);
+}
+
+TEST(ModelZoo, TransformerLayerStructure)
+{
+    const Model& gpt2 = findModel("GPT2");
+    // 12 layers x 8 FC jobs each.
+    EXPECT_EQ(gpt2.layers.size(), 96u);
+    // Q projection is hidden x hidden.
+    EXPECT_EQ(gpt2.layers[0].k, 768);
+    EXPECT_EQ(gpt2.layers[0].c, 768);
+    // Attention-score job carries the sequence length.
+    EXPECT_EQ(gpt2.layers[3].k, 1024);
+    // FFN up-projection is 4x hidden.
+    EXPECT_EQ(gpt2.layers[6].k, 3072);
+}
+
+TEST(ModelZoo, TaskFiltering)
+{
+    for (const auto& m : modelsForTask(TaskType::Vision))
+        EXPECT_EQ(m.task, TaskType::Vision);
+    for (const auto& m : modelsForTask(TaskType::Language))
+        EXPECT_EQ(m.task, TaskType::Language);
+    for (const auto& m : modelsForTask(TaskType::Recommendation))
+        EXPECT_EQ(m.task, TaskType::Recommendation);
+    EXPECT_EQ(modelsForTask(TaskType::Mix).size(), allModels().size());
+}
+
+TEST(ModelZoo, TaskNames)
+{
+    EXPECT_EQ(taskTypeName(TaskType::Vision), "Vision");
+    EXPECT_EQ(taskTypeName(TaskType::Language), "Lang");
+    EXPECT_EQ(taskTypeName(TaskType::Recommendation), "Recom");
+    EXPECT_EQ(taskTypeName(TaskType::Mix), "Mix");
+}
+
+// ----------------------------------------------------------- workload ----
+
+TEST(Workload, GroupHasRequestedSize)
+{
+    WorkloadGenerator gen(1);
+    for (int size : {1, 4, 40, 100})
+        EXPECT_EQ(gen.makeGroup(TaskType::Mix, size).size(), size);
+}
+
+TEST(Workload, DeterministicGivenSeed)
+{
+    WorkloadGenerator g1(7), g2(7);
+    JobGroup a = g1.makeGroup(TaskType::Mix, 30);
+    JobGroup b = g2.makeGroup(TaskType::Mix, 30);
+    ASSERT_EQ(a.size(), b.size());
+    for (int i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.jobs[i].layer, b.jobs[i].layer);
+        EXPECT_EQ(a.jobs[i].model, b.jobs[i].model);
+    }
+}
+
+TEST(Workload, DifferentSeedsDiffer)
+{
+    WorkloadGenerator g1(1), g2(2);
+    JobGroup a = g1.makeGroup(TaskType::Mix, 30);
+    JobGroup b = g2.makeGroup(TaskType::Mix, 30);
+    int same = 0;
+    for (int i = 0; i < a.size(); ++i)
+        if (a.jobs[i].layer == b.jobs[i].layer)
+            ++same;
+    EXPECT_LT(same, a.size());
+}
+
+TEST(Workload, TaskPurity)
+{
+    WorkloadGenerator gen(3);
+    for (TaskType t : {TaskType::Vision, TaskType::Language,
+                       TaskType::Recommendation}) {
+        JobGroup g = gen.makeGroup(t, 50);
+        for (const auto& j : g.jobs)
+            EXPECT_EQ(j.task, t);
+    }
+}
+
+TEST(Workload, MixEventuallyContainsAllCategories)
+{
+    WorkloadGenerator gen(4);
+    JobGroup g = gen.makeGroup(TaskType::Mix, 200);
+    std::set<TaskType> seen;
+    for (const auto& j : g.jobs)
+        seen.insert(j.task);
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Workload, BatchesFollowTaskDefaults)
+{
+    WorkloadGenerator gen(5);
+    JobGroup g = gen.makeGroup(TaskType::Mix, 100);
+    for (const auto& j : g.jobs)
+        EXPECT_EQ(j.batch, defaultBatch(j.task));
+    EXPECT_EQ(defaultBatch(TaskType::Language), 128);
+    EXPECT_EQ(defaultBatch(TaskType::Vision), 4);
+}
+
+TEST(Workload, JobIdsSequential)
+{
+    WorkloadGenerator gen(6);
+    JobGroup g = gen.makeGroup(TaskType::Vision, 25);
+    for (int i = 0; i < g.size(); ++i)
+        EXPECT_EQ(g.jobs[i].id, i);
+}
+
+TEST(Workload, TotalsArePositiveAndAdditive)
+{
+    WorkloadGenerator gen(7);
+    JobGroup g = gen.makeGroup(TaskType::Mix, 20);
+    int64_t sum = 0;
+    for (const auto& j : g.jobs) {
+        EXPECT_GT(j.macs(), 0);
+        EXPECT_EQ(j.flops(), 2 * j.macs());
+        sum += j.macs();
+    }
+    EXPECT_EQ(g.totalMacs(), sum);
+    EXPECT_EQ(g.totalFlops(), 2 * sum);
+}
+
+TEST(Workload, MakeGroupsProducesIndependentDraws)
+{
+    WorkloadGenerator gen(8);
+    auto groups = gen.makeGroups(TaskType::Mix, 30, 5);
+    ASSERT_EQ(groups.size(), 5u);
+    // At least two of the five groups must differ (overwhelmingly likely).
+    bool any_diff = false;
+    for (int i = 0; i < 30 && !any_diff; ++i)
+        if (!(groups[0].jobs[i].layer == groups[1].jobs[i].layer))
+            any_diff = true;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Workload, JobsReferenceRealZooLayers)
+{
+    WorkloadGenerator gen(9);
+    JobGroup g = gen.makeGroup(TaskType::Mix, 60);
+    for (const auto& j : g.jobs) {
+        const Model& m = findModel(j.model);
+        bool found = false;
+        for (const auto& l : m.layers)
+            if (l == j.layer) {
+                found = true;
+                break;
+            }
+        EXPECT_TRUE(found) << j.model << " " << j.layer.toString();
+    }
+}

@@ -1,0 +1,133 @@
+/** @file Tests for the Section IV-C objective options of the evaluator. */
+
+#include <gtest/gtest.h>
+
+#include "m3e/problem.h"
+#include "opt/magma_ga.h"
+
+using namespace magma;
+using sched::Mapping;
+using sched::Objective;
+
+namespace {
+
+std::unique_ptr<m3e::Problem>
+problem(uint64_t seed = 3)
+{
+    return m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2, 8.0, 20,
+                            seed);
+}
+
+}  // namespace
+
+TEST(Objectives, Names)
+{
+    EXPECT_EQ(sched::objectiveName(Objective::Throughput), "throughput");
+    EXPECT_EQ(sched::objectiveName(Objective::Latency), "latency");
+    EXPECT_EQ(sched::objectiveName(Objective::Energy), "energy");
+    EXPECT_EQ(sched::objectiveName(Objective::EnergyDelay),
+              "energy-delay-product");
+    EXPECT_EQ(sched::objectiveName(Objective::PerfPerWatt),
+              "performance-per-watt");
+}
+
+TEST(Objectives, DefaultIsThroughput)
+{
+    auto p = problem();
+    EXPECT_EQ(p->evaluator().objective(), Objective::Throughput);
+}
+
+TEST(Objectives, ThroughputAndLatencyAgreeOnOrdering)
+{
+    // For a fixed group, throughput = totalFlops/makespan is a monotone
+    // transform of 1/makespan, so the two objectives rank any two
+    // mappings identically.
+    auto p = problem();
+    auto& eval = p->evaluator();
+    common::Rng rng(1);
+    Mapping a = Mapping::random(20, eval.numAccels(), rng);
+    Mapping b = Mapping::random(20, eval.numAccels(), rng);
+    eval.setObjective(Objective::Throughput);
+    double ta = eval.fitness(a), tb = eval.fitness(b);
+    eval.setObjective(Objective::Latency);
+    double la = eval.fitness(a), lb = eval.fitness(b);
+    EXPECT_EQ(ta > tb, la > lb);
+}
+
+TEST(Objectives, EnergyCountsAssignedCores)
+{
+    auto p = problem();
+    auto& eval = p->evaluator();
+    common::Rng rng(2);
+    Mapping m = Mapping::random(20, eval.numAccels(), rng);
+    double joules = eval.totalJoules(m);
+    EXPECT_GT(joules, 0.0);
+    double sum_pj = 0.0;
+    for (int j = 0; j < 20; ++j)
+        sum_pj += eval.table().lookup(j, m.accelSel[j]).energyPj;
+    EXPECT_NEAR(joules, sum_pj * 1e-12, sum_pj * 1e-24);
+}
+
+TEST(Objectives, AllObjectivesFiniteAndPositive)
+{
+    auto p = problem();
+    auto& eval = p->evaluator();
+    common::Rng rng(3);
+    Mapping m = Mapping::random(20, eval.numAccels(), rng);
+    for (Objective o : {Objective::Throughput, Objective::Latency,
+                        Objective::Energy, Objective::EnergyDelay,
+                        Objective::PerfPerWatt}) {
+        eval.setObjective(o);
+        double f = eval.fitness(m);
+        EXPECT_TRUE(std::isfinite(f)) << sched::objectiveName(o);
+        EXPECT_GT(f, 0.0) << sched::objectiveName(o);
+    }
+}
+
+TEST(Objectives, EdpCombinesEnergyAndDelay)
+{
+    auto p = problem();
+    auto& eval = p->evaluator();
+    common::Rng rng(4);
+    Mapping m = Mapping::random(20, eval.numAccels(), rng);
+    sched::ScheduleResult r = eval.evaluate(m);
+    eval.setObjective(Objective::EnergyDelay);
+    double edp = eval.fitness(m);
+    EXPECT_NEAR(edp,
+                1.0 / (eval.totalJoules(m) * r.makespanSeconds),
+                edp * 1e-9);
+}
+
+TEST(Objectives, SearchUnderEnergyPrefersLowEnergyMappings)
+{
+    // MAGMA optimizing the energy objective should find a mapping with no
+    // more energy than the best throughput-optimized mapping it finds.
+    auto p = problem(9);
+    auto& eval = p->evaluator();
+    opt::SearchOptions opts;
+    opts.sampleBudget = 600;
+
+    eval.setObjective(Objective::Throughput);
+    opt::MagmaGa m1(1);
+    sched::Mapping best_tp = m1.search(eval, opts).best;
+
+    eval.setObjective(Objective::Energy);
+    opt::MagmaGa m2(1);
+    sched::Mapping best_en = m2.search(eval, opts).best;
+
+    EXPECT_LE(eval.totalJoules(best_en),
+              eval.totalJoules(best_tp) * 1.0001);
+}
+
+TEST(Objectives, PerfPerWattConsistency)
+{
+    auto p = problem();
+    auto& eval = p->evaluator();
+    common::Rng rng(5);
+    Mapping m = Mapping::random(20, eval.numAccels(), rng);
+    sched::ScheduleResult r = eval.evaluate(m);
+    double gflops = eval.throughputGflops(r.makespanSeconds);
+    double watts = eval.totalJoules(m) / r.makespanSeconds;
+    eval.setObjective(Objective::PerfPerWatt);
+    EXPECT_NEAR(eval.fitness(m), gflops / watts, gflops / watts * 1e-9);
+}

@@ -1,0 +1,501 @@
+/** @file Unit tests for the black-box optimizers and MAGMA's operators. */
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "m3e/factory.h"
+#include "m3e/problem.h"
+#include "opt/cma_es.h"
+#include "opt/de.h"
+#include "opt/magma_ga.h"
+#include "opt/pso.h"
+#include "opt/random_search.h"
+#include "opt/std_ga.h"
+#include "opt/tbpsa.h"
+#include "opt/warm_start.h"
+
+using namespace magma;
+using opt::SearchOptions;
+using opt::SearchResult;
+using sched::Mapping;
+
+namespace {
+
+std::unique_ptr<m3e::Problem>
+smallProblem(uint64_t seed = 11)
+{
+    return m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2, 4.0, 16,
+                            seed);
+}
+
+}  // namespace
+
+// ------------------------------------------------------ SearchRecorder ---
+
+TEST(SearchRecorder, EnforcesBudgetAndTracksBest)
+{
+    auto p = smallProblem();
+    SearchOptions opts;
+    opts.sampleBudget = 7;
+    opt::SearchRecorder rec(p->evaluator(), opts);
+    common::Rng rng(1);
+    double best = -1e300;
+    for (int i = 0; i < 7; ++i) {
+        EXPECT_FALSE(rec.exhausted());
+        double f = rec.evaluate(
+            Mapping::random(16, p->evaluator().numAccels(), rng));
+        best = std::max(best, f);
+    }
+    EXPECT_TRUE(rec.exhausted());
+    EXPECT_DOUBLE_EQ(rec.bestFitness(), best);
+    SearchResult r = rec.finish();
+    EXPECT_EQ(r.samplesUsed, 7);
+    EXPECT_DOUBLE_EQ(r.bestFitness, best);
+}
+
+TEST(SearchRecorder, ConvergenceCurveMonotone)
+{
+    auto p = smallProblem();
+    SearchOptions opts;
+    opts.sampleBudget = 50;
+    opts.recordConvergence = true;
+    opt::RandomSearch rs(3);
+    SearchResult r = rs.search(p->evaluator(), opts);
+    ASSERT_EQ(r.convergence.size(), 50u);
+    for (size_t i = 1; i < r.convergence.size(); ++i)
+        EXPECT_GE(r.convergence[i], r.convergence[i - 1]);
+    EXPECT_DOUBLE_EQ(r.convergence.back(), r.bestFitness);
+}
+
+TEST(SearchRecorder, RecordsSamplesWhenAsked)
+{
+    auto p = smallProblem();
+    SearchOptions opts;
+    opts.sampleBudget = 20;
+    opts.recordSamples = true;
+    opt::RandomSearch rs(4);
+    SearchResult r = rs.search(p->evaluator(), opts);
+    EXPECT_EQ(r.sampled.size(), 20u);
+    EXPECT_EQ(r.sampledFitness.size(), 20u);
+}
+
+// ------------------------------------------------------ budget respect ---
+
+class BudgetSweep : public ::testing::TestWithParam<m3e::Method> {};
+
+TEST_P(BudgetSweep, EveryMethodRespectsBudget)
+{
+    auto p = smallProblem();
+    p->evaluator().resetSampleCount();
+    auto optimizer = m3e::makeOptimizer(GetParam(), 5);
+    SearchOptions opts;
+    opts.sampleBudget = 120;
+    SearchResult r = optimizer->search(p->evaluator(), opts);
+    EXPECT_LE(r.samplesUsed, 120);
+    EXPECT_GT(r.samplesUsed, 0);
+    EXPECT_EQ(p->evaluator().sampleCount(), r.samplesUsed);
+    EXPECT_GT(r.bestFitness, 0.0);
+    EXPECT_EQ(r.best.size(), 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, BudgetSweep,
+    ::testing::Values(m3e::Method::HeraldLike, m3e::Method::AiMtLike,
+                      m3e::Method::Pso, m3e::Method::Cma, m3e::Method::De,
+                      m3e::Method::Tbpsa, m3e::Method::StdGa,
+                      m3e::Method::Magma, m3e::Method::Random),
+    [](const auto& info) {
+        std::string n = m3e::methodName(info.param);
+        for (char& c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+class SeedDeterminism : public ::testing::TestWithParam<m3e::Method> {};
+
+TEST_P(SeedDeterminism, SameSeedSameResult)
+{
+    auto p = smallProblem();
+    SearchOptions opts;
+    opts.sampleBudget = 150;
+    auto o1 = m3e::makeOptimizer(GetParam(), 99);
+    auto o2 = m3e::makeOptimizer(GetParam(), 99);
+    SearchResult r1 = o1->search(p->evaluator(), opts);
+    SearchResult r2 = o2->search(p->evaluator(), opts);
+    EXPECT_DOUBLE_EQ(r1.bestFitness, r2.bestFitness);
+    EXPECT_EQ(r1.best, r2.best);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, SeedDeterminism,
+    ::testing::Values(m3e::Method::Pso, m3e::Method::Cma, m3e::Method::De,
+                      m3e::Method::Tbpsa, m3e::Method::StdGa,
+                      m3e::Method::Magma, m3e::Method::Random),
+    [](const auto& info) {
+        std::string n = m3e::methodName(info.param);
+        for (char& c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+// --------------------------------------------- search quality (smoke) ----
+
+class BeatsEarlyRandom : public ::testing::TestWithParam<m3e::Method> {};
+
+TEST_P(BeatsEarlyRandom, SearchImprovesOverFirstSamples)
+{
+    auto p = smallProblem(21);
+    SearchOptions opts;
+    opts.sampleBudget = 600;
+    opts.recordConvergence = true;
+    auto optimizer = m3e::makeOptimizer(GetParam(), 13);
+    SearchResult r = optimizer->search(p->evaluator(), opts);
+    // The incumbent after the full budget must beat the best of the first
+    // 20 samples (i.e. the method actually searches).
+    double early = r.convergence[19];
+    EXPECT_GT(r.bestFitness, early * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Searchers, BeatsEarlyRandom,
+    ::testing::Values(m3e::Method::De, m3e::Method::StdGa,
+                      m3e::Method::Magma, m3e::Method::Tbpsa),
+    [](const auto& info) {
+        std::string n = m3e::methodName(info.param);
+        for (char& c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+TEST(MagmaQuality, BeatsRandomSearchOnMixS2)
+{
+    auto p = smallProblem(31);
+    SearchOptions opts;
+    opts.sampleBudget = 800;
+    opt::MagmaGa magma_ga(7);
+    opt::RandomSearch random(7);
+    double fm = magma_ga.search(p->evaluator(), opts).bestFitness;
+    double fr = random.search(p->evaluator(), opts).bestFitness;
+    EXPECT_GE(fm, fr);
+}
+
+// --------------------------------------------------- MAGMA's operators ---
+
+TEST(MagmaOperators, CrossoverGenTouchesExactlyOneGenome)
+{
+    common::Rng rng(41);
+    for (int trial = 0; trial < 50; ++trial) {
+        Mapping a = Mapping::random(20, 4, rng);
+        Mapping b = Mapping::random(20, 4, rng);
+        Mapping a0 = a, b0 = b;
+        opt::MagmaGa::crossoverGen(a, b, rng);
+        bool accel_changed = a.accelSel != a0.accelSel ||
+                             b.accelSel != b0.accelSel;
+        bool prio_changed = a.priority != a0.priority ||
+                            b.priority != b0.priority;
+        // One genome may change; never both (genome-wise perturbation).
+        EXPECT_FALSE(accel_changed && prio_changed);
+        // Swapped tails preserve the multiset of genes.
+        for (int i = 0; i < 20; ++i) {
+            EXPECT_TRUE((a.accelSel[i] == a0.accelSel[i] &&
+                         b.accelSel[i] == b0.accelSel[i]) ||
+                        (a.accelSel[i] == b0.accelSel[i] &&
+                         b.accelSel[i] == a0.accelSel[i]));
+        }
+    }
+}
+
+TEST(MagmaOperators, CrossoverRgSwapsContiguousRangeInBothGenomes)
+{
+    common::Rng rng(42);
+    for (int trial = 0; trial < 50; ++trial) {
+        Mapping a = Mapping::random(15, 3, rng);
+        Mapping b = Mapping::random(15, 3, rng);
+        Mapping a0 = a, b0 = b;
+        opt::MagmaGa::crossoverRg(a, b, rng);
+        // Each position is either fully swapped (both genomes) or fully
+        // untouched — the per-job cross-genome dependency is preserved.
+        bool in_range = false, left_range = false;
+        for (int i = 0; i < 15; ++i) {
+            bool swapped = a.accelSel[i] == b0.accelSel[i] &&
+                           b.accelSel[i] == a0.accelSel[i] &&
+                           a.priority[i] == b0.priority[i] &&
+                           b.priority[i] == a0.priority[i];
+            bool untouched = a.accelSel[i] == a0.accelSel[i] &&
+                             b.accelSel[i] == b0.accelSel[i] &&
+                             a.priority[i] == a0.priority[i] &&
+                             b.priority[i] == b0.priority[i];
+            EXPECT_TRUE(swapped || untouched) << i;
+            // Range contiguity: untouched -> swapped -> untouched.
+            if (swapped && !in_range) {
+                EXPECT_FALSE(left_range);
+                in_range = true;
+            }
+            if (!swapped && in_range) {
+                in_range = false;
+                left_range = true;
+            }
+        }
+    }
+}
+
+TEST(MagmaOperators, CrossoverAccelTransplantsDonorJobSet)
+{
+    common::Rng rng(43);
+    for (int trial = 0; trial < 50; ++trial) {
+        Mapping child = Mapping::random(20, 4, rng);
+        Mapping donor = Mapping::random(20, 4, rng);
+        Mapping child0 = child;
+        common::Rng op_rng(trial);
+        opt::MagmaGa::crossoverAccel(child, donor, 4, op_rng);
+        // Identify the transplanted accelerator: every job the donor put
+        // there must now be there in the child with the donor's priority.
+        // (We can't know which accel was drawn, so check that SOME accel
+        // satisfies the property.)
+        bool some_accel_ok = false;
+        for (int a = 0; a < 4; ++a) {
+            bool ok = true;
+            for (int j = 0; j < 20; ++j) {
+                if (donor.accelSel[j] == a &&
+                    (child.accelSel[j] != a ||
+                     child.priority[j] != donor.priority[j]))
+                    ok = false;
+            }
+            if (ok)
+                some_accel_ok = true;
+        }
+        EXPECT_TRUE(some_accel_ok);
+        (void)child0;
+    }
+}
+
+TEST(MagmaOperators, MutateRateZeroIsIdentity)
+{
+    common::Rng rng(44);
+    Mapping m = Mapping::random(25, 4, rng);
+    Mapping m0 = m;
+    opt::MagmaGa::mutate(m, 0.0, 4, rng);
+    EXPECT_EQ(m, m0);
+}
+
+TEST(MagmaOperators, MutateRateOneChangesGenesWithinBounds)
+{
+    common::Rng rng(45);
+    Mapping m = Mapping::random(100, 4, rng);
+    Mapping m0 = m;
+    opt::MagmaGa::mutate(m, 1.0, 4, rng);
+    int changed = 0;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_GE(m.accelSel[i], 0);
+        EXPECT_LT(m.accelSel[i], 4);
+        if (m.accelSel[i] != m0.accelSel[i] ||
+            m.priority[i] != m0.priority[i])
+            ++changed;
+    }
+    EXPECT_GT(changed, 80);  // rate-1 mutation rewrites nearly everything
+}
+
+TEST(MagmaOperators, AblationSwitchesDisableCrossovers)
+{
+    // With all crossovers off, MAGMA degenerates to mutation-only GA and
+    // must still run and respect the budget (the Fig. 16 ablation mode).
+    auto p = smallProblem(51);
+    opt::MagmaConfig cfg;
+    cfg.enableCrossoverGen = false;
+    cfg.enableCrossoverRg = false;
+    cfg.enableCrossoverAccel = false;
+    opt::MagmaGa mut_only(3, cfg);
+    SearchOptions opts;
+    opts.sampleBudget = 300;
+    SearchResult r = mut_only.search(p->evaluator(), opts);
+    EXPECT_LE(r.samplesUsed, 300);
+    EXPECT_GT(r.bestFitness, 0.0);
+}
+
+// ----------------------------------------------------------- warm start --
+
+TEST(WarmStart, EmptyEngineHasNothing)
+{
+    opt::WarmStartEngine ws;
+    EXPECT_FALSE(ws.has(dnn::TaskType::Mix));
+    common::Rng rng(61);
+    EXPECT_TRUE(ws.makeSeeds(dnn::TaskType::Mix, 5, 10, 4, rng).empty());
+}
+
+TEST(WarmStart, StoreAndSeedSameSize)
+{
+    opt::WarmStartEngine ws;
+    common::Rng rng(62);
+    Mapping best = Mapping::random(20, 4, rng);
+    ws.store(dnn::TaskType::Language, best);
+    EXPECT_TRUE(ws.has(dnn::TaskType::Language));
+    EXPECT_FALSE(ws.has(dnn::TaskType::Vision));
+    auto seeds = ws.makeSeeds(dnn::TaskType::Language, 6, 20, 4, rng);
+    ASSERT_EQ(seeds.size(), 6u);
+    EXPECT_EQ(seeds[0], best);  // first seed is the stored solution
+    for (const auto& s : seeds) {
+        EXPECT_EQ(s.size(), 20);
+        for (int g : s.accelSel) {
+            EXPECT_GE(g, 0);
+            EXPECT_LT(g, 4);
+        }
+    }
+}
+
+TEST(WarmStart, ResizesByGeneTiling)
+{
+    opt::WarmStartEngine ws;
+    common::Rng rng(63);
+    Mapping best = Mapping::random(10, 4, rng);
+    ws.store(dnn::TaskType::Mix, best);
+    auto seeds = ws.makeSeeds(dnn::TaskType::Mix, 2, 25, 4, rng);
+    ASSERT_EQ(seeds.size(), 2u);
+    EXPECT_EQ(seeds[0].size(), 25);
+    for (int i = 0; i < 25; ++i)
+        EXPECT_EQ(seeds[0].accelSel[i], best.accelSel[i % 10]);
+}
+
+TEST(WarmStart, ClampsAccelGenesToSmallerPlatform)
+{
+    opt::WarmStartEngine ws;
+    common::Rng rng(64);
+    Mapping best = Mapping::random(10, 8, rng);
+    ws.store(dnn::TaskType::Mix, best);
+    auto seeds = ws.makeSeeds(dnn::TaskType::Mix, 3, 10, 2, rng);
+    for (const auto& s : seeds)
+        for (int g : s.accelSel)
+            EXPECT_LT(g, 2);
+}
+
+TEST(WarmStart, JobMatchedTransferCopiesGenesFromSimilarJobs)
+{
+    // Build a solved group with a deliberate pattern: language jobs on
+    // core 0, vision jobs on core 1. A new group's language jobs must
+    // inherit core 0 and vision jobs core 1 through job matching.
+    dnn::WorkloadGenerator gen(81);
+    dnn::JobGroup solved_group;
+    solved_group.task = dnn::TaskType::Mix;
+    Mapping solved;
+    for (int i = 0; i < 12; ++i) {
+        dnn::Job j;
+        j.id = i;
+        bool lang = i % 2 == 0;
+        j.layer = lang ? dnn::fc(768, 768) : dnn::conv(64, 64, 28, 28, 3, 3);
+        j.batch = lang ? 128 : 4;
+        j.task = lang ? dnn::TaskType::Language : dnn::TaskType::Vision;
+        j.model = "synthetic";
+        solved_group.jobs.push_back(j);
+        solved.accelSel.push_back(lang ? 0 : 1);
+        solved.priority.push_back(0.5);
+    }
+    opt::WarmStartEngine ws;
+    ws.store(dnn::TaskType::Mix, solved, solved_group);
+
+    dnn::JobGroup target = solved_group;  // same composition, new draw
+    common::Rng rng(82);
+    auto seeds = ws.makeSeeds(dnn::TaskType::Mix, 1, target, 4, rng);
+    ASSERT_EQ(seeds.size(), 1u);
+    for (int i = 0; i < target.size(); ++i) {
+        int expected = target.jobs[i].task == dnn::TaskType::Language ? 0
+                                                                      : 1;
+        EXPECT_EQ(seeds[0].accelSel[i], expected) << i;
+    }
+}
+
+TEST(WarmStart, JobMatchedFallsBackToPositionalWithoutGroup)
+{
+    opt::WarmStartEngine ws;
+    common::Rng rng(83);
+    Mapping best = Mapping::random(10, 4, rng);
+    ws.store(dnn::TaskType::Mix, best);  // no group attached
+    dnn::WorkloadGenerator gen(84);
+    dnn::JobGroup target = gen.makeGroup(dnn::TaskType::Mix, 10);
+    auto seeds = ws.makeSeeds(dnn::TaskType::Mix, 2, target, 4, rng);
+    ASSERT_EQ(seeds.size(), 2u);
+    EXPECT_EQ(seeds[0], best);
+}
+
+TEST(WarmStart, JobMatchedTransferBeatsRandomInitOnAverage)
+{
+    // The Table V premise: warm seeds start better than random init.
+    auto p1 = m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2, 4.0,
+                               24, 85);
+    auto p2 = m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2, 4.0,
+                               24, 86);
+    opt::SearchOptions opts;
+    opts.sampleBudget = 1200;
+    opt::MagmaGa magma_ga(5);
+    opt::SearchResult solved = magma_ga.search(p1->evaluator(), opts);
+
+    opt::WarmStartEngine ws;
+    ws.store(dnn::TaskType::Mix, solved.best, p1->group());
+    common::Rng rng(87);
+    auto seeds = ws.makeSeeds(dnn::TaskType::Mix, 20, p2->group(),
+                              p2->evaluator().numAccels(), rng);
+    double warm_mean = 0.0, rand_mean = 0.0;
+    for (const auto& s : seeds)
+        warm_mean += p2->evaluator().fitness(s);
+    for (int i = 0; i < 20; ++i)
+        rand_mean += p2->evaluator().fitness(
+            Mapping::random(24, p2->evaluator().numAccels(), rng));
+    EXPECT_GT(warm_mean / 20.0, rand_mean / 20.0);
+}
+
+TEST(WarmStart, SeedsImproveInitialFitness)
+{
+    // Table V's headline: Trf-0-ep beats Raw by a wide margin.
+    auto p1 = m3e::makeProblem(dnn::TaskType::Recommendation,
+                               accel::Setting::S2, 1.0, 16, 71);
+    auto p2 = m3e::makeProblem(dnn::TaskType::Recommendation,
+                               accel::Setting::S2, 1.0, 16, 72);
+    SearchOptions opts;
+    opts.sampleBudget = 800;
+    opt::MagmaGa magma_ga(5);
+    SearchResult solved = magma_ga.search(p1->evaluator(), opts);
+
+    opt::WarmStartEngine ws;
+    ws.store(dnn::TaskType::Recommendation, solved.best);
+    common::Rng rng(73);
+    auto seeds = ws.makeSeeds(dnn::TaskType::Recommendation, 4, 16,
+                              p2->evaluator().numAccels(), rng);
+
+    // Best seed (0 epochs of further optimization) vs mean random.
+    double seeded = 0.0;
+    for (const auto& s : seeds)
+        seeded = std::max(seeded, p2->evaluator().fitness(s));
+    double random_mean = 0.0;
+    const int n = 20;
+    for (int i = 0; i < n; ++i)
+        random_mean += p2->evaluator().fitness(
+            Mapping::random(16, p2->evaluator().numAccels(), rng));
+    random_mean /= n;
+    EXPECT_GT(seeded, random_mean);
+}
+
+// ----------------------------------------------------------- factory -----
+
+TEST(Factory, NamesRoundTrip)
+{
+    for (m3e::Method m : m3e::paperMethods())
+        EXPECT_EQ(m3e::methodFromName(m3e::methodName(m)), m);
+    EXPECT_EQ(m3e::methodFromName("Random"), m3e::Method::Random);
+    EXPECT_THROW(m3e::methodFromName("nope"), std::invalid_argument);
+}
+
+TEST(Factory, PaperMethodOrderMatchesFigures)
+{
+    auto ms = m3e::paperMethods();
+    ASSERT_EQ(ms.size(), 10u);
+    EXPECT_EQ(m3e::methodName(ms.front()), "Herald-like");
+    EXPECT_EQ(m3e::methodName(ms.back()), "MAGMA");
+}
+
+TEST(Factory, OptimizerNamesMatchEnumNames)
+{
+    for (m3e::Method m : m3e::paperMethods())
+        EXPECT_EQ(m3e::makeOptimizer(m, 1)->name(), m3e::methodName(m));
+}

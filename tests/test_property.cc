@@ -1,0 +1,164 @@
+/** @file Property-based tests: invariants of the mapping->throughput
+ * pipeline that must hold for ANY mapping, checked over seeded sweeps. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "m3e/problem.h"
+#include "sched/evaluator.h"
+#include "sched/mapping.h"
+
+using namespace magma;
+using sched::Mapping;
+
+namespace {
+
+std::unique_ptr<m3e::Problem>
+problemForSeed(uint64_t seed)
+{
+    return m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2, 8.0, 24,
+                            seed);
+}
+
+}  // namespace
+
+class MappingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MappingProperty, FitnessInvariantUnderOrderPreservingPriorities)
+{
+    // Only the relative priority ORDER matters: squashing priorities
+    // through any monotone map must not change the schedule.
+    auto p = problemForSeed(GetParam());
+    common::Rng rng(GetParam());
+    Mapping m = Mapping::random(24, p->evaluator().numAccels(), rng);
+    double f0 = p->evaluator().fitness(m);
+
+    Mapping squashed = m;
+    for (double& pr : squashed.priority)
+        pr = 0.1 + 0.8 * pr * pr;  // monotone on [0,1)
+    EXPECT_NEAR(p->evaluator().fitness(squashed), f0, f0 * 1e-12);
+}
+
+TEST_P(MappingProperty, FitnessInvariantUnderJobRelabeling)
+{
+    // Swapping the genes of two identical-layer jobs changes nothing.
+    auto p = problemForSeed(GetParam());
+    common::Rng rng(GetParam() + 100);
+    Mapping m = Mapping::random(24, p->evaluator().numAccels(), rng);
+    double f0 = p->evaluator().fitness(m);
+
+    // Find two jobs with identical layer+batch; swap their genes.
+    const auto& jobs = p->group().jobs;
+    for (int i = 0; i < 24; ++i) {
+        for (int j = i + 1; j < 24; ++j) {
+            if (jobs[i].layer == jobs[j].layer &&
+                jobs[i].batch == jobs[j].batch) {
+                Mapping swapped = m;
+                std::swap(swapped.accelSel[i], swapped.accelSel[j]);
+                std::swap(swapped.priority[i], swapped.priority[j]);
+                EXPECT_NEAR(p->evaluator().fitness(swapped), f0, f0 * 1e-9);
+                return;
+            }
+        }
+    }
+    GTEST_SKIP() << "no duplicate-layer pair in this draw";
+}
+
+TEST_P(MappingProperty, MakespanBoundedBySerialAndParallelExtremes)
+{
+    auto p = problemForSeed(GetParam());
+    common::Rng rng(GetParam() + 200);
+    const auto& eval = p->evaluator();
+    Mapping m = Mapping::random(24, eval.numAccels(), rng);
+    sched::ScheduleResult r = eval.evaluate(m);
+
+    // Lower bound: the busiest queue at no-stall speed.
+    sched::DecodedMapping d = sched::decode(m, eval.numAccels());
+    double busiest = 0.0, serial_all = 0.0;
+    for (int a = 0; a < eval.numAccels(); ++a) {
+        double sum = 0.0;
+        for (int j : d.queues[a])
+            sum += eval.table().lookup(j, a).noStallSeconds;
+        busiest = std::max(busiest, sum);
+        serial_all += sum;
+    }
+    EXPECT_GE(r.makespanSeconds, busiest * (1 - 1e-9));
+
+    // Upper bound: everything serialized AND slowed by the worst possible
+    // BW squeeze (total demand / system BW).
+    double worst_squeeze = 1.0;
+    for (int j = 0; j < 24; ++j) {
+        for (int a = 0; a < eval.numAccels(); ++a) {
+            double rq = eval.table().lookup(j, a).reqBwGbps;
+            worst_squeeze = std::max(
+                worst_squeeze,
+                rq * eval.numAccels() / p->platform().systemBwGbps);
+        }
+    }
+    EXPECT_LE(r.makespanSeconds, serial_all * worst_squeeze * (1 + 1e-9));
+}
+
+TEST_P(MappingProperty, FinishTimesSortedWithinEachQueue)
+{
+    auto p = problemForSeed(GetParam());
+    common::Rng rng(GetParam() + 300);
+    const auto& eval = p->evaluator();
+    Mapping m = Mapping::random(24, eval.numAccels(), rng);
+    sched::ScheduleResult r = eval.evaluate(m);
+    sched::DecodedMapping d = sched::decode(m, eval.numAccels());
+    for (const auto& q : d.queues) {
+        for (size_t i = 1; i < q.size(); ++i)
+            EXPECT_GT(r.finishTime[q[i]],
+                      r.finishTime[q[i - 1]] * (1 - 1e-12));
+    }
+}
+
+TEST_P(MappingProperty, MovingAJobToItsFastestCoreNeverBreaksBounds)
+{
+    // A targeted local improvement: relocating one job to the core where
+    // it is fastest (keeping everything else) must keep the schedule valid
+    // — and throughput must stay within the platform peak.
+    auto p = problemForSeed(GetParam());
+    common::Rng rng(GetParam() + 400);
+    const auto& eval = p->evaluator();
+    Mapping m = Mapping::random(24, eval.numAccels(), rng);
+    int job = static_cast<int>(GetParam() % 24);
+    int best_a = 0;
+    for (int a = 1; a < eval.numAccels(); ++a) {
+        if (eval.table().lookup(job, a).noStallSeconds <
+            eval.table().lookup(job, best_a).noStallSeconds)
+            best_a = a;
+    }
+    m.accelSel[job] = best_a;
+    double f = eval.fitness(m);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, p->platform().peakGflops() * (1 + 1e-9));
+}
+
+TEST_P(MappingProperty, TimelineConservesPerJobWork)
+{
+    // Integrating rate (allocBw/reqBw) over each job's segments must
+    // recover its no-stall latency.
+    auto p = problemForSeed(GetParam());
+    common::Rng rng(GetParam() + 500);
+    const auto& eval = p->evaluator();
+    Mapping m = Mapping::random(24, eval.numAccels(), rng);
+    sched::ScheduleResult r = eval.evaluate(m, /*record_timeline=*/true);
+
+    std::vector<double> done(24, 0.0);
+    for (const auto& ev : r.events) {
+        const auto& prof = eval.table().lookup(ev.job, ev.accel);
+        double rate = prof.reqBwGbps <= 1e-18
+                          ? 1.0
+                          : std::min(1.0, ev.allocBw / prof.reqBwGbps);
+        done[ev.job] += rate * (ev.end - ev.start);
+    }
+    for (int j = 0; j < 24; ++j) {
+        double expect = eval.table().lookup(j, m.accelSel[j]).noStallSeconds;
+        EXPECT_NEAR(done[j], expect, expect * 1e-6 + 1e-12) << "job " << j;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingProperty,
+                         ::testing::Range<uint64_t>(1, 13));
