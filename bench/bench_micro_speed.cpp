@@ -3,14 +3,20 @@
  * Micro-benchmarks (google-benchmark) for the framework's hot paths,
  * backing the paper's search-time claim (Section VI-B: ~0.25 s per MAGMA
  * epoch, 25 s for a full 10K-sample search on a desktop CPU):
- *   - one cost-model query,
+ *   - one cost-model query (cold and through the exec::CostCache),
  *   - Job Analysis Table construction (group 100 on S4),
  *   - one fitness evaluation (decode + BW allocator),
- *   - one MAGMA epoch (population 100).
+ *   - one MAGMA epoch (population 100),
+ *   - batch evaluation and full MAGMA search at 1/2/4 threads, so the
+ *     exec-engine speedup is measured rather than asserted.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "exec/cost_cache.h"
+#include "exec/eval_engine.h"
 #include "m3e/problem.h"
 #include "opt/magma_ga.h"
 #include "sched/job_analyzer.h"
@@ -109,6 +115,64 @@ BM_BwAllocatorRun(benchmark::State& state)
     }
 }
 BENCHMARK(BM_BwAllocatorRun);
+
+void
+BM_CostCacheHit(benchmark::State& state)
+{
+    cost::CostModel model;
+    cost::SubAccelConfig cfg =
+        accel::makeSubAccel(cost::DataflowStyle::HB, 128, 580);
+    dnn::LayerShape l = dnn::conv(256, 128, 28, 28, 3, 3);
+    exec::CostCache cache;
+    cache.analyze(model, l, 4, cfg);  // warm
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.analyze(model, l, 4, cfg));
+    }
+}
+BENCHMARK(BM_CostCacheHit);
+
+/**
+ * Throughput of one generation-sized batch (256 candidates of the Fig. 8
+ * workload: Mix task on S4, group 100) at 1, 2 and 4 evaluation lanes.
+ * items_per_second is candidates/s — the threads=N vs threads=1 ratio is
+ * the exec-engine speedup.
+ */
+void
+BM_BatchEvaluation(benchmark::State& state)
+{
+    const auto& p = sharedProblem();
+    common::Rng rng(17);
+    std::vector<sched::Mapping> batch;
+    batch.reserve(256);
+    for (int i = 0; i < 256; ++i)
+        batch.push_back(
+            sched::Mapping::random(100, p.evaluator().numAccels(), rng));
+    exec::EvalEngine engine(p.evaluator(),
+                            static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(engine.evaluateBatch(batch));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_BatchEvaluation)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/** Full MAGMA search (2K samples) at 1, 2 and 4 evaluation lanes. */
+void
+BM_MagmaSearchThreads(benchmark::State& state)
+{
+    const auto& p = sharedProblem();
+    for (auto _ : state) {
+        opt::MagmaGa magma_ga(3);
+        opt::SearchOptions opts;
+        opts.sampleBudget = 2000;
+        opts.threads = static_cast<int>(state.range(0));
+        benchmark::DoNotOptimize(
+            magma_ga.search(p.evaluator(), opts).bestFitness);
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_MagmaSearchThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

@@ -11,7 +11,11 @@
  *   m3e_cli [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
  *           [--bw GBPS] [--group N] [--budget N] [--seed N]
  *           [--method NAME | --all] [--objective NAME]
- *           [--flexible] [--timeline]
+ *           [--flexible] [--timeline] [--threads N]
+ *
+ * --threads N fans candidate evaluation out over N lanes (0 = auto via
+ * MAGMA_THREADS env var / hardware concurrency); results are identical
+ * at every thread count — only wall-clock changes.
  *
  * Method names are the paper's labels ("MAGMA", "Herald-like", "stdGA",
  * "RL PPO2", ...). Objectives: throughput latency energy edp perf-per-watt.
@@ -41,6 +45,7 @@ struct CliArgs {
     bool all = false;
     bool flexible = false;
     bool timeline = false;
+    int threads = 1;
     sched::Objective objective = sched::Objective::Throughput;
 };
 
@@ -121,6 +126,8 @@ parse(int argc, char** argv)
             a.flexible = true;
         else if (flag == "--timeline")
             a.timeline = true;
+        else if (flag == "--threads")
+            a.threads = std::stoi(need(i++));
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             std::exit(2);
@@ -135,6 +142,7 @@ runOne(m3e::Method method, m3e::Problem& problem, const CliArgs& args)
     auto optimizer = m3e::makeOptimizer(method, args.seed);
     opt::SearchOptions opts;
     opts.sampleBudget = args.budget;
+    opts.threads = args.threads;
     opt::SearchResult res = optimizer->search(problem.evaluator(), opts);
     sched::ScheduleResult sim =
         problem.evaluator().evaluate(res.best, args.timeline);

@@ -43,10 +43,13 @@ main()
     opt::SearchResult herald_res = herald.search(eval);
     opt::SearchResult aimt_res = aimt.search(eval);
 
-    // MAGMA with a 2K-sample budget.
+    // MAGMA with a 2K-sample budget. threads = 0 fans each generation
+    // out over all cores (exec::EvalEngine); the result is identical to
+    // a serial search with the same seed — only wall-clock changes.
     opt::MagmaGa magma_ga(/*seed=*/1);
     opt::SearchOptions opts;
     opts.sampleBudget = 2000;
+    opts.threads = 0;
     opt::SearchResult magma_res = magma_ga.search(eval, opts);
 
     std::printf("%-12s %14s\n", "mapper", "GFLOP/s");

@@ -1,0 +1,95 @@
+#ifndef MAGMA_EXEC_COST_CACHE_H_
+#define MAGMA_EXEC_COST_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cost/cost_model.h"
+#include "dnn/layer.h"
+
+namespace magma::exec {
+
+/** Aggregate hit/miss/size counters, surfaced by CostCache::stats(). */
+struct CostCacheStats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t entries = 0;
+
+    double hitRate() const
+    {
+        int64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+/**
+ * Sharded, read-mostly memo of CostModel layer queries.
+ *
+ * The cost model is deterministic: `analyze(layer, batch, cfg)` is a pure
+ * function of its arguments, so its result can be memoized process-wide.
+ * Population searches, bandwidth sweeps and sub-accelerator-combination
+ * sweeps (Figs. 12-13) re-analyze the same (layer, sub-accel) pairs over
+ * and over — each table build for a 100-job group on S4 is 500 queries of
+ * which typically < 10% are distinct shapes.
+ *
+ * Keys cover every input `CostModel::analyze` reads: the layer shape, the
+ * mini-batch, the dataflow and all sub-accelerator config fields, the
+ * model's energy parameters, plus a caller-supplied bandwidth bucket for
+ * contexts that discriminate cost by memory-bandwidth regime (the
+ * analytical model itself is BW-independent — bandwidth is applied later
+ * by the BW Allocator — so callers pass 0 today).
+ *
+ * Thread-safe: lookups take a shard's shared lock, inserts its exclusive
+ * lock; concurrent misses on the same key may both compute (results are
+ * identical) and the first insert wins. Hit/miss counters are atomics.
+ */
+class CostCache {
+  public:
+    explicit CostCache(int shards = 16);
+
+    /**
+     * Memoized CostModel::analyze. A hit returns a copy of the stored
+     * result — bit-identical to what the cold miss computed.
+     */
+    cost::CostResult analyze(const cost::CostModel& model,
+                             const dnn::LayerShape& layer, int batch,
+                             const cost::SubAccelConfig& cfg,
+                             int bw_bucket = 0);
+
+    CostCacheStats stats() const;
+
+    /** Drop every entry and zero the counters. */
+    void clear();
+
+    /**
+     * Process-wide cache shared by default-constructed problems; lives
+     * for the process, so back-to-back experiment sweeps reuse entries.
+     */
+    static CostCache& global();
+
+  private:
+    struct Shard {
+        mutable std::shared_mutex mu;
+        std::unordered_map<std::string, cost::CostResult> map;
+    };
+
+    static std::string makeKey(const cost::CostModel& model,
+                               const dnn::LayerShape& layer, int batch,
+                               const cost::SubAccelConfig& cfg,
+                               int bw_bucket);
+
+    Shard& shardFor(const std::string& key);
+
+    std::unique_ptr<Shard[]> shards_;
+    int num_shards_;
+    std::atomic<int64_t> hits_{0};
+    std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace magma::exec
+
+#endif  // MAGMA_EXEC_COST_CACHE_H_

@@ -1,0 +1,65 @@
+#ifndef MAGMA_EXEC_EVAL_ENGINE_H_
+#define MAGMA_EXEC_EVAL_ENGINE_H_
+
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "sched/evaluator.h"
+#include "sched/mapping.h"
+
+namespace magma::exec {
+
+/**
+ * Batch fitness-evaluation engine: fans a generation of candidate
+ * mappings out over a ThreadPool and returns their fitness values in
+ * submission order.
+ *
+ * Why this is safe without per-candidate locking: after construction a
+ * MappingEvaluator is immutable — `fitness` reads the Job Analysis Table
+ * and runs the BW-Allocator simulation on purely local state — except for
+ * the sample meter, which is a relaxed atomic. Each worker therefore
+ * shares one evaluator and keeps all scratch (decoded queues, allocator
+ * state) on its own stack; there is no per-thread evaluator clone to keep
+ * in sync.
+ *
+ * Determinism: result[i] is always the fitness of batch[i], computed by
+ * the exact same code as the serial path, so a batch evaluation is
+ * bitwise identical to evaluating the same mappings one-by-one (IEEE
+ * arithmetic on a fixed input is scheduling-independent).
+ */
+class EvalEngine {
+  public:
+    /**
+     * `threads <= 0` selects ThreadPool::defaultThreads() (MAGMA_THREADS
+     * env var, else hardware concurrency).
+     */
+    explicit EvalEngine(const sched::MappingEvaluator& eval, int threads = 0)
+        : eval_(&eval), pool_(threads)
+    {}
+
+    int numThreads() const { return pool_.numThreads(); }
+    const sched::MappingEvaluator& evaluator() const { return *eval_; }
+    ThreadPool& pool() { return pool_; }
+
+    /**
+     * Fitness of `batch[first..first+count)`; result[i] corresponds to
+     * batch[first + i]. Each evaluated mapping counts one sample on the
+     * evaluator's meter, exactly like serial `fitness` calls.
+     */
+    std::vector<double> evaluateBatch(const sched::Mapping* batch,
+                                      size_t count) const;
+
+    std::vector<double> evaluateBatch(
+        const std::vector<sched::Mapping>& batch) const
+    {
+        return evaluateBatch(batch.data(), batch.size());
+    }
+
+  private:
+    const sched::MappingEvaluator* eval_;
+    mutable ThreadPool pool_;
+};
+
+}  // namespace magma::exec
+
+#endif  // MAGMA_EXEC_EVAL_ENGINE_H_

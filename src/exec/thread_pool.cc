@@ -1,0 +1,117 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace magma::exec {
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char* env = std::getenv("MAGMA_THREADS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(std::max(1, threads > 0 ? threads : defaultThreads()))
+{
+    workers_.reserve(threads_ - 1);
+    for (int i = 0; i < threads_ - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    batch_ready_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::drainBatch()
+{
+    while (true) {
+        int64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job_size_)
+            return;
+        try {
+            (*job_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!error_)
+                error_ = std::current_exception();
+            // Cancel the rest of the batch: iterations not yet claimed
+            // are abandoned, in-flight ones finish.
+            cursor_.store(job_size_, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen_epoch = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            batch_ready_.wait(lock, [&] {
+                return stop_ || epoch_ != seen_epoch;
+            });
+            if (stop_)
+                return;
+            seen_epoch = epoch_;
+        }
+        drainBatch();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--active_workers_ == 0)
+                batch_done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t n, const std::function<void(int64_t)>& fn)
+{
+    if (n <= 0)
+        return;
+
+    if (workers_.empty() || n == 1) {
+        // Serial fast path: no locking, same iteration semantics.
+        for (int64_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &fn;
+        job_size_ = n;
+        cursor_.store(0, std::memory_order_relaxed);
+        error_ = nullptr;
+        active_workers_ = static_cast<int>(workers_.size());
+        ++epoch_;
+    }
+    batch_ready_.notify_all();
+
+    // The calling thread is a full participant.
+    drainBatch();
+
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [&] { return active_workers_ == 0; });
+    job_ = nullptr;
+    if (error_)
+        std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+}  // namespace magma::exec

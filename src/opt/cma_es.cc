@@ -76,9 +76,10 @@ CmaEs::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
                 d_diag[i] = std::sqrt(std::max(eig.eigenvalues[i], 1e-20));
         }
 
+        // Sample the full generation first, then score it as one batch.
         std::vector<Cand> cands;
         cands.reserve(lambda);
-        for (int k = 0; k < lambda && !rec.exhausted(); ++k) {
+        for (int k = 0; k < lambda; ++k) {
             Cand c;
             c.z.resize(dim);
             for (double& z : c.z)
@@ -94,8 +95,17 @@ CmaEs::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
             c.x.resize(dim);
             for (int i = 0; i < dim; ++i)
                 c.x[i] = std::clamp(mean[i] + sigma * bdz[i], 0.0, 1.0);
-            c.fitness = flat::evaluate(rec, c.x, n_accels);
             cands.push_back(std::move(c));
+        }
+        {
+            std::vector<sched::Mapping> ms;
+            ms.reserve(lambda);
+            for (const Cand& c : cands)
+                ms.push_back(sched::Mapping::fromFlat(c.x, n_accels));
+            std::vector<double> fits = rec.evaluateBatch(ms);
+            cands.resize(fits.size());  // budget may truncate the tail
+            for (size_t k = 0; k < fits.size(); ++k)
+                cands[k].fitness = fits[k];
         }
         if (static_cast<int>(cands.size()) < mu)
             break;  // budget ran out mid-generation

@@ -21,18 +21,26 @@ De::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
             pop[i] = opts.seeds[i].toFlat(n_accels);
         else
             pop[i] = flat::randomPoint(dim, rng_);
-        if (rec.exhausted())
-            return;
-        fit[i] = flat::evaluate(rec, pop[i], n_accels);
+    }
+    {
+        std::vector<double> fits = flat::evaluateBatch(rec, pop, n_accels);
+        for (size_t i = 0; i < fits.size(); ++i)
+            fit[i] = fits[i];
+        if (fits.size() < static_cast<size_t>(np))
+            return;  // budget exhausted mid-initialization
     }
 
+    // Synchronous DE: trials for a generation are all bred from the
+    // previous generation's population, scored as one batch, then the
+    // greedy replacement happens per slot.
     while (!rec.exhausted()) {
         int best = 0;
         for (int i = 1; i < np; ++i)
             if (fit[i] > fit[best])
                 best = i;
 
-        for (int i = 0; i < np && !rec.exhausted(); ++i) {
+        std::vector<std::vector<double>> trials(np);
+        for (int i = 0; i < np; ++i) {
             int r1 = rng_.uniformInt(np);
             int r2 = rng_.uniformInt(np);
             std::vector<double> trial = pop[i];
@@ -45,10 +53,14 @@ De::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
                            cfg_.localWeight * (pop[r1][d] - pop[r2][d]);
             }
             flat::clamp01(trial);
-            double f = flat::evaluate(rec, trial, n_accels);
-            if (f >= fit[i]) {
-                pop[i] = std::move(trial);
-                fit[i] = f;
+            trials[i] = std::move(trial);
+        }
+
+        std::vector<double> fits = flat::evaluateBatch(rec, trials, n_accels);
+        for (size_t i = 0; i < fits.size(); ++i) {
+            if (fits[i] >= fit[i]) {
+                pop[i] = std::move(trials[i]);
+                fit[i] = fits[i];
             }
         }
     }

@@ -39,6 +39,29 @@ evaluate(SearchRecorder& rec, const std::vector<double>& x, int num_accels)
     return rec.evaluate(sched::Mapping::fromFlat(x, num_accels));
 }
 
+/** Decode a generation of flat points into mappings. */
+inline std::vector<sched::Mapping>
+toMappings(const std::vector<std::vector<double>>& xs, int num_accels)
+{
+    std::vector<sched::Mapping> ms;
+    ms.reserve(xs.size());
+    for (const auto& x : xs)
+        ms.push_back(sched::Mapping::fromFlat(x, num_accels));
+    return ms;
+}
+
+/**
+ * Batch-evaluate a generation of flat points through the recorder's
+ * batch path. Truncated to the remaining budget like
+ * SearchRecorder::evaluateBatch; result[i] belongs to xs[i].
+ */
+inline std::vector<double>
+evaluateBatch(SearchRecorder& rec, const std::vector<std::vector<double>>& xs,
+              int num_accels)
+{
+    return rec.evaluateBatch(toMappings(xs, num_accels));
+}
+
 }  // namespace flat
 }  // namespace magma::opt
 

@@ -94,11 +94,8 @@ MagmaGa::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
     while (static_cast<int>(pop.size()) < pop_size)
         pop.push_back({sched::Mapping::random(g, n_accels, rng_), 0.0});
 
-    for (auto& ind : pop) {
-        if (rec.exhausted())
-            return;
-        ind.fitness = rec.evaluate(ind.m);
-    }
+    if (!scorePopulation(rec, pop))
+        return;  // budget exhausted mid-initialization
 
     const int elites = std::max(2, static_cast<int>(pop_size *
                                                     cfg_.eliteRatio));
@@ -134,8 +131,9 @@ MagmaGa::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
             }
         }
 
-        for (int i = elites; i < pop_size && !rec.exhausted(); ++i)
-            next[i].fitness = rec.evaluate(next[i].m);
+        // Whole-generation batch: the children are independent, so they
+        // fan out over the evaluation engine's threads.
+        scorePopulation(rec, next, elites);
         pop = std::move(next);
     }
 }

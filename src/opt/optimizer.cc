@@ -1,6 +1,9 @@
 #include "opt/optimizer.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "exec/eval_engine.h"
 
 namespace magma::opt {
 
@@ -10,13 +13,23 @@ SearchRecorder::SearchRecorder(const sched::MappingEvaluator& eval,
 {
     if (opts_.recordConvergence)
         result_.convergence.reserve(opts_.sampleBudget);
+    if (opts_.engine) {
+        // A reused engine must wrap the evaluator this search runs on;
+        // otherwise candidates would be scored against another problem.
+        assert(&opts_.engine->evaluator() == &eval);
+        engine_ = opts_.engine;
+    } else if (opts_.threads != 1) {
+        owned_engine_ =
+            std::make_unique<exec::EvalEngine>(eval, opts_.threads);
+        engine_ = owned_engine_.get();
+    }
 }
 
-double
-SearchRecorder::evaluate(const sched::Mapping& m)
+SearchRecorder::~SearchRecorder() = default;
+
+void
+SearchRecorder::record(const sched::Mapping& m, double f)
 {
-    assert(!exhausted());
-    double f = eval_->fitness(m);
     ++used_;
     if (f > result_.bestFitness) {
         result_.bestFitness = f;
@@ -28,7 +41,38 @@ SearchRecorder::evaluate(const sched::Mapping& m)
         result_.sampled.push_back(m);
         result_.sampledFitness.push_back(f);
     }
+}
+
+double
+SearchRecorder::evaluate(const sched::Mapping& m)
+{
+    assert(!exhausted());
+    double f = eval_->fitness(m);
+    record(m, f);
     return f;
+}
+
+std::vector<double>
+SearchRecorder::evaluateBatch(const std::vector<sched::Mapping>& ms)
+{
+    size_t n = static_cast<size_t>(
+        std::min<int64_t>(static_cast<int64_t>(ms.size()), remaining()));
+    if (n == 0)
+        return {};
+
+    std::vector<double> fitness;
+    if (engine_ && n > 1) {
+        fitness = engine_->evaluateBatch(ms.data(), n);
+    } else {
+        fitness.resize(n);
+        for (size_t i = 0; i < n; ++i)
+            fitness[i] = eval_->fitness(ms[i]);
+    }
+    // Sequential bookkeeping in submission order keeps budget accounting
+    // and convergence curves identical to the serial path.
+    for (size_t i = 0; i < n; ++i)
+        record(ms[i], fitness[i]);
+    return fitness;
 }
 
 SearchResult

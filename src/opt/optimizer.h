@@ -3,12 +3,17 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "sched/evaluator.h"
 #include "sched/mapping.h"
+
+namespace magma::exec {
+class EvalEngine;
+}  // namespace magma::exec
 
 namespace magma::opt {
 
@@ -25,6 +30,19 @@ struct SearchOptions {
     bool recordSamples = false;
     /** Warm-start seeds injected into the initial population (Section V-C). */
     std::vector<sched::Mapping> seeds;
+    /**
+     * Evaluation lanes for SearchRecorder::evaluateBatch. 1 keeps the
+     * classic serial path; > 1 builds an exec::EvalEngine internally;
+     * 0 auto-selects (MAGMA_THREADS env var, else hardware concurrency).
+     * The fitness values, budget accounting and convergence curves are
+     * identical at every thread count — only wall-clock changes.
+     */
+    int threads = 1;
+    /**
+     * External batch engine to reuse across searches (overrides
+     * `threads`). Must outlive the search and wrap the same evaluator.
+     */
+    exec::EvalEngine* engine = nullptr;
 };
 
 /** Outcome of one search run. */
@@ -49,12 +67,25 @@ class SearchRecorder {
   public:
     SearchRecorder(const sched::MappingEvaluator& eval,
                    const SearchOptions& opts);
+    ~SearchRecorder();
 
     /**
      * Evaluate a candidate, spend one budget unit, update the incumbent.
      * Must not be called once exhausted().
      */
     double evaluate(const sched::Mapping& m);
+
+    /**
+     * Evaluate a whole generation. Only the first remaining() candidates
+     * are evaluated (and paid for) when the batch overruns the budget;
+     * the returned vector holds their fitness in submission order and its
+     * size tells the caller how far it got. Bookkeeping — budget meter,
+     * incumbent, convergence curve, sample log — is applied in submission
+     * order, so the result is bitwise identical to looping `evaluate`
+     * over the same candidates, at any thread count. Returns empty once
+     * exhausted().
+     */
+    std::vector<double> evaluateBatch(const std::vector<sched::Mapping>& ms);
 
     bool exhausted() const { return used_ >= opts_.sampleBudget; }
     int64_t remaining() const { return opts_.sampleBudget - used_; }
@@ -65,12 +96,41 @@ class SearchRecorder {
     /** Finalize and hand out the result. */
     SearchResult finish();
 
+    /** Batch engine in use (null on the pure serial path). */
+    const exec::EvalEngine* engine() const { return engine_; }
+
   private:
+    /** Spend one budget unit on (m, fitness) — the shared bookkeeping. */
+    void record(const sched::Mapping& m, double f);
+
     const sched::MappingEvaluator* eval_;
     SearchOptions opts_;
     SearchResult result_;
     int64_t used_ = 0;
+    std::unique_ptr<exec::EvalEngine> owned_engine_;
+    exec::EvalEngine* engine_ = nullptr;
 };
+
+/**
+ * Score `pop[first..]` through the recorder's batch path, writing each
+ * individual's `.fitness` back. Shared by the population GAs. Returns
+ * false when the budget truncated the batch (unscored individuals keep
+ * their previous fitness and the caller should stop the search).
+ */
+template <typename ScoredT>
+bool
+scorePopulation(SearchRecorder& rec, std::vector<ScoredT>& pop,
+                size_t first = 0)
+{
+    std::vector<sched::Mapping> ms;
+    ms.reserve(pop.size() - first);
+    for (size_t i = first; i < pop.size(); ++i)
+        ms.push_back(pop[i].m);
+    std::vector<double> fits = rec.evaluateBatch(ms);
+    for (size_t i = 0; i < fits.size(); ++i)
+        pop[first + i].fitness = fits[i];
+    return fits.size() == ms.size();
+}
 
 /**
  * Base class of every mapping-search method in M3E (Table IV): the manual

@@ -20,6 +20,7 @@ Pso::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
     std::vector<double> gbest;
     double gbest_fit = -1e300;
 
+    // --- Init swarm, then score the whole swarm as one batch. ---
     for (int i = 0; i < np; ++i) {
         if (i < static_cast<int>(opts.seeds.size()))
             pos[i] = opts.seeds[i].toFlat(n_accels);
@@ -28,18 +29,26 @@ Pso::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
         vel[i].assign(dim, 0.0);
         for (double& v : vel[i])
             v = rng_.uniform(-cfg_.velocityClamp, cfg_.velocityClamp);
-        if (rec.exhausted())
-            return;
-        pbest[i] = pos[i];
-        pbest_fit[i] = flat::evaluate(rec, pos[i], n_accels);
-        if (pbest_fit[i] > gbest_fit) {
-            gbest_fit = pbest_fit[i];
-            gbest = pos[i];
+    }
+    {
+        std::vector<double> fits = flat::evaluateBatch(rec, pos, n_accels);
+        for (size_t i = 0; i < fits.size(); ++i) {
+            pbest[i] = pos[i];
+            pbest_fit[i] = fits[i];
+            if (fits[i] > gbest_fit) {
+                gbest_fit = fits[i];
+                gbest = pos[i];
+            }
         }
+        if (fits.size() < static_cast<size_t>(np))
+            return;  // budget exhausted mid-initialization
     }
 
+    // --- Synchronous PSO: every particle moves against the bests of the
+    // previous generation, the new positions are scored as one batch, and
+    // pbest/gbest are refreshed afterwards in particle order.
     while (!rec.exhausted()) {
-        for (int i = 0; i < np && !rec.exhausted(); ++i) {
+        for (int i = 0; i < np; ++i) {
             for (int d = 0; d < dim; ++d) {
                 double v = cfg_.momentum * vel[i][d] +
                            cfg_.personalWeight * rng_.uniform() *
@@ -50,13 +59,15 @@ Pso::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
                                        cfg_.velocityClamp);
                 pos[i][d] = std::clamp(pos[i][d] + vel[i][d], 0.0, 1.0);
             }
-            double f = flat::evaluate(rec, pos[i], n_accels);
-            if (f > pbest_fit[i]) {
-                pbest_fit[i] = f;
+        }
+        std::vector<double> fits = flat::evaluateBatch(rec, pos, n_accels);
+        for (size_t i = 0; i < fits.size(); ++i) {
+            if (fits[i] > pbest_fit[i]) {
+                pbest_fit[i] = fits[i];
                 pbest[i] = pos[i];
             }
-            if (f > gbest_fit) {
-                gbest_fit = f;
+            if (fits[i] > gbest_fit) {
+                gbest_fit = fits[i];
                 gbest = pos[i];
             }
         }

@@ -1,19 +1,30 @@
 #include "opt/random_search.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace magma::opt {
 
 void
 RandomSearch::run(const sched::MappingEvaluator& eval,
                   const SearchOptions& opts, SearchRecorder& rec)
 {
-    for (const auto& seed : opts.seeds) {
-        if (rec.exhausted())
-            return;
-        rec.evaluate(seed);
-    }
+    if (!opts.seeds.empty())
+        rec.evaluateBatch(opts.seeds);
+
+    // Draw candidates in chunks so the batch path can fan them out; the
+    // RNG stream is identical to one-at-a-time sampling because
+    // evaluation consumes no randomness.
+    constexpr int64_t kChunk = 64;
+    std::vector<sched::Mapping> batch;
     while (!rec.exhausted()) {
-        rec.evaluate(sched::Mapping::random(eval.groupSize(),
-                                            eval.numAccels(), rng_));
+        int64_t n = std::min<int64_t>(rec.remaining(), kChunk);
+        batch.clear();
+        batch.reserve(n);
+        for (int64_t i = 0; i < n; ++i)
+            batch.push_back(sched::Mapping::random(eval.groupSize(),
+                                                   eval.numAccels(), rng_));
+        rec.evaluateBatch(batch);
     }
 }
 

@@ -32,11 +32,8 @@ StdGa::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
     while (static_cast<int>(pop.size()) < pop_size)
         pop.push_back({sched::Mapping::random(g, n_accels, rng_), 0.0});
 
-    for (auto& ind : pop) {
-        if (rec.exhausted())
-            return;
-        ind.fitness = rec.evaluate(ind.m);
-    }
+    if (!scorePopulation(rec, pop))
+        return;  // budget exhausted mid-initialization
 
     auto tournament = [&]() -> const Scored& {
         int best = rng_.uniformInt(pop_size);
@@ -80,8 +77,8 @@ StdGa::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
             next.push_back({std::move(child), 0.0});
         }
 
-        for (int i = elites; i < pop_size && !rec.exhausted(); ++i)
-            next[i].fitness = rec.evaluate(next[i].m);
+        // Whole-generation batch evaluation of the bred children.
+        scorePopulation(rec, next, elites);
         pop = std::move(next);
     }
 }

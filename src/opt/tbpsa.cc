@@ -31,16 +31,26 @@ Tbpsa::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
 
     while (!rec.exhausted()) {
         int mu = std::max(1, lambda / 4);
+        // Sample the full generation, then score it as one batch.
         std::vector<Cand> cands;
         cands.reserve(lambda);
-        for (int k = 0; k < lambda && !rec.exhausted(); ++k) {
+        for (int k = 0; k < lambda; ++k) {
             Cand c;
             c.x.resize(dim);
             for (int i = 0; i < dim; ++i)
                 c.x[i] = std::clamp(mean[i] + sigma * rng_.gauss(), 0.0,
                                     1.0);
-            c.fitness = flat::evaluate(rec, c.x, n_accels);
             cands.push_back(std::move(c));
+        }
+        {
+            std::vector<sched::Mapping> ms;
+            ms.reserve(lambda);
+            for (const Cand& c : cands)
+                ms.push_back(sched::Mapping::fromFlat(c.x, n_accels));
+            std::vector<double> fits = rec.evaluateBatch(ms);
+            cands.resize(fits.size());  // budget may truncate the tail
+            for (size_t k = 0; k < fits.size(); ++k)
+                cands[k].fitness = fits[k];
         }
         if (cands.empty())
             break;

@@ -26,12 +26,13 @@ objectiveName(Objective o)
 MappingEvaluator::MappingEvaluator(const dnn::JobGroup& group,
                                    const accel::Platform& platform,
                                    const cost::CostModel& model,
-                                   BwPolicy policy)
+                                   BwPolicy policy,
+                                   exec::CostCache* cost_cache)
     : group_(&group),
       platform_(&platform),
       allocator_(platform.systemBwGbps, policy)
 {
-    JobAnalyzer analyzer(model);
+    JobAnalyzer analyzer(model, cost_cache);
     table_ = analyzer.analyze(group, platform);
 }
 
@@ -48,7 +49,7 @@ ScheduleResult
 MappingEvaluator::evaluate(const Mapping& m, bool record_timeline) const
 {
     assert(m.size() == group_->size());
-    ++samples_;
+    samples_.fetch_add(1, std::memory_order_relaxed);
     DecodedMapping d = decode(m, numAccels());
     return allocator_.run(d, table_, record_timeline);
 }

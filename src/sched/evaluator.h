@@ -1,6 +1,7 @@
 #ifndef MAGMA_SCHED_EVALUATOR_H_
 #define MAGMA_SCHED_EVALUATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -11,6 +12,10 @@
 #include "sched/bw_allocator.h"
 #include "sched/job_analyzer.h"
 #include "sched/mapping.h"
+
+namespace magma::exec {
+class CostCache;
+}  // namespace magma::exec
 
 namespace magma::sched {
 
@@ -39,13 +44,24 @@ std::string objectiveName(Objective o);
  * The default fitness is throughput in GFLOP/s — the paper's objective
  * everywhere — computed as total group FLOPs / makespan; other Section
  * IV-C objectives are selected via setObjective().
+ *
+ * Thread-safety: after construction the evaluator is immutable except for
+ * the sample meter (a relaxed atomic), so `fitness`/`evaluate` may be
+ * called concurrently from many threads — the property exec::EvalEngine
+ * builds batch evaluation on.
  */
 class MappingEvaluator {
   public:
+    /**
+     * `cost_cache`, when given, memoizes the Job Analyzer's cost-model
+     * queries across evaluator instances (sweeps rebuild tables for the
+     * same layers over and over).
+     */
     MappingEvaluator(const dnn::JobGroup& group,
                      const accel::Platform& platform,
                      const cost::CostModel& model,
-                     BwPolicy policy = BwPolicy::Proportional);
+                     BwPolicy policy = BwPolicy::Proportional,
+                     exec::CostCache* cost_cache = nullptr);
 
     /** Select the objective `fitness` maximizes (default Throughput). */
     void setObjective(Objective o) { objective_ = o; }
@@ -65,8 +81,11 @@ class MappingEvaluator {
     int numAccels() const { return platform_->numSubAccels(); }
 
     /** Samples (fitness calls) consumed so far — the search budget meter. */
-    int64_t sampleCount() const { return samples_; }
-    void resetSampleCount() { samples_ = 0; }
+    int64_t sampleCount() const
+    {
+        return samples_.load(std::memory_order_relaxed);
+    }
+    void resetSampleCount() { samples_.store(0, std::memory_order_relaxed); }
 
     /** Throughput implied by a makespan for this group. */
     double throughputGflops(double makespan_seconds) const;
@@ -86,7 +105,7 @@ class MappingEvaluator {
     JobAnalysisTable table_;
     BwAllocator allocator_;
     Objective objective_ = Objective::Throughput;
-    mutable int64_t samples_ = 0;
+    mutable std::atomic<int64_t> samples_{0};
 };
 
 }  // namespace magma::sched

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "exec/cost_cache.h"
+
 namespace magma::sched {
 namespace {
 
@@ -32,7 +34,9 @@ JobAnalyzer::analyze(const dnn::JobGroup& group,
             auto it = memo.find(key);
             if (it == memo.end()) {
                 cost::CostResult r =
-                    model_->analyze(job.layer, job.batch, cfg);
+                    cache_ ? cache_->analyze(*model_, job.layer, job.batch,
+                                             cfg)
+                           : model_->analyze(job.layer, job.batch, cfg);
                 JobProfile p;
                 p.noStallSeconds = r.noStallSeconds(cfg);
                 p.reqBwGbps = r.reqBwGbps;

@@ -9,6 +9,10 @@
 #include "cost/cost_model.h"
 #include "dnn/workload.h"
 
+namespace magma::exec {
+class CostCache;
+}  // namespace magma::exec
+
 namespace magma::sched {
 
 /**
@@ -64,7 +68,16 @@ class JobAnalysisTable {
  */
 class JobAnalyzer {
   public:
-    explicit JobAnalyzer(const cost::CostModel& model) : model_(&model) {}
+    /**
+     * `cache`, when given, memoizes cost-model results process-wide
+     * (exec::CostCache) so repeated analyze() calls — BW sweeps,
+     * sub-accel-combination sweeps, identically-configured cores — skip
+     * the cost model entirely on a hit.
+     */
+    explicit JobAnalyzer(const cost::CostModel& model,
+                         exec::CostCache* cache = nullptr)
+        : model_(&model), cache_(cache)
+    {}
 
     /** Build the analysis table for a group on a platform. */
     JobAnalysisTable analyze(const dnn::JobGroup& group,
@@ -75,6 +88,7 @@ class JobAnalyzer {
 
   private:
     const cost::CostModel* model_;
+    exec::CostCache* cache_ = nullptr;
     mutable int64_t last_unique_ = 0;
 };
 

@@ -1,6 +1,8 @@
 /** @file End-to-end integration tests reproducing the paper's headline
  * orderings on reduced budgets. */
 
+#include <chrono>
+
 #include <gtest/gtest.h>
 
 #include "baselines/ai_mt_like.h"
