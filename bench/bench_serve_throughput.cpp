@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Serving-layer throughput harness: requests/sec of the online mapping
+ * service at 1/2/4 worker lanes, and the search cost the warm-start
+ * store amortizes away versus a cold-only service (the Table V effect,
+ * measured end-to-end through src/serve/).
+ *
+ * Protocol: one fixed multi-tenant trace (3 tenants, independently drawn
+ * Mix groups) is replayed per configuration. "cold" disables the store;
+ * "warm" lets every fingerprint hit run on a quarter of the cold budget.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/csv.h"
+#include "serve/service.h"
+
+using namespace magma;
+
+namespace {
+
+struct TraceResult {
+    double wallSeconds = 0.0;
+    int64_t samplesSpent = 0;
+    int64_t samplesSaved = 0;
+    int64_t warmServed = 0;
+};
+
+TraceResult
+replayTrace(int workers, bool warm, int requests, int group,
+            int64_t budget, uint64_t seed)
+{
+    serve::ServiceConfig cfg;
+    cfg.workers = workers;
+    serve::MappingService service(cfg);
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<serve::MapResponse>> futures;
+    futures.reserve(requests);
+    for (int i = 0; i < requests; ++i) {
+        serve::MapRequest req;
+        req.tenant = "tenant-" + std::to_string(i % 3);
+        req.task = dnn::TaskType::Mix;
+        req.groupSize = group;
+        req.workloadSeed = seed + i;
+        req.setting = accel::Setting::S2;
+        req.bwGbps = 4.0;
+        req.sampleBudget = budget;
+        req.seed = seed + i;
+        req.allowWarmStart = warm;
+        futures.push_back(service.submit(std::move(req)));
+    }
+    for (auto& f : futures)
+        f.get();
+
+    TraceResult r;
+    r.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    serve::ServiceStats s = service.stats();
+    r.samplesSpent = s.samplesSpent;
+    r.samplesSaved = s.samplesSaved;
+    r.warmServed = s.warmServed;
+    service.stop();
+    return r;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    bench::printHeader("Serving throughput: requests/sec and samples "
+                       "saved, 1/2/4 worker lanes");
+    common::CsvWriter csv("serve_throughput.csv",
+                          {"workers", "mode", "wall_s", "req_per_s",
+                           "samples_spent", "samples_saved",
+                           "warm_served"});
+
+    const int requests = args.full ? 24 : 12;
+    const int group = args.full ? 40 : 16;
+    const int64_t budget = args.budget(800);
+
+    std::printf("\n%d requests, group %d, cold budget %lld\n\n", requests,
+                group, static_cast<long long>(budget));
+    std::printf("%8s %6s %9s %9s %14s %14s %6s\n", "workers", "mode",
+                "wall-s", "req/s", "samples-spent", "samples-saved",
+                "warm");
+
+    double cold_1lane = 0.0;
+    for (int workers : {1, 2, 4}) {
+        for (bool warm : {false, true}) {
+            TraceResult r = replayTrace(workers, warm, requests, group,
+                                        budget, args.seed);
+            double rps = requests / std::max(r.wallSeconds, 1e-9);
+            if (workers == 1 && !warm)
+                cold_1lane = r.wallSeconds;
+            std::printf("%8d %6s %9.2f %9.1f %14lld %14lld %6lld", workers,
+                        warm ? "warm" : "cold", r.wallSeconds, rps,
+                        static_cast<long long>(r.samplesSpent),
+                        static_cast<long long>(r.samplesSaved),
+                        static_cast<long long>(r.warmServed));
+            if (cold_1lane > 0.0)
+                std::printf("   (%.2fx vs cold 1-lane)",
+                            cold_1lane / std::max(r.wallSeconds, 1e-9));
+            std::printf("\n");
+            csv.row({std::to_string(workers), warm ? "warm" : "cold",
+                     common::CsvWriter::num(r.wallSeconds),
+                     common::CsvWriter::num(rps),
+                     std::to_string(r.samplesSpent),
+                     std::to_string(r.samplesSaved),
+                     std::to_string(r.warmServed)});
+        }
+    }
+    std::printf("\nSeries written to serve_throughput.csv\n");
+    return 0;
+}

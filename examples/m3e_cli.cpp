@@ -11,11 +11,14 @@
  *   m3e_cli [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
  *           [--bw GBPS] [--group N] [--budget N] [--seed N]
  *           [--method NAME | --all] [--objective NAME]
- *           [--flexible] [--timeline] [--threads N]
+ *           [--flexible] [--timeline] [--threads N] [--stats]
  *
  * --threads N fans candidate evaluation out over N lanes (0 = auto via
  * MAGMA_THREADS env var / hardware concurrency); results are identical
  * at every thread count — only wall-clock changes.
+ *
+ * --stats prints the process-wide exec::CostCache counters (hits, misses,
+ * entries) after the run — how much cost-model work memoization skipped.
  *
  * Method names are the paper's labels ("MAGMA", "Herald-like", "stdGA",
  * "RL PPO2", ...). Objectives: throughput latency energy edp perf-per-watt.
@@ -27,6 +30,7 @@
 #include <vector>
 
 #include "analysis/timeline.h"
+#include "exec/cost_cache.h"
 #include "m3e/factory.h"
 #include "m3e/problem.h"
 
@@ -45,6 +49,7 @@ struct CliArgs {
     bool all = false;
     bool flexible = false;
     bool timeline = false;
+    bool stats = false;
     int threads = 1;
     sched::Objective objective = sched::Objective::Throughput;
 };
@@ -126,6 +131,8 @@ parse(int argc, char** argv)
             a.flexible = true;
         else if (flag == "--timeline")
             a.timeline = true;
+        else if (flag == "--stats")
+            a.stats = true;
         else if (flag == "--threads")
             a.threads = std::stoi(need(i++));
         else {
@@ -194,6 +201,16 @@ main(int argc, char** argv)
             runOne(m, *problem, args);
     } else {
         runOne(m3e::methodFromName(args.method), *problem, args);
+    }
+
+    if (args.stats) {
+        exec::CostCacheStats cc = exec::CostCache::global().stats();
+        std::printf("\ncost cache: %lld hits / %lld misses (%.1f%% hit "
+                    "rate), %lld entries\n",
+                    static_cast<long long>(cc.hits),
+                    static_cast<long long>(cc.misses),
+                    100.0 * cc.hitRate(),
+                    static_cast<long long>(cc.entries));
     }
     return 0;
 }

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * m3e_serve — CLI server for the online mapping service (src/serve/).
+ *
+ * Drives a synthetic multi-tenant request trace through a
+ * serve::MappingService: `--requests` mapping requests from `--tenants`
+ * round-robin tenants, each an independently drawn group of the chosen
+ * task, served on `--workers` concurrent lanes. Requests whose workload
+ * fingerprint is already in the MappingStore are warm-started on a
+ * quarter of the cold budget (Section V-C / Table V, now end-to-end).
+ *
+ * Usage:
+ *   m3e_serve [--requests N] [--tenants N] [--workers N] [--threads N]
+ *             [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
+ *             [--bw GBPS] [--group N] [--budget N] [--seed N]
+ *             [--store PATH] [--no-warm] [--quiet]
+ *
+ * --threads N sets evaluation lanes per request (0 = auto via
+ * MAGMA_THREADS / hardware concurrency). --store PATH loads the
+ * warm-start store at startup and saves it at shutdown, so a second run
+ * starts warm. --no-warm disables the store (cold baseline).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <chrono>
+
+#include "exec/cost_cache.h"
+#include "serve/service.h"
+
+using namespace magma;
+
+namespace {
+
+struct ServeArgs {
+    int requests = 12;
+    int tenants = 3;
+    int workers = 2;
+    int threads = 1;
+    dnn::TaskType task = dnn::TaskType::Mix;
+    accel::Setting setting = accel::Setting::S2;
+    double bw = 16.0;
+    int group = 24;
+    int64_t budget = 1600;
+    uint64_t seed = 1;
+    std::string storePath;
+    bool warm = true;
+    bool quiet = false;
+};
+
+dnn::TaskType
+parseTask(const std::string& s)
+{
+    for (dnn::TaskType t : {dnn::TaskType::Vision, dnn::TaskType::Language,
+                            dnn::TaskType::Recommendation,
+                            dnn::TaskType::Mix})
+        if (dnn::taskTypeName(t) == s)
+            return t;
+    std::fprintf(stderr, "unknown task '%s' (Vision|Lang|Recom|Mix)\n",
+                 s.c_str());
+    std::exit(2);
+}
+
+accel::Setting
+parseSetting(const std::string& s)
+{
+    for (accel::Setting st : {accel::Setting::S1, accel::Setting::S2,
+                              accel::Setting::S3, accel::Setting::S4,
+                              accel::Setting::S5, accel::Setting::S6})
+        if (accel::settingName(st) == s)
+            return st;
+    std::fprintf(stderr, "unknown setting '%s' (S1..S6)\n", s.c_str());
+    std::exit(2);
+}
+
+ServeArgs
+parse(int argc, char** argv)
+{
+    ServeArgs a;
+    auto need = [&](int i) {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(2);
+        }
+        return std::string(argv[i + 1]);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--requests")
+            a.requests = std::stoi(need(i++));
+        else if (flag == "--tenants")
+            a.tenants = std::stoi(need(i++));
+        else if (flag == "--workers")
+            a.workers = std::stoi(need(i++));
+        else if (flag == "--threads")
+            a.threads = std::stoi(need(i++));
+        else if (flag == "--task")
+            a.task = parseTask(need(i++));
+        else if (flag == "--setting")
+            a.setting = parseSetting(need(i++));
+        else if (flag == "--bw")
+            a.bw = std::stod(need(i++));
+        else if (flag == "--group")
+            a.group = std::stoi(need(i++));
+        else if (flag == "--budget")
+            a.budget = std::stoll(need(i++));
+        else if (flag == "--seed")
+            a.seed = std::stoull(need(i++));
+        else if (flag == "--store")
+            a.storePath = need(i++);
+        else if (flag == "--no-warm")
+            a.warm = false;
+        else if (flag == "--quiet")
+            a.quiet = true;
+        else {
+            std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+            std::exit(2);
+        }
+    }
+    a.requests = std::max(0, a.requests);
+    a.tenants = std::max(1, a.tenants);
+    a.workers = std::max(1, a.workers);
+    a.group = std::max(1, a.group);
+    return a;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    ServeArgs args = parse(argc, argv);
+
+    serve::ServiceConfig cfg;
+    cfg.workers = args.workers;
+    cfg.threadsPerRequest = args.threads;
+    cfg.storePath = args.storePath;
+    serve::MappingService service(cfg);
+
+    std::printf("mapping service: %d workers x %d eval lane(s), task %s, "
+                "%s @ %g GB/s, group %d, cold budget %lld%s\n",
+                args.workers, args.threads,
+                dnn::taskTypeName(args.task).c_str(),
+                accel::settingName(args.setting).c_str(), args.bw,
+                args.group, static_cast<long long>(args.budget),
+                args.storePath.empty()
+                    ? ""
+                    : (", store " + args.storePath).c_str());
+    if (service.store().size() > 0)
+        std::printf("loaded %lld stored solution(s) — starting warm\n",
+                    static_cast<long long>(service.store().size()));
+
+    // Synthetic multi-tenant trace: round-robin tenants, independently
+    // drawn groups (distinct workload seeds), a high-priority request
+    // every 5th submission.
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<serve::MapResponse>> futures;
+    futures.reserve(args.requests);
+    for (int i = 0; i < args.requests; ++i) {
+        serve::MapRequest req;
+        req.tenant = "tenant-" + std::to_string(i % args.tenants);
+        req.priority = (i % 5 == 0) ? 0 : 1;
+        req.task = args.task;
+        req.groupSize = args.group;
+        req.workloadSeed = args.seed + i;
+        req.setting = args.setting;
+        req.bwGbps = args.bw;
+        req.sampleBudget = args.budget;
+        req.seed = args.seed + i;
+        req.allowWarmStart = args.warm;
+        futures.push_back(service.submit(std::move(req)));
+    }
+
+    if (!args.quiet)
+        std::printf("\n%-4s %-10s %4s %-6s %12s %9s %9s %9s\n", "id",
+                    "tenant", "prio", "path", "fitness", "samples",
+                    "wait-ms", "serve-ms");
+    for (int i = 0; i < args.requests; ++i) {
+        serve::MapResponse r = futures[i].get();
+        if (args.quiet)
+            continue;
+        std::printf("%-4d %-10s %4d %-6s %12.2f %9lld %9.1f %9.1f\n", i,
+                    ("tenant-" + std::to_string(i % args.tenants)).c_str(),
+                    (i % 5 == 0) ? 0 : 1,
+                    r.warmStart ? (r.exactHit ? "warm" : "warm~") : "cold",
+                    r.bestFitness, static_cast<long long>(r.samplesUsed),
+                    r.waitSeconds * 1e3, r.serviceSeconds * 1e3);
+    }
+    service.drain();
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    serve::ServiceStats s = service.stats();
+    serve::StoreStats st = service.store().stats();
+    exec::CostCacheStats cc = exec::CostCache::global().stats();
+    std::printf("\nserved %lld requests in %.2f s (%.1f req/s): %lld cold, "
+                "%lld warm\n",
+                static_cast<long long>(s.served), wall,
+                s.served / std::max(wall, 1e-9),
+                static_cast<long long>(s.coldServed),
+                static_cast<long long>(s.warmServed));
+    std::printf("samples spent %lld, saved by warm starts %lld (%.0f%% of "
+                "a cold-only run)\n",
+                static_cast<long long>(s.samplesSpent),
+                static_cast<long long>(s.samplesSaved),
+                100.0 * s.samplesSaved /
+                    std::max<int64_t>(1, s.samplesSpent + s.samplesSaved));
+    std::printf("store: %lld entries, %lld exact + %lld coarse hits / %lld "
+                "lookups, mean transfer quality %.2f\n",
+                static_cast<long long>(service.store().size()),
+                static_cast<long long>(st.exactHits),
+                static_cast<long long>(st.coarseHits),
+                static_cast<long long>(st.lookups),
+                st.meanTransferQuality());
+    std::printf("cost cache: %lld hits / %lld misses (%.0f%% hit rate), "
+                "%lld entries\n",
+                static_cast<long long>(cc.hits),
+                static_cast<long long>(cc.misses), 100.0 * cc.hitRate(),
+                static_cast<long long>(cc.entries));
+
+    service.stop();
+    return 0;
+}

@@ -8,26 +8,41 @@
  * Shows the Table V effect: transferred solutions start near-optimal
  * (Trf-0-ep), and one epoch of refinement recovers most of the gap to a
  * full search at a tiny fraction of the cost.
+ *
+ * Since PR 2 this drives the real serving subsystem: every search goes
+ * through serve::MappingService, whose fingerprint-keyed MappingStore
+ * replaces the hand-held WarmStartEngine of the original loop — the
+ * legacy scenario and the production path can no longer drift apart.
  */
 
 #include <cstdio>
 
-#include "common/rng.h"
-#include "m3e/problem.h"
-#include "opt/magma_ga.h"
-#include "opt/warm_start.h"
+#include "serve/service.h"
 
 int
 main()
 {
     using namespace magma;
     const int group_size = 40;
-    const int pop = 40;
+    const int pop = 40;  // the service sets population = group size
     const dnn::TaskType task = dnn::TaskType::Mix;
+    const int64_t full_budget = static_cast<int64_t>(pop) * 50;
+    const int64_t one_epoch_budget = static_cast<int64_t>(pop) * 2;
 
     dnn::WorkloadGenerator gen(5);
-    opt::WarmStartEngine warm;
-    common::Rng rng(5);
+    serve::ServiceConfig cfg;
+    cfg.workers = 1;
+    serve::MappingService service(cfg);
+
+    auto makeRequest = [&](const dnn::JobGroup& group) {
+        serve::MapRequest req;
+        req.task = task;
+        req.group = group;
+        req.setting = accel::Setting::S4;
+        req.bwGbps = 1.0;
+        req.seed = 1;
+        return req;
+    };
 
     std::printf("Serving 6 consecutive %s groups on S4 at BW=1 GB/s\n\n",
                 dnn::taskTypeName(task).c_str());
@@ -35,44 +50,43 @@ main()
                 "warm(Trf-0-ep)", "warm(+1 ep)", "samples saved");
 
     for (int g = 0; g < 6; ++g) {
-        m3e::Problem problem(gen.makeGroup(task, group_size),
-                             accel::makeSetting(accel::Setting::S4, 1.0));
-        auto& eval = problem.evaluator();
+        dnn::JobGroup group = gen.makeGroup(task, group_size);
 
-        // Cold full search (the expensive path).
-        opt::MagmaConfig cfg;
-        cfg.population = pop;
-        opt::MagmaGa cold(1, cfg);
-        opt::SearchOptions full;
-        full.sampleBudget = pop * 50;
-        opt::SearchResult cold_res = cold.search(eval, full);
+        // Warm path first (Trf-0-ep + one refinement epoch) against the
+        // store as previous groups left it; read-only so the cold run
+        // below publishes this group's knowledge.
+        serve::MapResponse warm;
+        bool have_warm = service.store().size() > 0;
+        if (have_warm) {
+            serve::MapRequest req = makeRequest(group);
+            req.warmBudget = one_epoch_budget;
+            req.writeBack = false;
+            warm = service.submit(std::move(req)).get();
+        }
 
-        if (!warm.has(task)) {
+        // Cold full search (the expensive path); writes back to the store.
+        serve::MapRequest req = makeRequest(group);
+        req.allowWarmStart = false;
+        req.sampleBudget = full_budget;
+        serve::MapResponse cold = service.submit(std::move(req)).get();
+
+        if (!have_warm) {
             // First group: nothing to transfer yet.
             std::printf("%-8d %14.1f %16s %14s %12s\n", g,
-                        cold_res.bestFitness, "-", "-", "-");
+                        cold.bestFitness, "-", "-", "-");
         } else {
-            auto seeds = warm.makeSeeds(task, pop, problem.group(),
-                                        eval.numAccels(), rng);
-            double trf0 = 0.0;
-            for (const auto& s : seeds)
-                trf0 = std::max(trf0, eval.fitness(s));
-
-            opt::MagmaGa refine(2, cfg);
-            opt::SearchOptions one_epoch;
-            one_epoch.sampleBudget = pop * 2;
-            one_epoch.seeds = seeds;
-            double trf1 = refine.search(eval, one_epoch).bestFitness;
-
             std::printf("%-8d %14.1f %16.1f %14.1f %11lld\n", g,
-                        cold_res.bestFitness, trf0, trf1,
-                        static_cast<long long>(full.sampleBudget -
-                                               one_epoch.sampleBudget));
+                        cold.bestFitness, warm.trf0Fitness,
+                        warm.bestFitness,
+                        static_cast<long long>(full_budget -
+                                               warm.samplesUsed));
         }
-        warm.store(task, cold_res.best, problem.group());
     }
 
     std::printf("\nWarm-started groups reach a competitive mapping with "
-                "~%d samples instead of %d.\n", pop * 2, pop * 50);
+                "~%lld samples instead of %lld.\n",
+                static_cast<long long>(one_epoch_budget),
+                static_cast<long long>(full_budget));
+    service.stop();
     return 0;
 }

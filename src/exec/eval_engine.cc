@@ -6,7 +6,7 @@ std::vector<double>
 EvalEngine::evaluateBatch(const sched::Mapping* batch, size_t count) const
 {
     std::vector<double> fitness(count);
-    pool_.parallelFor(static_cast<int64_t>(count), [&](int64_t i) {
+    pool_->parallelFor(static_cast<int64_t>(count), [&](int64_t i) {
         fitness[i] = eval_->fitness(batch[i]);
     });
     return fitness;

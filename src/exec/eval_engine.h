@@ -1,6 +1,7 @@
 #ifndef MAGMA_EXEC_EVAL_ENGINE_H_
 #define MAGMA_EXEC_EVAL_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "exec/thread_pool.h"
@@ -34,12 +35,24 @@ class EvalEngine {
      * env var, else hardware concurrency).
      */
     explicit EvalEngine(const sched::MappingEvaluator& eval, int threads = 0)
-        : eval_(&eval), pool_(threads)
+        : eval_(&eval), owned_pool_(std::make_unique<ThreadPool>(threads)),
+          pool_(owned_pool_.get())
     {}
 
-    int numThreads() const { return pool_.numThreads(); }
+    /**
+     * Borrow an external pool instead of owning one — lets a long-lived
+     * service (src/serve/) reuse a single worker-lane pool across many
+     * back-to-back searches over different evaluators, avoiding thread
+     * churn per request. The pool must outlive the engine and must not
+     * have another batch in flight during evaluateBatch.
+     */
+    EvalEngine(const sched::MappingEvaluator& eval, ThreadPool& pool)
+        : eval_(&eval), pool_(&pool)
+    {}
+
+    int numThreads() const { return pool_->numThreads(); }
     const sched::MappingEvaluator& evaluator() const { return *eval_; }
-    ThreadPool& pool() { return pool_; }
+    ThreadPool& pool() { return *pool_; }
 
     /**
      * Fitness of `batch[first..first+count)`; result[i] corresponds to
@@ -57,7 +70,8 @@ class EvalEngine {
 
   private:
     const sched::MappingEvaluator* eval_;
-    mutable ThreadPool pool_;
+    std::unique_ptr<ThreadPool> owned_pool_;  // null when borrowing
+    ThreadPool* pool_;
 };
 
 }  // namespace magma::exec

@@ -28,6 +28,92 @@ jobKey(const dnn::Job& job, bool with_size)
 
 }  // namespace
 
+namespace transfer {
+
+sched::Mapping
+adaptPositional(const sched::Mapping& stored, int group_size,
+                int num_accels)
+{
+    sched::Mapping base;
+    base.accelSel.resize(group_size);
+    base.priority.resize(group_size);
+    int n = stored.size();
+    if (n == 0) {
+        // An empty stored solution carries no knowledge: fall back to a
+        // deterministic all-on-core-0, submission-order mapping instead
+        // of dividing by zero below.
+        for (int i = 0; i < group_size; ++i) {
+            base.accelSel[i] = 0;
+            base.priority[i] = (i + 0.5) / group_size;
+        }
+        return base;
+    }
+    for (int i = 0; i < group_size; ++i) {
+        base.accelSel[i] = std::min(stored.accelSel[i % n], num_accels - 1);
+        base.priority[i] = stored.priority[i % n];
+    }
+    return base;
+}
+
+sched::Mapping
+adaptJobMatched(const sched::Mapping& stored,
+                const dnn::JobGroup& stored_group,
+                const dnn::JobGroup& target, int num_accels,
+                common::Rng& rng)
+{
+    // Index the stored jobs by similarity bucket (fine and coarse).
+    std::unordered_map<std::string, std::vector<int>> fine, coarse;
+    for (int j = 0; j < stored_group.size(); ++j) {
+        fine[jobKey(stored_group.jobs[j], true)].push_back(j);
+        coarse[jobKey(stored_group.jobs[j], false)].push_back(j);
+    }
+
+    sched::Mapping base;
+    base.accelSel.resize(target.size());
+    base.priority.resize(target.size());
+    std::unordered_map<std::string, int> cursor;  // round-robin per bucket
+    for (int i = 0; i < target.size(); ++i) {
+        const dnn::Job& job = target.jobs[i];
+        const std::vector<int>* pool = nullptr;
+        std::string key = jobKey(job, true);
+        auto fit = fine.find(key);
+        if (fit != fine.end()) {
+            pool = &fit->second;
+        } else {
+            key = jobKey(job, false);
+            auto cit = coarse.find(key);
+            if (cit != coarse.end())
+                pool = &cit->second;
+        }
+        if (pool) {
+            int src = (*pool)[cursor[key]++ % pool->size()];
+            base.accelSel[i] = std::min(stored.accelSel[src],
+                                        num_accels - 1);
+            base.priority[i] = stored.priority[src];
+        } else {
+            base.accelSel[i] = rng.uniformInt(num_accels);
+            base.priority[i] = rng.uniform();
+        }
+    }
+    return base;
+}
+
+std::vector<sched::Mapping>
+seedsAround(const sched::Mapping& base, int count, int num_accels,
+            common::Rng& rng)
+{
+    std::vector<sched::Mapping> seeds;
+    seeds.push_back(base);
+    while (static_cast<int>(seeds.size()) < count) {
+        sched::Mapping m = base;
+        MagmaGa::mutate(m, 0.05, num_accels, rng);
+        seeds.push_back(std::move(m));
+    }
+    return seeds;
+}
+
+}  // namespace transfer
+
 void
 WarmStartEngine::store(dnn::TaskType task, const sched::Mapping& best)
 {
@@ -51,30 +137,13 @@ std::vector<sched::Mapping>
 WarmStartEngine::makeSeeds(dnn::TaskType task, int count, int group_size,
                            int num_accels, common::Rng& rng) const
 {
-    std::vector<sched::Mapping> seeds;
     auto it = library_.find(task);
     if (it == library_.end())
-        return seeds;
-
-    // Adapt the stored genome to the new group size by tiling/truncation,
-    // and clamp accel genes into the new platform's range.
-    const sched::Mapping& stored = it->second.mapping;
-    sched::Mapping base;
-    base.accelSel.resize(group_size);
-    base.priority.resize(group_size);
-    int n = stored.size();
-    for (int i = 0; i < group_size; ++i) {
-        base.accelSel[i] = std::min(stored.accelSel[i % n], num_accels - 1);
-        base.priority[i] = stored.priority[i % n];
-    }
-
-    seeds.push_back(base);
-    while (static_cast<int>(seeds.size()) < count) {
-        sched::Mapping m = base;
-        MagmaGa::mutate(m, 0.05, num_accels, rng);
-        seeds.push_back(std::move(m));
-    }
-    return seeds;
+        return {};
+    return transfer::seedsAround(
+        transfer::adaptPositional(it->second.mapping, group_size,
+                                  num_accels),
+        count, num_accels, rng);
 }
 
 std::vector<sched::Mapping>
@@ -88,50 +157,10 @@ WarmStartEngine::makeSeeds(dnn::TaskType task, int count,
     const Entry& entry = it->second;
     if (entry.group.jobs.empty())
         return makeSeeds(task, count, target.size(), num_accels, rng);
-
-    // Index the stored jobs by similarity bucket (fine and coarse).
-    std::unordered_map<std::string, std::vector<int>> fine, coarse;
-    for (int j = 0; j < entry.group.size(); ++j) {
-        fine[jobKey(entry.group.jobs[j], true)].push_back(j);
-        coarse[jobKey(entry.group.jobs[j], false)].push_back(j);
-    }
-
-    sched::Mapping base;
-    base.accelSel.resize(target.size());
-    base.priority.resize(target.size());
-    std::unordered_map<std::string, int> cursor;  // round-robin per bucket
-    for (int i = 0; i < target.size(); ++i) {
-        const dnn::Job& job = target.jobs[i];
-        const std::vector<int>* pool = nullptr;
-        std::string key = jobKey(job, true);
-        auto fit = fine.find(key);
-        if (fit != fine.end()) {
-            pool = &fit->second;
-        } else {
-            key = jobKey(job, false);
-            auto cit = coarse.find(key);
-            if (cit != coarse.end())
-                pool = &cit->second;
-        }
-        if (pool) {
-            int src = (*pool)[cursor[key]++ % pool->size()];
-            base.accelSel[i] = std::min(entry.mapping.accelSel[src],
-                                        num_accels - 1);
-            base.priority[i] = entry.mapping.priority[src];
-        } else {
-            base.accelSel[i] = rng.uniformInt(num_accels);
-            base.priority[i] = rng.uniform();
-        }
-    }
-
-    std::vector<sched::Mapping> seeds;
-    seeds.push_back(base);
-    while (static_cast<int>(seeds.size()) < count) {
-        sched::Mapping m = base;
-        MagmaGa::mutate(m, 0.05, num_accels, rng);
-        seeds.push_back(std::move(m));
-    }
-    return seeds;
+    return transfer::seedsAround(
+        transfer::adaptJobMatched(entry.mapping, entry.group, target,
+                                  num_accels, rng),
+        count, num_accels, rng);
 }
 
 }  // namespace magma::opt

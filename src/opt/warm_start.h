@@ -11,6 +11,40 @@
 namespace magma::opt {
 
 /**
+ * Solution-transfer primitives shared by WarmStartEngine and the serve
+ * layer's fingerprint-keyed MappingStore (src/serve/). Each adapts a
+ * stored solution to a new group, and `seedsAround` turns the adapted
+ * base into a seed population (the base verbatim plus mutated copies).
+ */
+namespace transfer {
+
+/**
+ * Positional adaptation: tile/truncate the stored genome onto
+ * `group_size` jobs by index, clamping accel genes into the new
+ * platform's range.
+ */
+sched::Mapping adaptPositional(const sched::Mapping& stored, int group_size,
+                               int num_accels);
+
+/**
+ * Job-matched adaptation: each job of `target` inherits the gene of a
+ * stored job in the same similarity bucket (task + layer type + log-size
+ * class, with a coarser task + layer type fallback); unmatched jobs draw
+ * random genes from `rng`.
+ */
+sched::Mapping adaptJobMatched(const sched::Mapping& stored,
+                               const dnn::JobGroup& stored_group,
+                               const dnn::JobGroup& target, int num_accels,
+                               common::Rng& rng);
+
+/** `base` verbatim plus `count - 1` lightly mutated copies. */
+std::vector<sched::Mapping> seedsAround(const sched::Mapping& base,
+                                        int count, int num_accels,
+                                        common::Rng& rng);
+
+}  // namespace transfer
+
+/**
  * Warm-start engine (Section V-C): remembers the best mapping found for
  * each task type and, when a new group of the same type arrives, takes
  * over population initialization from the random Init engine.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
 
 namespace magma::sched {
 
@@ -46,6 +49,40 @@ Mapping::fromFlat(const std::vector<double>& flat, int num_accels)
         m.priority[i] = std::clamp(flat[g + i], 0.0,
                                    std::nextafter(1.0, 0.0));
     }
+    return m;
+}
+
+std::string
+Mapping::toText() const
+{
+    std::ostringstream os;
+    os << size();
+    for (int a : accelSel)
+        os << ' ' << a;
+    char buf[32];
+    for (double p : priority) {
+        std::snprintf(buf, sizeof(buf), "%.17g", p);
+        os << ' ' << buf;
+    }
+    return os.str();
+}
+
+Mapping
+Mapping::fromText(const std::string& line)
+{
+    std::istringstream is(line);
+    int g = -1;
+    if (!(is >> g) || g < 0)
+        throw std::invalid_argument("Mapping::fromText: bad group size");
+    Mapping m;
+    m.accelSel.resize(g);
+    m.priority.resize(g);
+    for (int i = 0; i < g; ++i)
+        if (!(is >> m.accelSel[i]) || m.accelSel[i] < 0)
+            throw std::invalid_argument("Mapping::fromText: bad accel gene");
+    for (int i = 0; i < g; ++i)
+        if (!(is >> m.priority[i]))
+            throw std::invalid_argument("Mapping::fromText: bad priority");
     return m;
 }
 

@@ -1,6 +1,7 @@
 #ifndef MAGMA_SCHED_MAPPING_H_
 #define MAGMA_SCHED_MAPPING_H_
 
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -36,6 +37,16 @@ struct Mapping {
      * genes decoded as floor(v * num_accels).
      */
     static Mapping fromFlat(const std::vector<double>& flat, int num_accels);
+
+    /**
+     * One-line text form "G a0..a(G-1) p0..p(G-1)" with priorities printed
+     * at full precision (%.17g), so fromText(toText(m)) == m bitwise —
+     * the property the serve-layer MappingStore persistence relies on.
+     */
+    std::string toText() const;
+
+    /** Parse a toText() line; throws std::invalid_argument on bad input. */
+    static Mapping fromText(const std::string& line);
 
     bool operator==(const Mapping& o) const = default;
 };

@@ -1,0 +1,44 @@
+#ifndef MAGMA_SERVE_FINGERPRINT_H_
+#define MAGMA_SERVE_FINGERPRINT_H_
+
+#include <string>
+
+#include "accel/platform.h"
+#include "dnn/workload.h"
+#include "sched/evaluator.h"
+
+namespace magma::serve {
+
+/**
+ * Workload fingerprint — the MappingStore key (the productionized version
+ * of WarmStartEngine's task-type key). Two groups with the same
+ * fingerprint are "the same workload" for warm-start purposes.
+ *
+ * `key` covers everything transfer quality depends on: the task type, the
+ * platform regime (name + core count + system bandwidth), the objective
+ * being optimized, the layer-type histogram and the log-size-class
+ * signature of the group's jobs. `coarse` drops the histogram/signature,
+ * keeping task + platform regime + objective — the fallback tier for
+ * independently drawn groups of the same task distribution (the Table V
+ * transfer case, where job-matched adaptation bridges the composition
+ * difference). Bandwidth and objective stay in BOTH tiers: a mapping
+ * tuned for one regime (or its fitness value) is not comparable under
+ * another, so cross-regime transfer is never attempted.
+ *
+ * Keys are single tokens (no whitespace) so the store's text persistence
+ * can treat them as one field.
+ */
+struct Fingerprint {
+    std::string key;
+    std::string coarse;
+};
+
+/** Fingerprint of a job group on a platform under an objective.
+ * Deterministic: the same inputs always produce the same keys. */
+Fingerprint fingerprintOf(
+    const dnn::JobGroup& group, const accel::Platform& platform,
+    sched::Objective objective = sched::Objective::Throughput);
+
+}  // namespace magma::serve
+
+#endif  // MAGMA_SERVE_FINGERPRINT_H_

@@ -1,0 +1,417 @@
+#include "serve/mapping_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace magma::serve {
+namespace {
+
+dnn::TaskType
+taskTypeFromName(const std::string& name)
+{
+    for (dnn::TaskType t :
+         {dnn::TaskType::Vision, dnn::TaskType::Language,
+          dnn::TaskType::Recommendation, dnn::TaskType::Mix})
+        if (dnn::taskTypeName(t) == name)
+            return t;
+    throw std::invalid_argument("MappingStore: unknown task '" + name +
+                                "'");
+}
+
+dnn::LayerType
+layerTypeFromName(const std::string& name)
+{
+    for (dnn::LayerType t :
+         {dnn::LayerType::Conv2d, dnn::LayerType::DepthwiseConv2d,
+          dnn::LayerType::PointwiseConv2d, dnn::LayerType::FullyConnected})
+        if (dnn::layerTypeName(t) == name)
+            return t;
+    throw std::invalid_argument("MappingStore: unknown layer type '" +
+                                name + "'");
+}
+
+std::string
+fullPrecision(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+}  // namespace
+
+struct MappingStore::Shard {
+    struct Slot {
+        StoreEntry entry;
+        uint64_t lastUsed = 0;
+    };
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Slot> map;
+};
+
+MappingStore::MappingStore(int capacity, int shards)
+    : capacity_(std::max(1, capacity)),
+      num_shards_(std::max(1, shards)),
+      shards_(new Shard[std::max(1, shards)])
+{}
+
+MappingStore::~MappingStore() = default;
+
+MappingStore::Shard&
+MappingStore::shardFor(const std::string& key) const
+{
+    return shards_[std::hash<std::string>{}(key) % num_shards_];
+}
+
+std::optional<MappingStore::Hit>
+MappingStore::lookup(const Fingerprint& fp)
+{
+    {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        ++stats_.lookups;
+    }
+
+    // Tier 1: exact fine-fingerprint hit.
+    {
+        Shard& shard = shardFor(fp.key);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        auto it = shard.map.find(fp.key);
+        if (it != shard.map.end()) {
+            it->second.lastUsed =
+                clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::lock_guard<std::mutex> slk(stats_mu_);
+            ++stats_.exactHits;
+            return Hit{it->second.entry, /*exact=*/true};
+        }
+    }
+
+    // Tier 2: best entry sharing the coarse key (highest fitness, stable
+    // tie-break on key — deterministic for a fixed store content). The
+    // scan only records (key, fitness); the winning entry is copied once
+    // under its shard lock afterwards.
+    std::string best_key;
+    double best_fitness = 0.0;
+    for (int s = 0; s < num_shards_; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[s].mu);
+        for (const auto& [key, slot] : shards_[s].map) {
+            if (slot.entry.coarse != fp.coarse)
+                continue;
+            if (best_key.empty() || slot.entry.fitness > best_fitness ||
+                (slot.entry.fitness == best_fitness && key < best_key)) {
+                best_key = key;
+                best_fitness = slot.entry.fitness;
+            }
+        }
+    }
+    if (!best_key.empty()) {
+        Shard& shard = shardFor(best_key);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        auto it = shard.map.find(best_key);
+        if (it != shard.map.end()) {
+            it->second.lastUsed =
+                clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+            std::lock_guard<std::mutex> slk(stats_mu_);
+            ++stats_.coarseHits;
+            return Hit{it->second.entry, /*exact=*/false};
+        }
+        // Evicted between scan and re-lock (rare race): fall through to
+        // a miss rather than serving a stale copy.
+    }
+
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+bool
+MappingStore::update(const Fingerprint& fp, dnn::TaskType task,
+                     const sched::Mapping& best, const dnn::JobGroup& group,
+                     double fitness, int64_t samples_invested)
+{
+    if (best.size() == 0)
+        return false;  // an empty mapping carries no transferable knowledge
+    bool changed = false;
+    bool inserted = false;
+    {
+        Shard& shard = shardFor(fp.key);
+        std::lock_guard<std::mutex> lk(shard.mu);
+        auto it = shard.map.find(fp.key);
+        uint64_t now = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (it == shard.map.end()) {
+            Shard::Slot slot;
+            slot.entry = StoreEntry{fp.key,  fp.coarse, task,
+                                    best,    group,     fitness,
+                                    samples_invested};
+            slot.lastUsed = now;
+            shard.map.emplace(fp.key, std::move(slot));
+            changed = inserted = true;
+        } else if (fitness > it->second.entry.fitness) {
+            it->second.entry.mapping = best;
+            it->second.entry.group = group;
+            it->second.entry.fitness = fitness;
+            it->second.entry.samplesInvested += samples_invested;
+            it->second.lastUsed = now;
+            changed = true;
+        } else {
+            it->second.entry.samplesInvested += samples_invested;
+            it->second.lastUsed = now;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        if (inserted) {
+            ++stats_.inserts;
+            ++stats_.entries;
+        } else if (changed) {
+            ++stats_.improvements;
+        } else {
+            ++stats_.rejects;
+        }
+    }
+    if (inserted)
+        enforceCapacity();
+    return changed;
+}
+
+void
+MappingStore::enforceCapacity()
+{
+    // Lock every shard in index order (the store-wide operations — this,
+    // save, load, clear — all use the same order, so they cannot
+    // deadlock with one another).
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(num_shards_);
+    for (int s = 0; s < num_shards_; ++s)
+        locks.emplace_back(shards_[s].mu);
+
+    int64_t total = 0;
+    for (int s = 0; s < num_shards_; ++s)
+        total += static_cast<int64_t>(shards_[s].map.size());
+
+    int64_t evicted = 0;
+    while (total > capacity_) {
+        int victim_shard = -1;
+        std::string victim_key;
+        uint64_t oldest = 0;
+        for (int s = 0; s < num_shards_; ++s) {
+            for (const auto& [key, slot] : shards_[s].map) {
+                if (victim_shard < 0 || slot.lastUsed < oldest ||
+                    (slot.lastUsed == oldest && key < victim_key)) {
+                    victim_shard = s;
+                    victim_key = key;
+                    oldest = slot.lastUsed;
+                }
+            }
+        }
+        shards_[victim_shard].map.erase(victim_key);
+        --total;
+        ++evicted;
+    }
+    if (evicted) {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        stats_.evictions += evicted;
+        stats_.entries -= evicted;
+    }
+}
+
+void
+MappingStore::recordTransferQuality(double trf0_over_refined)
+{
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.transferQualitySum += trf0_over_refined;
+    ++stats_.transferQualityCount;
+}
+
+StoreStats
+MappingStore::stats() const
+{
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    return stats_;
+}
+
+int64_t
+MappingStore::size() const
+{
+    int64_t total = 0;
+    for (int s = 0; s < num_shards_; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[s].mu);
+        total += static_cast<int64_t>(shards_[s].map.size());
+    }
+    return total;
+}
+
+void
+MappingStore::clear()
+{
+    for (int s = 0; s < num_shards_; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[s].mu);
+        shards_[s].map.clear();
+    }
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_ = StoreStats{};
+}
+
+// ------------------------------------------------------- persistence ---
+
+void
+MappingStore::save(std::ostream& os) const
+{
+    std::vector<StoreEntry> entries;
+    {
+        std::vector<std::unique_lock<std::mutex>> locks;
+        locks.reserve(num_shards_);
+        for (int s = 0; s < num_shards_; ++s)
+            locks.emplace_back(shards_[s].mu);
+        for (int s = 0; s < num_shards_; ++s)
+            for (const auto& [key, slot] : shards_[s].map)
+                entries.push_back(slot.entry);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const StoreEntry& a, const StoreEntry& b) {
+                  return a.key < b.key;
+              });
+
+    os << "magma-mapping-store v1 " << entries.size() << "\n";
+    for (const StoreEntry& e : entries) {
+        os << "entry\n";
+        os << "key " << e.key << "\n";
+        os << "coarse " << e.coarse << "\n";
+        os << "task " << dnn::taskTypeName(e.task) << "\n";
+        os << "fitness " << fullPrecision(e.fitness) << "\n";
+        os << "samples " << e.samplesInvested << "\n";
+        os << "mapping " << e.mapping.toText() << "\n";
+        os << "jobs " << e.group.size() << "\n";
+        for (const dnn::Job& j : e.group.jobs) {
+            const dnn::LayerShape& l = j.layer;
+            os << "job " << j.id << " " << dnn::taskTypeName(j.task) << " "
+               << dnn::layerTypeName(l.type) << " " << l.k << " " << l.c
+               << " " << l.y << " " << l.x << " " << l.r << " " << l.s
+               << " " << l.stride << " " << j.batch << " " << j.model
+               << "\n";
+        }
+        os << "end\n";
+    }
+}
+
+bool
+MappingStore::saveFile(const std::string& path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    save(os);
+    return static_cast<bool>(os);
+}
+
+void
+MappingStore::load(std::istream& is)
+{
+    auto fail = [](const std::string& what) -> void {
+        throw std::invalid_argument("MappingStore::load: " + what);
+    };
+    auto expectField = [&](std::istream& line_is, const std::string& line,
+                           const std::string& field) {
+        std::string tag;
+        if (!(line_is >> tag) || tag != field)
+            fail("expected '" + field + "' line, got '" + line + "'");
+    };
+
+    std::string line;
+    if (!std::getline(is, line))
+        fail("empty stream");
+    std::istringstream header(line);
+    std::string magic, version;
+    size_t count = 0;
+    if (!(header >> magic >> version >> count) ||
+        magic != "magma-mapping-store" || version != "v1")
+        fail("bad header '" + line + "'");
+
+    // Parse the whole stream before touching the store, so a malformed
+    // stream leaves the current content intact (atomic replace).
+    std::vector<StoreEntry> parsed;
+    parsed.reserve(count);
+    for (size_t n = 0; n < count; ++n) {
+        if (!std::getline(is, line) || line != "entry")
+            fail("expected 'entry'");
+
+        StoreEntry e;
+        int64_t jobs = 0;
+        auto field = [&](const std::string& name) -> std::istringstream {
+            if (!std::getline(is, line))
+                fail("truncated entry");
+            std::istringstream line_is(line);
+            expectField(line_is, line, name);
+            return line_is;
+        };
+
+        if (!(field("key") >> e.key) || e.key.empty())
+            fail("bad key");
+        if (!(field("coarse") >> e.coarse) || e.coarse.empty())
+            fail("bad coarse key");
+        std::string task_name;
+        if (!(field("task") >> task_name))
+            fail("bad task");
+        e.task = taskTypeFromName(task_name);
+        if (!(field("fitness") >> e.fitness))
+            fail("bad fitness");
+        if (!(field("samples") >> e.samplesInvested))
+            fail("bad samples");
+        {
+            auto line_is = field("mapping");
+            std::string rest;
+            std::getline(line_is, rest);
+            e.mapping = sched::Mapping::fromText(rest);
+        }
+        if (!(field("jobs") >> jobs) || jobs < 0)
+            fail("bad job count");
+        e.group.task = e.task;
+        e.group.jobs.reserve(jobs);
+        for (int64_t j = 0; j < jobs; ++j) {
+            auto line_is = field("job");
+            dnn::Job job;
+            std::string jtask, jtype;
+            dnn::LayerShape& l = job.layer;
+            if (!(line_is >> job.id >> jtask >> jtype >> l.k >> l.c >>
+                  l.y >> l.x >> l.r >> l.s >> l.stride >> job.batch))
+                fail("bad job line '" + line + "'");
+            job.task = taskTypeFromName(jtask);
+            l.type = layerTypeFromName(jtype);
+            std::getline(line_is >> std::ws, job.model);
+            e.group.jobs.push_back(std::move(job));
+        }
+        if (!std::getline(is, line) || line != "end")
+            fail("expected 'end'");
+        parsed.push_back(std::move(e));
+    }
+
+    clear();
+    for (StoreEntry& e : parsed) {
+        Fingerprint fp{e.key, e.coarse};
+        update(fp, e.task, e.mapping, e.group, e.fitness,
+               e.samplesInvested);
+    }
+
+    // Reloaded knowledge starts with fresh process counters: only the
+    // entry count describes the store itself.
+    int64_t entries = size();
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_ = StoreStats{};
+    stats_.entries = entries;
+}
+
+bool
+MappingStore::loadFile(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    load(is);
+    return true;
+}
+
+}  // namespace magma::serve

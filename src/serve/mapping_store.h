@@ -1,0 +1,146 @@
+#ifndef MAGMA_SERVE_MAPPING_STORE_H_
+#define MAGMA_SERVE_MAPPING_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dnn/workload.h"
+#include "sched/mapping.h"
+#include "serve/fingerprint.h"
+
+namespace magma::serve {
+
+/** One remembered solution: the mapping, the group it solved (enabling
+ * job-matched transfer), and its provenance. */
+struct StoreEntry {
+    std::string key;     ///< fine fingerprint
+    std::string coarse;  ///< coarse fingerprint tier
+    dnn::TaskType task = dnn::TaskType::Mix;
+    sched::Mapping mapping;
+    dnn::JobGroup group;
+    double fitness = 0.0;
+    int64_t samplesInvested = 0;  ///< search samples spent on this solution
+};
+
+/** Aggregate store counters, surfaced by MappingStore::stats(). */
+struct StoreStats {
+    int64_t lookups = 0;
+    int64_t exactHits = 0;   ///< fine-fingerprint hits
+    int64_t coarseHits = 0;  ///< task+platform fallback hits
+    int64_t misses = 0;
+    int64_t inserts = 0;       ///< new keys written
+    int64_t improvements = 0;  ///< existing keys replaced by better fitness
+    int64_t rejects = 0;       ///< write-backs losing to the incumbent
+    int64_t evictions = 0;     ///< LRU evictions past capacity
+    int64_t entries = 0;       ///< current size
+    /** Transfer quality: mean of (Trf-0-ep fitness / refined fitness)
+     * across warm requests that reported it — 1.0 means transferred
+     * solutions needed no refinement at all. */
+    double transferQualitySum = 0.0;
+    int64_t transferQualityCount = 0;
+
+    double hitRate() const
+    {
+        return lookups ? static_cast<double>(exactHits + coarseHits) /
+                             lookups
+                       : 0.0;
+    }
+    double meanTransferQuality() const
+    {
+        return transferQualityCount
+                   ? transferQualitySum / transferQualityCount
+                   : 0.0;
+    }
+};
+
+/**
+ * Fingerprint-keyed warm-start store — the productionized WarmStartEngine
+ * (Section V-C) behind the MappingService:
+ *
+ *  - keyed by workload Fingerprint with a two-tier lookup: exact fine key
+ *    first, then the best entry sharing the coarse (task + platform) key;
+ *  - bounded: at most `capacity` entries, least-recently-used evicted;
+ *  - mutex-sharded: lookups and write-backs from concurrent worker lanes
+ *    contend per shard, not store-wide;
+ *  - persistent: save()/load() stream a line-based text format (mappings
+ *    via Mapping::toText, bitwise exact) so warm-start knowledge survives
+ *    process restarts.
+ *
+ * Write-backs keep the better solution per key, so concurrent tenants of
+ * one workload type compound each other's knowledge.
+ */
+class MappingStore {
+  public:
+    explicit MappingStore(int capacity = 64, int shards = 8);
+    ~MappingStore();  // out-of-line: Shard is incomplete here
+
+    /** A lookup hit: a copy of the entry plus which tier matched. */
+    struct Hit {
+        StoreEntry entry;
+        bool exact = false;
+    };
+
+    /**
+     * Two-tier lookup. Among coarse candidates the highest-fitness entry
+     * wins (stable tie-break on key), so the result depends only on store
+     * content, never on shard iteration order. Bumps the hit's LRU clock.
+     */
+    std::optional<Hit> lookup(const Fingerprint& fp);
+
+    /**
+     * Insert or improve the entry for `fp.key`. An existing entry is
+     * replaced only when `fitness` beats it (first-writer wins ties), so
+     * racing write-backs converge on the best known solution. Returns
+     * true when the store changed. May evict the LRU entry past capacity.
+     */
+    bool update(const Fingerprint& fp, dnn::TaskType task,
+                const sched::Mapping& best, const dnn::JobGroup& group,
+                double fitness, int64_t samples_invested);
+
+    /** Report a warm request's Trf-0-ep / refined fitness ratio. */
+    void recordTransferQuality(double trf0_over_refined);
+
+    StoreStats stats() const;
+    int64_t size() const;
+    int capacity() const { return capacity_; }
+    void clear();
+
+    /** Write every entry (sorted by key, deterministic) to the stream. */
+    void save(std::ostream& os) const;
+    /** Save to a file; returns false when the file cannot be opened. */
+    bool saveFile(const std::string& path) const;
+
+    /**
+     * Replace the store content with the stream's entries. Atomic:
+     * throws std::invalid_argument on a malformed stream and leaves the
+     * current content untouched. Counters other than `entries` are not
+     * restored — they describe the process, not the knowledge.
+     */
+    void load(std::istream& is);
+    /** Load from a file; returns false when the file cannot be opened. */
+    bool loadFile(const std::string& path);
+
+  private:
+    struct Shard;
+
+    Shard& shardFor(const std::string& key) const;
+    /** Evict LRU entries until size <= capacity (locks all shards). */
+    void enforceCapacity();
+
+    int capacity_;
+    int num_shards_;
+    std::unique_ptr<Shard[]> shards_;
+    mutable std::mutex stats_mu_;
+    StoreStats stats_;
+    std::atomic<uint64_t> clock_{0};  ///< LRU tick source
+};
+
+}  // namespace magma::serve
+
+#endif  // MAGMA_SERVE_MAPPING_STORE_H_

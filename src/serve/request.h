@@ -1,0 +1,74 @@
+#ifndef MAGMA_SERVE_REQUEST_H_
+#define MAGMA_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "accel/platform.h"
+#include "dnn/workload.h"
+#include "sched/evaluator.h"
+#include "sched/mapping.h"
+
+namespace magma::serve {
+
+/**
+ * One mapping request submitted to the MappingService (the online version
+ * of the Section V-C scenario: groups of jobs keep arriving and the
+ * mapper amortizes search cost by transferring previous solutions).
+ *
+ * The workload is either an explicit `group`, or — when `group` is empty
+ * — a spec (`task`, `groupSize`, `workloadSeed`) the service expands via
+ * WorkloadGenerator. Everything that influences the result is carried in
+ * the request, so a request with a fixed `seed` yields a bitwise
+ * identical mapping regardless of queue interleaving (given the same
+ * store view, see `allowWarmStart`/`writeBack`).
+ */
+struct MapRequest {
+    // -- admission ------------------------------------------------------
+    std::string tenant = "default";
+    int priority = 0;  ///< lower is more urgent; FIFO + fair within a level
+
+    // -- workload -------------------------------------------------------
+    dnn::TaskType task = dnn::TaskType::Mix;
+    dnn::JobGroup group;       ///< explicit jobs; generated from spec if empty
+    int groupSize = 40;        ///< spec: jobs per generated group
+    uint64_t workloadSeed = 1; ///< spec: WorkloadGenerator seed
+
+    // -- platform -------------------------------------------------------
+    accel::Setting setting = accel::Setting::S2;
+    double bwGbps = 16.0;
+    bool flexible = false;  ///< Fig. 14 flexible-array variant
+
+    // -- search ---------------------------------------------------------
+    sched::Objective objective = sched::Objective::Throughput;
+    int64_t sampleBudget = 2000;  ///< cold-search budget
+    uint64_t seed = 1;            ///< optimizer seed
+
+    // -- warm start -----------------------------------------------------
+    bool allowWarmStart = true;  ///< seed from the MappingStore on a hit
+    bool writeBack = true;       ///< publish improved solutions to the store
+    /** Budget on a store hit; <= 0 selects sampleBudget / 4 (the Table V
+     * regime: transferred solutions need a fraction of the cold cost). */
+    int64_t warmBudget = 0;
+};
+
+/** Outcome of one served request. */
+struct MapResponse {
+    sched::Mapping best;
+    double bestFitness = 0.0;
+    int64_t samplesUsed = 0;
+
+    bool warmStart = false;  ///< store hit: search was seeded
+    bool exactHit = false;   ///< hit on the full fingerprint (not coarse)
+    std::string fingerprint; ///< fingerprint key of the served workload
+    /** Best transferred-seed fitness before refinement (Trf-0-ep). */
+    double trf0Fitness = 0.0;
+
+    int64_t serveOrder = 0;      ///< global admission index (fairness probe)
+    double waitSeconds = 0.0;    ///< time spent queued
+    double serviceSeconds = 0.0; ///< time spent searching
+};
+
+}  // namespace magma::serve
+
+#endif  // MAGMA_SERVE_REQUEST_H_

@@ -1,0 +1,385 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+
+#include "exec/eval_engine.h"
+#include "exec/thread_pool.h"
+#include "m3e/problem.h"
+#include "opt/magma_ga.h"
+#include "opt/warm_start.h"
+#include "serve/fingerprint.h"
+
+namespace magma::serve {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+}  // namespace
+
+MappingService::MappingService(ServiceConfig cfg)
+    : cfg_(cfg),
+      store_(cfg.storeCapacity, cfg.storeShards)
+{
+    cfg_.workers = std::max(1, cfg_.workers);
+    if (!cfg_.storePath.empty()) {
+        try {
+            store_.loadFile(cfg_.storePath);  // false (absent file) is fine
+        } catch (const std::exception& e) {
+            // A corrupt store file must not keep the service down; start
+            // cold instead.
+            std::fprintf(stderr,
+                         "MappingService: ignoring store '%s': %s\n",
+                         cfg_.storePath.c_str(), e.what());
+            store_.clear();
+        }
+    }
+    if (cfg_.autoStart)
+        start();
+}
+
+MappingService::~MappingService()
+{
+    stop();
+}
+
+void
+MappingService::start()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (running_ || stopping_)
+        return;
+    running_ = true;
+    workers_.reserve(cfg_.workers);
+    for (int w = 0; w < cfg_.workers; ++w)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+std::future<MapResponse>
+MappingService::submit(MapRequest req)
+{
+    Pending p;
+    p.req = std::move(req);
+    p.enqueued = std::chrono::steady_clock::now();
+    std::future<MapResponse> future = p.promise.get_future();
+
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_)
+        throw std::runtime_error("MappingService: submit after stop()");
+    p.seq = next_seq_++;
+    std::string tenant = p.req.tenant;
+    bool newly_active = !tenantQueued(tenant);
+    queue_[p.req.priority][tenant].push_back(std::move(p));
+    if (newly_active) {
+        // The tenant joins the round-robin at the CURRENT round: rebase
+        // its admission count to the minimum among the tenants already
+        // waiting. Without this, a late joiner (count 0) would be served
+        // exclusively until it caught up with long-running tenants —
+        // starving them — and a returning tenant with an old high count
+        // would itself be starved.
+        bool found = false;
+        int64_t min_other = 0;
+        for (const auto& [prio, tenants] : queue_) {
+            for (const auto& [t, fifo] : tenants) {
+                if (t == tenant || fifo.empty())
+                    continue;
+                int64_t c = 0;
+                if (auto it = admitted_.find(t); it != admitted_.end())
+                    c = it->second;
+                if (!found || c < min_other) {
+                    min_other = c;
+                    found = true;
+                }
+            }
+        }
+        admitted_[tenant] = found ? min_other : 0;
+    }
+    ++queue_depth_;
+    ++stats_.submitted;
+    work_cv_.notify_one();
+    return future;
+}
+
+bool
+MappingService::tenantQueued(const std::string& tenant) const
+{
+    for (const auto& [prio, tenants] : queue_) {
+        auto it = tenants.find(tenant);
+        if (it != tenants.end() && !it->second.empty())
+            return true;
+    }
+    return false;
+}
+
+bool
+MappingService::queueEmpty() const
+{
+    return queue_depth_ == 0;
+}
+
+MappingService::Pending
+MappingService::popNext()
+{
+    // Strict priority levels; within a level, the tenant admitted least
+    // often goes next (ties to the earliest waiting head request), FIFO
+    // within a tenant.
+    auto& level = queue_.begin()->second;
+    std::string best_tenant;
+    int64_t best_admitted = 0;
+    uint64_t best_seq = 0;
+    for (auto& [tenant, fifo] : level) {
+        int64_t admitted = 0;
+        if (auto it = admitted_.find(tenant); it != admitted_.end())
+            admitted = it->second;
+        uint64_t head_seq = fifo.front().seq;
+        if (best_tenant.empty() || admitted < best_admitted ||
+            (admitted == best_admitted && head_seq < best_seq)) {
+            best_tenant = tenant;
+            best_admitted = admitted;
+            best_seq = head_seq;
+        }
+    }
+
+    auto fifo_it = level.find(best_tenant);
+    Pending p = std::move(fifo_it->second.front());
+    fifo_it->second.pop_front();
+    if (fifo_it->second.empty())
+        level.erase(fifo_it);
+    if (level.empty())
+        queue_.erase(queue_.begin());
+    ++admitted_[best_tenant];
+    // Forget counts of tenants that left the queue — they rejoin at the
+    // current round via submit()'s rebase, and the map stays bounded by
+    // the number of concurrently waiting tenants.
+    if (!tenantQueued(best_tenant))
+        admitted_.erase(best_tenant);
+    --queue_depth_;
+    return p;
+}
+
+void
+MappingService::workerLoop()
+{
+    // Each lane owns its evaluation pool for its whole lifetime, so
+    // back-to-back requests reuse warm threads instead of spawning a
+    // pool per search. threadsPerRequest == 1 keeps the serial path.
+    std::unique_ptr<exec::ThreadPool> lane_pool;
+    if (cfg_.threadsPerRequest != 1)
+        lane_pool =
+            std::make_unique<exec::ThreadPool>(cfg_.threadsPerRequest);
+
+    while (true) {
+        Pending p;
+        int64_t serve_order = 0;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            work_cv_.wait(lk,
+                          [this] { return stopping_ || !queueEmpty(); });
+            if (queueEmpty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            p = popNext();
+            serve_order = next_serve_order_++;
+            ++in_flight_;
+        }
+
+        double wait_seconds = secondsSince(p.enqueued);
+        auto t0 = std::chrono::steady_clock::now();
+        MapResponse resp;
+        std::exception_ptr error;
+        try {
+            resp = serveOne(p.req, lane_pool.get());
+            resp.serveOrder = serve_order;
+            resp.waitSeconds = wait_seconds;
+            resp.serviceSeconds = secondsSince(t0);
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        // Commit the counters before fulfilling the future, so a caller
+        // that reads stats() right after future.get() sees this request.
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            --in_flight_;
+            if (error) {
+                ++stats_.failed;
+            } else {
+                ++stats_.served;
+                resp.warmStart ? ++stats_.warmServed : ++stats_.coldServed;
+                stats_.samplesSpent += resp.samplesUsed;
+                if (resp.warmStart)
+                    stats_.samplesSaved += std::max<int64_t>(
+                        0, p.req.sampleBudget - resp.samplesUsed);
+            }
+            if (queueEmpty() && in_flight_ == 0)
+                idle_cv_.notify_all();
+        }
+        if (error)
+            p.promise.set_exception(error);
+        else
+            p.promise.set_value(std::move(resp));
+    }
+}
+
+MapResponse
+MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
+{
+    // 1. Materialize the workload and platform from the request.
+    dnn::JobGroup group = req.group;
+    if (group.jobs.empty()) {
+        dnn::WorkloadGenerator gen(req.workloadSeed);
+        group = gen.makeGroup(req.task, req.groupSize);
+    }
+    accel::Platform platform =
+        req.flexible ? accel::makeFlexibleSetting(req.setting, req.bwGbps)
+                     : accel::makeSetting(req.setting, req.bwGbps);
+    Fingerprint fp = fingerprintOf(group, platform, req.objective);
+
+    m3e::Problem problem(std::move(group), std::move(platform));
+    sched::MappingEvaluator& eval = problem.evaluator();
+    eval.setObjective(req.objective);
+
+    // Paper's setting: population tracks group size (Section V-B2).
+    const int pop = std::clamp(eval.groupSize(), 8, 100);
+
+    MapResponse resp;
+    resp.fingerprint = fp.key;
+
+    // 2. Warm start: transfer the store's solution when the fingerprint
+    // (or its coarse tier) is known.
+    opt::SearchOptions opts;
+    opts.sampleBudget = req.sampleBudget;
+    std::optional<MappingStore::Hit> hit;
+    if (req.allowWarmStart)
+        hit = store_.lookup(fp);
+    if (hit) {
+        common::Rng seed_rng(req.seed ^ 0x5eedbeefULL);
+        sched::Mapping base =
+            hit->entry.group.jobs.empty()
+                ? opt::transfer::adaptPositional(hit->entry.mapping,
+                                                 eval.groupSize(),
+                                                 eval.numAccels())
+                : opt::transfer::adaptJobMatched(
+                      hit->entry.mapping, hit->entry.group,
+                      problem.group(), eval.numAccels(), seed_rng);
+        opts.seeds = opt::transfer::seedsAround(base, pop,
+                                                eval.numAccels(),
+                                                seed_rng);
+        opts.sampleBudget = req.warmBudget > 0
+                                ? req.warmBudget
+                                : std::max<int64_t>(pop,
+                                                    req.sampleBudget / 4);
+        // The convergence curve gives Trf-0-ep for free: the search
+        // evaluates the seeds first, so best-so-far after them is the
+        // transferred quality before any refinement.
+        opts.recordConvergence = true;
+        resp.warmStart = true;
+        resp.exactHit = hit->exact;
+    }
+
+    // 3. Search on this lane's engine.
+    std::unique_ptr<exec::EvalEngine> engine;
+    if (lane_pool) {
+        engine = std::make_unique<exec::EvalEngine>(eval, *lane_pool);
+        opts.engine = engine.get();
+    }
+    opt::MagmaConfig cfg;
+    cfg.population = pop;
+    opt::MagmaGa ga(req.seed, cfg);
+    opt::SearchResult res = ga.search(eval, opts);
+
+    resp.best = res.best;
+    resp.bestFitness = res.bestFitness;
+    resp.samplesUsed = res.samplesUsed;
+    if (resp.warmStart && !res.convergence.empty()) {
+        size_t seeds_end = std::min(opts.seeds.size(),
+                                    res.convergence.size());
+        resp.trf0Fitness = res.convergence[seeds_end - 1];
+    }
+
+    // 4. Publish improved knowledge. Transfer quality is only meaningful
+    // when refinement actually ran past the seeds — otherwise trf0 and
+    // the final fitness are the same number by construction.
+    if (req.writeBack) {
+        store_.update(fp, problem.group().task, res.best, problem.group(),
+                      res.bestFitness, res.samplesUsed);
+        bool refined = res.samplesUsed >
+                       static_cast<int64_t>(opts.seeds.size());
+        if (resp.warmStart && refined && res.bestFitness > 0.0)
+            store_.recordTransferQuality(resp.trf0Fitness /
+                                         res.bestFitness);
+    }
+    return resp;
+}
+
+void
+MappingService::drain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!running_ && !queueEmpty())
+        throw std::runtime_error(
+            "MappingService::drain: service not started");
+    idle_cv_.wait(lk, [this] {
+        return (queueEmpty() && in_flight_ == 0) || stopping_;
+    });
+}
+
+void
+MappingService::stop()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+        work_cv_.notify_all();
+        idle_cv_.notify_all();
+    }
+    for (std::thread& w : workers_)
+        w.join();
+    workers_.clear();
+
+    // A never-started service may still hold queued requests: fail their
+    // futures rather than leaving them hanging.
+    std::map<int, std::map<std::string, std::deque<Pending>>> orphans;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        orphans.swap(queue_);
+        queue_depth_ = 0;
+        running_ = false;
+    }
+    for (auto& [prio, tenants] : orphans)
+        for (auto& [tenant, fifo] : tenants)
+            for (Pending& p : fifo)
+                p.promise.set_exception(std::make_exception_ptr(
+                    std::runtime_error("MappingService stopped before "
+                                       "serving this request")));
+
+    if (!cfg_.storePath.empty() && !store_.saveFile(cfg_.storePath))
+        std::fprintf(stderr, "MappingService: could not save store '%s'\n",
+                     cfg_.storePath.c_str());
+}
+
+ServiceStats
+MappingService::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    ServiceStats s = stats_;
+    s.queueDepth = queue_depth_;
+    s.inFlight = in_flight_;
+    return s;
+}
+
+}  // namespace magma::serve

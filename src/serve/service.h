@@ -1,0 +1,160 @@
+#ifndef MAGMA_SERVE_SERVICE_H_
+#define MAGMA_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/mapping_store.h"
+#include "serve/request.h"
+
+namespace magma::exec {
+class ThreadPool;
+}  // namespace magma::exec
+
+namespace magma::serve {
+
+/** MappingService knobs. */
+struct ServiceConfig {
+    /** Concurrent requests in flight (worker lanes). */
+    int workers = 1;
+    /**
+     * Evaluation lanes per request (exec::ThreadPool size inside each
+     * worker): 1 = serial, 0 = auto (MAGMA_THREADS env var, else hardware
+     * concurrency), N > 1 = exactly N. Each worker lane owns one pool for
+     * its lifetime, so back-to-back requests reuse warm threads.
+     */
+    int threadsPerRequest = 1;
+    /** Warm-start store bound (LRU-evicted past this). */
+    int storeCapacity = 64;
+    int storeShards = 8;
+    /**
+     * When non-empty: load the store from this file at construction (if
+     * it exists) and save it back on stop() — warm-start knowledge
+     * survives process restarts.
+     */
+    std::string storePath;
+    /** Start worker lanes immediately; false requires an explicit
+     * start() (lets tests enqueue a whole trace before admission). */
+    bool autoStart = true;
+};
+
+/** Aggregate service counters. */
+struct ServiceStats {
+    int64_t submitted = 0;
+    int64_t served = 0;  ///< fulfilled successfully (excludes `failed`)
+    int64_t failed = 0;  ///< futures resolved with an exception
+    int64_t coldServed = 0;
+    int64_t warmServed = 0;  ///< served seeded from the store
+    int64_t queueDepth = 0;  ///< currently waiting
+    int64_t inFlight = 0;    ///< currently being searched
+    int64_t samplesSpent = 0;
+    /** Sum over warm requests of (cold budget - samples actually spent) —
+     * the search cost the store amortized away (the Table V effect). */
+    int64_t samplesSaved = 0;
+};
+
+/**
+ * Online mapping service (the production form of Section V-C's serving
+ * scenario): accepts MapRequests, queues them under per-tenant fair
+ * admission, and serves them on a fixed set of worker lanes, each lane
+ * running the MAGMA search over the exec engine.
+ *
+ * Admission order: strict priority levels first (lower value first);
+ * within a level, lanes round-robin across the currently waiting tenants
+ * by admission count (the tenant admitted least often goes next, ties to
+ * the earliest waiting head request), FIFO within a tenant. A tenant
+ * joining (or re-joining) the queue is rebased to the current round, so
+ * a flood from one tenant cannot starve another — and a late joiner
+ * cannot monopolize the lanes to "catch up" either.
+ *
+ * Warm starts: each request's workload is fingerprinted and looked up in
+ * the MappingStore; on a hit the search is seeded with the transferred
+ * solution (job-matched adaptation) and runs on the reduced warm budget.
+ * Completed searches write improved solutions back, so concurrent
+ * tenants of one workload type compound each other's knowledge.
+ *
+ * Determinism: a request's response mapping is a pure function of the
+ * request fields and the store view it observed. With warm starts
+ * disabled — or against a frozen store (writeBack=false everywhere) —
+ * fixed seeds produce bitwise identical mappings at any worker count and
+ * any queue interleaving (tests/test_serve.cc locks this in).
+ */
+class MappingService {
+  public:
+    explicit MappingService(ServiceConfig cfg = {});
+    ~MappingService();  ///< stop()s (draining the queue) if still running
+
+    MappingService(const MappingService&) = delete;
+    MappingService& operator=(const MappingService&) = delete;
+
+    /** Enqueue a request; the future resolves when it has been served. */
+    std::future<MapResponse> submit(MapRequest req);
+
+    /** Launch worker lanes (no-op when already running). */
+    void start();
+
+    /** Block until the queue is empty and no request is in flight. */
+    void drain();
+
+    /**
+     * Drain, join the worker lanes and — when cfg.storePath is set —
+     * persist the store. The service accepts no submissions afterwards.
+     */
+    void stop();
+
+    MappingStore& store() { return store_; }
+    const ServiceConfig& config() const { return cfg_; }
+    ServiceStats stats() const;
+
+  private:
+    struct Pending {
+        MapRequest req;
+        std::promise<MapResponse> promise;
+        uint64_t seq = 0;  ///< arrival order
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void workerLoop();
+    /** Pop the next request per the admission policy. Caller holds mu_. */
+    Pending popNext();
+    /** Whether the tenant has a waiting request. Caller holds mu_. */
+    bool tenantQueued(const std::string& tenant) const;
+    bool queueEmpty() const;  ///< caller holds mu_
+    /** Serve one request on this lane's (possibly null) shared pool. */
+    MapResponse serveOne(const MapRequest& req,
+                         exec::ThreadPool* lane_pool);
+
+    ServiceConfig cfg_;
+    MappingStore store_;
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_;   ///< queue gained work / stopping
+    std::condition_variable idle_cv_;   ///< queue drained + nothing in flight
+    /** priority level -> tenant -> FIFO of waiting requests. */
+    std::map<int, std::map<std::string, std::deque<Pending>>> queue_;
+    /** Admission counts of currently waiting tenants (rebased on join,
+     * dropped when a tenant's last waiting request is admitted). */
+    std::map<std::string, int64_t> admitted_;
+    uint64_t next_seq_ = 0;
+    int64_t next_serve_order_ = 0;
+    int64_t queue_depth_ = 0;
+    int64_t in_flight_ = 0;
+    bool running_ = false;
+    bool stopping_ = false;
+    ServiceStats stats_;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace magma::serve
+
+#endif  // MAGMA_SERVE_SERVICE_H_

@@ -419,6 +419,83 @@ TEST(WarmStart, JobMatchedFallsBackToPositionalWithoutGroup)
     EXPECT_EQ(seeds[0], best);
 }
 
+TEST(WarmStart, EmptyEngineJobMatchedSeedsAreEmpty)
+{
+    opt::WarmStartEngine ws;
+    common::Rng rng(85);
+    dnn::WorkloadGenerator gen(85);
+    dnn::JobGroup target = gen.makeGroup(dnn::TaskType::Vision, 8);
+    EXPECT_TRUE(ws.makeSeeds(dnn::TaskType::Vision, 4, target, 4, rng)
+                    .empty());
+}
+
+TEST(WarmStart, GrouplessStoreMatchesPositionalTransferExactly)
+{
+    // A store entry without an attached group must degrade to the
+    // positional path verbatim — including the gene-tiling resize — so
+    // the two makeSeeds overloads cannot drift apart.
+    opt::WarmStartEngine ws;
+    common::Rng store_rng(86);
+    Mapping best = Mapping::random(10, 4, store_rng);
+    ws.store(dnn::TaskType::Mix, best);
+
+    dnn::WorkloadGenerator gen(87);
+    dnn::JobGroup target = gen.makeGroup(dnn::TaskType::Mix, 14);
+
+    common::Rng rng_a(88), rng_b(88);
+    auto job_matched = ws.makeSeeds(dnn::TaskType::Mix, 5, target, 4,
+                                    rng_a);
+    auto positional = ws.makeSeeds(dnn::TaskType::Mix, 5, 14, 4, rng_b);
+    ASSERT_EQ(job_matched.size(), positional.size());
+    for (size_t i = 0; i < positional.size(); ++i)
+        EXPECT_EQ(job_matched[i], positional[i]) << "seed " << i;
+}
+
+TEST(WarmStart, SizeClassMissFallsBackToCoarserBucket)
+{
+    // Stored: one small Language FC on core 3, one Vision conv on core 1.
+    // Target: a huge Language FC — its fine (size-classed) bucket misses,
+    // but the coarse task+layer-type bucket must still steer it to core 3
+    // instead of a random gene.
+    dnn::JobGroup solved_group;
+    solved_group.task = dnn::TaskType::Mix;
+    Mapping solved;
+
+    dnn::Job small_fc;
+    small_fc.id = 0;
+    small_fc.layer = dnn::fc(64, 64);  // ~4K MACs
+    small_fc.batch = 1;
+    small_fc.task = dnn::TaskType::Language;
+    solved_group.jobs.push_back(small_fc);
+    solved.accelSel.push_back(3);
+    solved.priority.push_back(0.25);
+
+    dnn::Job conv_job;
+    conv_job.id = 1;
+    conv_job.layer = dnn::conv(64, 64, 28, 28, 3, 3);
+    conv_job.batch = 4;
+    conv_job.task = dnn::TaskType::Vision;
+    solved_group.jobs.push_back(conv_job);
+    solved.accelSel.push_back(1);
+    solved.priority.push_back(0.75);
+
+    opt::WarmStartEngine ws;
+    ws.store(dnn::TaskType::Mix, solved, solved_group);
+
+    dnn::JobGroup target;
+    target.task = dnn::TaskType::Mix;
+    dnn::Job huge_fc = small_fc;
+    huge_fc.layer = dnn::fc(4096, 4096);  // ~16.7M MACs per sample
+    huge_fc.batch = 32;                   // far outside the stored class
+    target.jobs.push_back(huge_fc);
+
+    common::Rng rng(89);
+    auto seeds = ws.makeSeeds(dnn::TaskType::Mix, 1, target, 4, rng);
+    ASSERT_EQ(seeds.size(), 1u);
+    EXPECT_EQ(seeds[0].accelSel[0], 3);       // from the coarse bucket
+    EXPECT_EQ(seeds[0].priority[0], 0.25);    // gene copied, not drawn
+}
+
 TEST(WarmStart, JobMatchedTransferBeatsRandomInitOnAverage)
 {
     // The Table V premise: warm seeds start better than random init.

@@ -1,0 +1,576 @@
+/**
+ * @file Tests for the online mapping service (src/serve/): workload
+ * fingerprints, the fingerprint-keyed MappingStore (tiers, LRU bounds,
+ * text persistence), mapping text serialization, and the MappingService
+ * itself — per-request determinism under concurrency and queue
+ * reordering, per-tenant fair admission, and the end-to-end Table V
+ * warm-start effect across a save/load cycle.
+ */
+
+#include <cstdio>
+#include <future>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "m3e/problem.h"
+#include "serve/fingerprint.h"
+#include "serve/mapping_store.h"
+#include "serve/service.h"
+
+using namespace magma;
+using serve::Fingerprint;
+using serve::MappingService;
+using serve::MappingStore;
+using serve::MapRequest;
+using serve::MapResponse;
+using serve::ServiceConfig;
+
+namespace {
+
+dnn::JobGroup
+makeGroup(dnn::TaskType task, int size, uint64_t seed)
+{
+    dnn::WorkloadGenerator gen(seed);
+    return gen.makeGroup(task, size);
+}
+
+sched::Mapping
+randomMapping(int group_size, int num_accels, uint64_t seed)
+{
+    common::Rng rng(seed);
+    return sched::Mapping::random(group_size, num_accels, rng);
+}
+
+/** A small S2 request with everything pinned down. */
+MapRequest
+baseRequest(uint64_t seed)
+{
+    MapRequest req;
+    req.task = dnn::TaskType::Mix;
+    req.groupSize = 12;
+    req.workloadSeed = seed;
+    req.setting = accel::Setting::S2;
+    req.bwGbps = 4.0;
+    req.sampleBudget = 300;
+    req.seed = seed;
+    return req;
+}
+
+}  // namespace
+
+// ------------------------------------------------- mapping text form ---
+
+TEST(MappingText, RoundTripsBitwise)
+{
+    sched::Mapping m = randomMapping(17, 4, 3);
+    m.priority[0] = 1.0 / 3.0;
+    m.priority[1] = 0.1 + 0.2;  // classic non-representable sum
+    m.priority[2] = 1e-17;
+    sched::Mapping back = sched::Mapping::fromText(m.toText());
+    EXPECT_EQ(back, m);
+}
+
+TEST(MappingText, EmptyMappingRoundTrips)
+{
+    sched::Mapping m;
+    EXPECT_EQ(sched::Mapping::fromText(m.toText()), m);
+}
+
+TEST(MappingText, RejectsGarbage)
+{
+    EXPECT_THROW(sched::Mapping::fromText(""), std::invalid_argument);
+    EXPECT_THROW(sched::Mapping::fromText("-1"), std::invalid_argument);
+    EXPECT_THROW(sched::Mapping::fromText("2 0 1 0.5"),
+                 std::invalid_argument);
+    EXPECT_THROW(sched::Mapping::fromText("2 0 x 0.5 0.5"),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------- fingerprinting ---
+
+TEST(Fingerprint, DeterministicAndSensitive)
+{
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    accel::Platform s4 = accel::makeSetting(accel::Setting::S4, 4.0);
+    dnn::JobGroup g = makeGroup(dnn::TaskType::Mix, 16, 5);
+
+    Fingerprint a = serve::fingerprintOf(g, s2);
+    Fingerprint b = serve::fingerprintOf(makeGroup(dnn::TaskType::Mix, 16,
+                                                   5),
+                                         s2);
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.coarse, b.coarse);
+
+    // Platform changes both tiers.
+    EXPECT_NE(a.key, serve::fingerprintOf(g, s4).key);
+    EXPECT_NE(a.coarse, serve::fingerprintOf(g, s4).coarse);
+
+    // A different task distribution changes the coarse tier.
+    dnn::JobGroup lang = makeGroup(dnn::TaskType::Language, 16, 5);
+    EXPECT_NE(a.coarse, serve::fingerprintOf(lang, s2).coarse);
+
+    // Bandwidth regime and objective change BOTH tiers: mappings and
+    // fitness values are not comparable across them.
+    accel::Platform s2_slow = accel::makeSetting(accel::Setting::S2, 1.0);
+    EXPECT_NE(a.key, serve::fingerprintOf(g, s2_slow).key);
+    EXPECT_NE(a.coarse, serve::fingerprintOf(g, s2_slow).coarse);
+    Fingerprint energy =
+        serve::fingerprintOf(g, s2, sched::Objective::Energy);
+    EXPECT_NE(a.key, energy.key);
+    EXPECT_NE(a.coarse, energy.coarse);
+
+    // Keys are single whitespace-free tokens (store-format requirement).
+    EXPECT_EQ(a.key.find(' '), std::string::npos);
+    EXPECT_EQ(a.key.find('\t'), std::string::npos);
+}
+
+TEST(Fingerprint, SameDistributionSharesCoarseTier)
+{
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    Fingerprint a =
+        serve::fingerprintOf(makeGroup(dnn::TaskType::Vision, 16, 1), s2);
+    Fingerprint b =
+        serve::fingerprintOf(makeGroup(dnn::TaskType::Vision, 16, 2), s2);
+    EXPECT_EQ(a.coarse, b.coarse);
+}
+
+// ------------------------------------------------------ MappingStore ---
+
+TEST(MappingStore, ExactThenCoarseThenMiss)
+{
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    dnn::JobGroup g1 = makeGroup(dnn::TaskType::Mix, 12, 1);
+    dnn::JobGroup g2 = makeGroup(dnn::TaskType::Mix, 12, 2);
+    dnn::JobGroup lang = makeGroup(dnn::TaskType::Language, 12, 1);
+    Fingerprint f1 = serve::fingerprintOf(g1, s2);
+    Fingerprint f2 = serve::fingerprintOf(g2, s2);
+    Fingerprint fl = serve::fingerprintOf(lang, s2);
+    ASSERT_NE(f1.key, f2.key);  // independent draws differ in composition
+    ASSERT_EQ(f1.coarse, f2.coarse);
+
+    MappingStore store;
+    sched::Mapping m = randomMapping(12, s2.numSubAccels(), 7);
+    EXPECT_TRUE(store.update(f1, g1.task, m, g1, 100.0, 500));
+
+    auto exact = store.lookup(f1);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_TRUE(exact->exact);
+    EXPECT_EQ(exact->entry.mapping, m);
+    EXPECT_EQ(exact->entry.fitness, 100.0);
+    EXPECT_EQ(exact->entry.group.size(), 12);
+
+    auto coarse = store.lookup(f2);
+    ASSERT_TRUE(coarse.has_value());
+    EXPECT_FALSE(coarse->exact);
+    EXPECT_EQ(coarse->entry.key, f1.key);
+
+    EXPECT_FALSE(store.lookup(fl).has_value());
+
+    serve::StoreStats s = store.stats();
+    EXPECT_EQ(s.lookups, 3);
+    EXPECT_EQ(s.exactHits, 1);
+    EXPECT_EQ(s.coarseHits, 1);
+    EXPECT_EQ(s.misses, 1);
+    EXPECT_EQ(s.entries, 1);
+}
+
+TEST(MappingStore, CoarseFallbackPicksBestFitness)
+{
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    dnn::JobGroup g1 = makeGroup(dnn::TaskType::Mix, 12, 1);
+    dnn::JobGroup g2 = makeGroup(dnn::TaskType::Mix, 12, 2);
+    dnn::JobGroup g3 = makeGroup(dnn::TaskType::Mix, 12, 3);
+    Fingerprint f1 = serve::fingerprintOf(g1, s2);
+    Fingerprint f2 = serve::fingerprintOf(g2, s2);
+    Fingerprint f3 = serve::fingerprintOf(g3, s2);
+    ASSERT_NE(f1.key, f3.key);
+    ASSERT_NE(f2.key, f3.key);
+
+    MappingStore store;
+    store.update(f1, g1.task, randomMapping(12, 4, 1), g1, 50.0, 100);
+    store.update(f2, g2.task, randomMapping(12, 4, 2), g2, 80.0, 100);
+
+    auto hit = store.lookup(f3);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(hit->exact);
+    EXPECT_EQ(hit->entry.key, f2.key);  // higher fitness wins
+}
+
+TEST(MappingStore, WriteBackKeepsBetterSolution)
+{
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    dnn::JobGroup g = makeGroup(dnn::TaskType::Mix, 12, 1);
+    Fingerprint f = serve::fingerprintOf(g, s2);
+    sched::Mapping good = randomMapping(12, 4, 1);
+    sched::Mapping worse = randomMapping(12, 4, 2);
+    sched::Mapping better = randomMapping(12, 4, 3);
+
+    MappingStore store;
+    EXPECT_TRUE(store.update(f, g.task, good, g, 100.0, 10));
+    EXPECT_FALSE(store.update(f, g.task, worse, g, 90.0, 10));
+    EXPECT_EQ(store.lookup(f)->entry.mapping, good);
+    EXPECT_TRUE(store.update(f, g.task, better, g, 110.0, 10));
+    EXPECT_EQ(store.lookup(f)->entry.mapping, better);
+
+    serve::StoreStats s = store.stats();
+    EXPECT_EQ(s.inserts, 1);
+    EXPECT_EQ(s.improvements, 1);
+    EXPECT_EQ(s.rejects, 1);
+    // All three write-backs invested samples on this workload.
+    EXPECT_EQ(store.lookup(f)->entry.samplesInvested, 30);
+}
+
+TEST(MappingStore, LruEvictionPastCapacity)
+{
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    MappingStore store(/*capacity=*/2, /*shards=*/2);
+
+    dnn::JobGroup g1 = makeGroup(dnn::TaskType::Vision, 8, 1);
+    dnn::JobGroup g2 = makeGroup(dnn::TaskType::Language, 8, 1);
+    dnn::JobGroup g3 = makeGroup(dnn::TaskType::Recommendation, 8, 1);
+    Fingerprint f1 = serve::fingerprintOf(g1, s2);
+    Fingerprint f2 = serve::fingerprintOf(g2, s2);
+    Fingerprint f3 = serve::fingerprintOf(g3, s2);
+
+    store.update(f1, g1.task, randomMapping(8, 4, 1), g1, 1.0, 0);
+    store.update(f2, g2.task, randomMapping(8, 4, 2), g2, 1.0, 0);
+    store.lookup(f1);  // f1 is now more recently used than f2
+    store.update(f3, g3.task, randomMapping(8, 4, 3), g3, 1.0, 0);
+
+    EXPECT_EQ(store.size(), 2);
+    EXPECT_EQ(store.stats().evictions, 1);
+    EXPECT_TRUE(store.lookup(f1).has_value());   // survived
+    EXPECT_TRUE(store.lookup(f3).has_value());   // newest
+    // f2 (LRU) was evicted; Language shares no coarse tier with f1/f3.
+    EXPECT_FALSE(store.lookup(f2).has_value());
+}
+
+TEST(MappingStore, SaveLoadRoundTripsBitwise)
+{
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    MappingStore store;
+    std::vector<Fingerprint> fps;
+    std::vector<sched::Mapping> mappings;
+    for (int i = 0; i < 3; ++i) {
+        dnn::JobGroup g = makeGroup(dnn::TaskType::Mix, 10 + i, 40 + i);
+        Fingerprint f = serve::fingerprintOf(g, s2);
+        sched::Mapping m = randomMapping(10 + i, s2.numSubAccels(), i);
+        store.update(f, g.task, m, g, 10.0 + i / 3.0, 100 * i);
+        fps.push_back(f);
+        mappings.push_back(m);
+    }
+
+    std::stringstream buf;
+    store.save(buf);
+
+    MappingStore reloaded;
+    reloaded.load(buf);
+    EXPECT_EQ(reloaded.size(), 3);
+    for (size_t i = 0; i < fps.size(); ++i) {
+        auto hit = reloaded.lookup(fps[i]);
+        ASSERT_TRUE(hit.has_value()) << "entry " << i;
+        EXPECT_TRUE(hit->exact);
+        EXPECT_EQ(hit->entry.mapping, mappings[i]);  // bitwise
+        EXPECT_EQ(hit->entry.fitness, 10.0 + i / 3.0);
+        EXPECT_EQ(hit->entry.samplesInvested,
+                  static_cast<int64_t>(100 * i));
+        EXPECT_EQ(hit->entry.group.size(), static_cast<int>(10 + i));
+    }
+
+    // Save → load → save is byte-identical (deterministic format).
+    std::stringstream buf2;
+    reloaded.save(buf2);
+    std::stringstream buf3;
+    store.save(buf3);
+    EXPECT_EQ(buf2.str(), buf3.str());
+}
+
+TEST(MappingStore, LoadRejectsGarbageAndLeavesContentUntouched)
+{
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    dnn::JobGroup g = makeGroup(dnn::TaskType::Mix, 8, 1);
+    Fingerprint f = serve::fingerprintOf(g, s2);
+
+    MappingStore store;
+    store.update(f, g.task, randomMapping(8, 4, 1), g, 5.0, 10);
+
+    std::stringstream bad("not-a-store v1 1\n");
+    EXPECT_THROW(store.load(bad), std::invalid_argument);
+    std::stringstream truncated("magma-mapping-store v1 1\nentry\n");
+    EXPECT_THROW(store.load(truncated), std::invalid_argument);
+
+    // A failed load is atomic: the pre-existing entry survives.
+    EXPECT_EQ(store.size(), 1);
+    EXPECT_TRUE(store.lookup(f).has_value());
+}
+
+// ---------------------------------------------------- MappingService ---
+
+/** Serve `reqs` one at a time on one lane and return the responses. */
+static std::vector<MapResponse>
+serveSerially(const std::vector<MapRequest>& reqs)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    MappingService service(cfg);
+    std::vector<MapResponse> out;
+    for (const MapRequest& r : reqs) {
+        auto f = service.submit(r);
+        out.push_back(f.get());
+    }
+    service.stop();
+    return out;
+}
+
+TEST(MappingService, ConcurrentMatchesSerialBitwiseInAnyOrder)
+{
+    // Acceptance criterion (a): fixed seeds → bitwise identical mappings
+    // whether requests run serially or on 4 lanes, in any queue order.
+    std::vector<MapRequest> reqs;
+    for (uint64_t i = 0; i < 8; ++i) {
+        MapRequest r = baseRequest(/*seed=*/100 + i);
+        r.tenant = "tenant-" + std::to_string(i % 3);
+        r.allowWarmStart = false;  // isolate from store-order effects
+        r.writeBack = false;
+        reqs.push_back(r);
+    }
+    std::vector<MapResponse> serial = serveSerially(reqs);
+
+    ServiceConfig cfg;
+    cfg.workers = 4;
+    MappingService service(cfg);
+    // Reversed submission order + scrambled priorities: admission order
+    // changes, results must not.
+    std::vector<std::future<MapResponse>> futures(reqs.size());
+    for (size_t i = reqs.size(); i-- > 0;) {
+        MapRequest r = reqs[i];
+        r.priority = static_cast<int>(i % 2);
+        futures[i] = service.submit(std::move(r));
+    }
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        MapResponse got = futures[i].get();
+        EXPECT_EQ(got.best, serial[i].best) << "request " << i;
+        EXPECT_EQ(got.bestFitness, serial[i].bestFitness) << "request "
+                                                          << i;
+        EXPECT_EQ(got.samplesUsed, serial[i].samplesUsed) << "request "
+                                                          << i;
+    }
+    service.stop();
+}
+
+TEST(MappingService, WarmRequestsDeterministicAgainstFrozenStore)
+{
+    // Per-request determinism also holds for warm requests when every
+    // request sees the same store view (writeBack off → frozen store).
+    MapRequest seed_req = baseRequest(1);
+    std::vector<MapRequest> reqs;
+    for (uint64_t i = 0; i < 4; ++i) {
+        MapRequest r = baseRequest(/*seed=*/200 + i);
+        r.writeBack = false;
+        reqs.push_back(r);
+    }
+
+    auto runWith = [&](int workers, bool reversed) {
+        ServiceConfig cfg;
+        cfg.workers = workers;
+        MappingService service(cfg);
+        service.submit(seed_req).get();  // populate the store (writeBack)
+        service.drain();
+        std::vector<std::future<MapResponse>> futures(reqs.size());
+        if (reversed) {
+            for (size_t i = reqs.size(); i-- > 0;)
+                futures[i] = service.submit(reqs[i]);
+        } else {
+            for (size_t i = 0; i < reqs.size(); ++i)
+                futures[i] = service.submit(reqs[i]);
+        }
+        std::vector<MapResponse> out;
+        for (auto& f : futures)
+            out.push_back(f.get());
+        service.stop();
+        return out;
+    };
+
+    std::vector<MapResponse> a = runWith(1, false);
+    std::vector<MapResponse> b = runWith(4, true);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_TRUE(b[i].warmStart) << "request " << i;
+        EXPECT_EQ(b[i].best, a[i].best) << "request " << i;
+        EXPECT_EQ(b[i].bestFitness, a[i].bestFitness) << "request " << i;
+        EXPECT_EQ(b[i].samplesUsed, a[i].samplesUsed) << "request " << i;
+    }
+}
+
+TEST(MappingService, PerTenantFairAdmission)
+{
+    // One lane, admission deferred: tenant A floods 4 requests before B's
+    // 2 arrive; fair admission must interleave A,B,A,B,A,A.
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.autoStart = false;
+    MappingService service(cfg);
+
+    std::vector<std::future<MapResponse>> futures;
+    std::vector<std::string> tenants = {"A", "A", "A", "A", "B", "B"};
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        MapRequest r = baseRequest(10 + i);
+        r.tenant = tenants[i];
+        r.sampleBudget = 60;
+        r.allowWarmStart = false;
+        r.writeBack = false;
+        futures.push_back(service.submit(std::move(r)));
+    }
+    service.start();
+
+    // Map each request to its admission index.
+    std::vector<int64_t> order;
+    for (auto& f : futures)
+        order.push_back(f.get().serveOrder);
+    service.stop();
+
+    // tenants:      A0 A1 A2 A3 B0 B1
+    // fair order:   0  2  4  5  1  3
+    EXPECT_EQ(order, (std::vector<int64_t>{0, 2, 4, 5, 1, 3}));
+}
+
+TEST(MappingService, PriorityLevelsBeforeFairness)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.autoStart = false;
+    MappingService service(cfg);
+
+    std::vector<std::future<MapResponse>> futures;
+    for (int i = 0; i < 3; ++i) {
+        MapRequest r = baseRequest(20 + i);
+        r.tenant = "A";
+        r.priority = 1;
+        r.sampleBudget = 60;
+        r.allowWarmStart = false;
+        futures.push_back(service.submit(std::move(r)));
+    }
+    MapRequest urgent = baseRequest(30);
+    urgent.tenant = "B";
+    urgent.priority = 0;
+    urgent.sampleBudget = 60;
+    urgent.allowWarmStart = false;
+    futures.push_back(service.submit(std::move(urgent)));
+    service.start();
+
+    std::vector<int64_t> order;
+    for (auto& f : futures)
+        order.push_back(f.get().serveOrder);
+    service.stop();
+
+    EXPECT_EQ(order.back(), 0) << "priority-0 request must be served "
+                                  "first despite arriving last";
+}
+
+TEST(MappingService, WarmStartAcrossReloadReachesColdQualityAtQuarterBudget)
+{
+    // Acceptance criterion (b): store save→load round-trips and a warm
+    // request after reload reaches cold-search quality with <= 25% of the
+    // cold sample budget on a Table III setting (the Table V effect,
+    // end-to-end through the service).
+    const std::string path = "serve_store_roundtrip_test.txt";
+    std::remove(path.c_str());
+
+    MapRequest cold = baseRequest(/*seed=*/7);
+    cold.groupSize = 16;
+    cold.sampleBudget = 2000;
+
+    MapResponse cold_resp;
+    {
+        ServiceConfig cfg;
+        cfg.workers = 1;
+        cfg.storePath = path;
+        MappingService service(cfg);
+        cold_resp = service.submit(cold).get();
+        EXPECT_FALSE(cold_resp.warmStart);
+        service.stop();  // persists the store
+    }
+
+    {
+        // Fresh "process": the store comes back from disk only.
+        ServiceConfig cfg;
+        cfg.workers = 1;
+        cfg.storePath = path;
+        MappingService service(cfg);
+        EXPECT_EQ(service.store().size(), 1);
+
+        MapRequest warm = cold;  // same workload spec, same seed
+        warm.warmBudget = cold.sampleBudget / 4;
+        MapResponse warm_resp = service.submit(warm).get();
+
+        EXPECT_TRUE(warm_resp.warmStart);
+        EXPECT_TRUE(warm_resp.exactHit);
+        EXPECT_LE(warm_resp.samplesUsed, cold.sampleBudget / 4);
+        // The transferred seed is the stored cold solution verbatim, so
+        // refinement can only match or improve it.
+        EXPECT_GE(warm_resp.bestFitness, cold_resp.bestFitness);
+        EXPECT_GT(warm_resp.trf0Fitness, 0.0);
+        service.stop();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(MappingService, ConcurrentTenantsCompoundStoreKnowledge)
+{
+    // Write-backs from concurrent lanes land in one shared store: after a
+    // burst of same-task requests, later requests hit warm.
+    ServiceConfig cfg;
+    cfg.workers = 4;
+    MappingService service(cfg);
+
+    std::vector<std::future<MapResponse>> futures;
+    for (uint64_t i = 0; i < 6; ++i) {
+        MapRequest r = baseRequest(300 + i);
+        r.tenant = "tenant-" + std::to_string(i % 2);
+        futures.push_back(service.submit(std::move(r)));
+    }
+    for (auto& f : futures)
+        f.get();
+    service.drain();
+
+    // Same distribution again: every request must now find the store
+    // populated (exact or coarse tier).
+    MapRequest again = baseRequest(999);
+    MapResponse resp = service.submit(again).get();
+    EXPECT_TRUE(resp.warmStart);
+    EXPECT_LT(resp.samplesUsed, again.sampleBudget);
+
+    serve::ServiceStats s = service.stats();
+    EXPECT_EQ(s.served, 7);
+    EXPECT_GT(s.warmServed, 0);
+    EXPECT_GT(s.samplesSaved, 0);
+    service.stop();
+}
+
+TEST(MappingService, ExplicitGroupRequestAndStats)
+{
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    MappingService service(cfg);
+
+    MapRequest r;
+    r.group = makeGroup(dnn::TaskType::Vision, 10, 77);
+    r.task = dnn::TaskType::Vision;
+    r.setting = accel::Setting::S1;
+    r.bwGbps = 8.0;
+    r.sampleBudget = 200;
+    MapResponse resp = service.submit(r).get();
+    EXPECT_EQ(resp.best.size(), 10);
+    EXPECT_GT(resp.bestFitness, 0.0);
+    EXPECT_FALSE(resp.fingerprint.empty());
+
+    serve::ServiceStats s = service.stats();
+    EXPECT_EQ(s.submitted, 1);
+    EXPECT_EQ(s.served, 1);
+    EXPECT_EQ(s.queueDepth, 0);
+    service.stop();
+    EXPECT_THROW(service.submit(r), std::runtime_error);
+}
