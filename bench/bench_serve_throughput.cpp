@@ -44,14 +44,14 @@ replayTrace(int workers, bool warm, int requests, int group,
     for (int i = 0; i < requests; ++i) {
         serve::MapRequest req;
         req.tenant = "tenant-" + std::to_string(i % 3);
-        req.task = dnn::TaskType::Mix;
-        req.groupSize = group;
-        req.workloadSeed = seed + i;
-        req.setting = accel::Setting::S2;
-        req.bwGbps = 4.0;
-        req.sampleBudget = budget;
-        req.seed = seed + i;
-        req.allowWarmStart = warm;
+        req.problem.task = dnn::TaskType::Mix;
+        req.problem.groupSize = group;
+        req.problem.workloadSeed = seed + i;
+        req.problem.setting = accel::Setting::S2;
+        req.problem.systemBwGbps = 4.0;
+        req.search.sampleBudget = budget;
+        req.search.seed = seed + i;
+        req.search.warmStart = warm;
         futures.push_back(service.submit(std::move(req)));
     }
     for (auto& f : futures)

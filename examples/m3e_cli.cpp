@@ -1,17 +1,22 @@
 /**
  * @file
- * m3e_cli — command-line driver for the M3E framework.
- *
- * Runs any Table IV mapper on any Table III setting/task/BW/group-size
- * combination and reports throughput, makespan and (optionally) the
- * schedule. This is the "just let me try it" entry point a downstream
- * user reaches for before writing code against the API.
+ * m3e_cli — command-line driver for the M3E framework, built on the
+ * declarative api/ layer: flags (or a spec file) populate an
+ * api::ExperimentSpec, api::Runner executes it, and the result is an
+ * api::RunReport that can be written to disk and re-parsed exactly.
  *
  * Usage:
- *   m3e_cli [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
+ *   m3e_cli [--spec FILE] [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
  *           [--bw GBPS] [--group N] [--budget N] [--seed N]
- *           [--method NAME | --all] [--objective NAME]
- *           [--flexible] [--timeline] [--threads N] [--stats]
+ *           [--method NAME | --all] [--objective NAME] [--flexible]
+ *           [--timeline] [--threads N] [--stats]
+ *           [--report FILE] [--list-methods]
+ *
+ * --spec FILE loads a key=value experiment spec (see api::ExperimentSpec;
+ * '#' comments allowed); flags AFTER --spec override its fields. --report
+ * FILE writes the RunReport artifact and round-trip-verifies it
+ * (fromText(written) must equal the in-memory report bitwise).
+ * --list-methods prints every registered optimizer with its aliases.
  *
  * --threads N fans candidate evaluation out over N lanes (0 = auto via
  * MAGMA_THREADS env var / hardware concurrency); results are identical
@@ -20,86 +25,67 @@
  * --stats prints the process-wide exec::CostCache counters (hits, misses,
  * entries) after the run — how much cost-model work memoization skipped.
  *
- * Method names are the paper's labels ("MAGMA", "Herald-like", "stdGA",
- * "RL PPO2", ...). Objectives: throughput latency energy edp perf-per-watt.
+ * Method names are registry names or aliases ("MAGMA", "Herald-like",
+ * "stdGA", "cma-es", "ppo2", ...). Objectives: throughput latency energy
+ * edp perf-per-watt.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "analysis/timeline.h"
+#include "api/registry.h"
+#include "api/runner.h"
 #include "exec/cost_cache.h"
 #include "m3e/factory.h"
-#include "m3e/problem.h"
 
 using namespace magma;
 
 namespace {
 
 struct CliArgs {
-    dnn::TaskType task = dnn::TaskType::Mix;
-    accel::Setting setting = accel::Setting::S2;
-    double bw = 16.0;
-    int group = 40;
-    int64_t budget = 2000;
-    uint64_t seed = 1;
-    std::string method = "MAGMA";
+    api::ExperimentSpec exp;
     bool all = false;
-    bool flexible = false;
     bool timeline = false;
     bool stats = false;
-    int threads = 1;
-    sched::Objective objective = sched::Objective::Throughput;
+    std::string reportPath;
 };
 
-dnn::TaskType
-parseTask(const std::string& s)
+/** Parse via fn, mapping std::invalid_argument to a usage error. */
+template <typename Fn>
+auto
+parseOrDie(Fn&& fn, const std::string& value)
 {
-    for (dnn::TaskType t : {dnn::TaskType::Vision, dnn::TaskType::Language,
-                            dnn::TaskType::Recommendation,
-                            dnn::TaskType::Mix})
-        if (dnn::taskTypeName(t) == s)
-            return t;
-    std::fprintf(stderr, "unknown task '%s' (Vision|Lang|Recom|Mix)\n",
-                 s.c_str());
-    std::exit(2);
+    try {
+        return fn(value);
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+    }
 }
 
-accel::Setting
-parseSetting(const std::string& s)
+void
+listMethods()
 {
-    for (accel::Setting st : {accel::Setting::S1, accel::Setting::S2,
-                              accel::Setting::S3, accel::Setting::S4,
-                              accel::Setting::S5, accel::Setting::S6})
-        if (accel::settingName(st) == s)
-            return st;
-    std::fprintf(stderr, "unknown setting '%s' (S1..S6)\n", s.c_str());
-    std::exit(2);
-}
-
-sched::Objective
-parseObjective(const std::string& s)
-{
-    if (s == "throughput")
-        return sched::Objective::Throughput;
-    if (s == "latency")
-        return sched::Objective::Latency;
-    if (s == "energy")
-        return sched::Objective::Energy;
-    if (s == "edp")
-        return sched::Objective::EnergyDelay;
-    if (s == "perf-per-watt")
-        return sched::Objective::PerfPerWatt;
-    std::fprintf(stderr, "unknown objective '%s'\n", s.c_str());
-    std::exit(2);
+    std::printf("%-14s %s\n", "method", "aliases");
+    for (const auto& e : api::OptimizerRegistry::global().entries()) {
+        std::string aliases;
+        for (const std::string& a : e.aliases)
+            aliases += (aliases.empty() ? "" : ", ") + a;
+        std::printf("%-14s %s\n", e.name.c_str(), aliases.c_str());
+    }
 }
 
 CliArgs
 parse(int argc, char** argv)
 {
     CliArgs a;
+    a.exp.problem.groupSize = 40;
+    a.exp.search.sampleBudget = 2000;  // CLI default: quick runs
     auto need = [&](int i) {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "missing value for %s\n", argv[i]);
@@ -109,33 +95,52 @@ parse(int argc, char** argv)
     };
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
-        if (flag == "--task")
-            a.task = parseTask(need(i++));
+        if (flag == "--spec") {
+            try {
+                a.exp = api::ExperimentSpec::fromFile(need(i++));
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "--spec: %s\n", e.what());
+                std::exit(2);
+            }
+        } else if (flag == "--task")
+            a.exp.problem.task =
+                parseOrDie(dnn::taskTypeFromName, need(i++));
         else if (flag == "--setting")
-            a.setting = parseSetting(need(i++));
+            a.exp.problem.setting =
+                parseOrDie(accel::settingFromName, need(i++));
         else if (flag == "--bw")
-            a.bw = std::stod(need(i++));
+            a.exp.problem.systemBwGbps = std::stod(need(i++));
         else if (flag == "--group")
-            a.group = std::stoi(need(i++));
+            a.exp.problem.groupSize = std::stoi(need(i++));
         else if (flag == "--budget")
-            a.budget = std::stoll(need(i++));
-        else if (flag == "--seed")
-            a.seed = std::stoull(need(i++));
-        else if (flag == "--method")
-            a.method = need(i++);
+            a.exp.search.sampleBudget = std::stoll(need(i++));
+        else if (flag == "--seed") {
+            // One --seed drives both the workload draw and the search,
+            // exactly as before the api/ redesign.
+            uint64_t seed = std::stoull(need(i++));
+            a.exp.problem.workloadSeed = seed;
+            a.exp.search.seed = seed;
+        } else if (flag == "--method")
+            a.exp.search.method = need(i++);
         else if (flag == "--objective")
-            a.objective = parseObjective(need(i++));
+            a.exp.search.objective =
+                parseOrDie(sched::objectiveFromName, need(i++));
         else if (flag == "--all")
             a.all = true;
         else if (flag == "--flexible")
-            a.flexible = true;
+            a.exp.problem.flexible = true;
         else if (flag == "--timeline")
             a.timeline = true;
         else if (flag == "--stats")
             a.stats = true;
         else if (flag == "--threads")
-            a.threads = std::stoi(need(i++));
-        else {
+            a.exp.search.threads = std::stoi(need(i++));
+        else if (flag == "--report")
+            a.reportPath = need(i++);
+        else if (flag == "--list-methods") {
+            listMethods();
+            std::exit(0);
+        } else {
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             std::exit(2);
         }
@@ -143,31 +148,48 @@ parse(int argc, char** argv)
     return a;
 }
 
-void
-runOne(m3e::Method method, m3e::Problem& problem, const CliArgs& args)
+api::RunReport
+runOne(api::Runner& runner, const api::ExperimentSpec& exp,
+       const CliArgs& args)
 {
-    auto optimizer = m3e::makeOptimizer(method, args.seed);
-    opt::SearchOptions opts;
-    opts.sampleBudget = args.budget;
-    opts.threads = args.threads;
-    opt::SearchResult res = optimizer->search(problem.evaluator(), opts);
-    sched::ScheduleResult sim =
-        problem.evaluator().evaluate(res.best, args.timeline);
-
-    std::printf("%-14s fitness %12.3f (%s)   throughput %9.2f GFLOP/s   "
-                "makespan %.4g s   samples %lld\n",
-                optimizer->name().c_str(), res.bestFitness,
-                sched::objectiveName(problem.evaluator().objective())
-                    .c_str(),
-                problem.evaluator().throughputGflops(sim.makespanSeconds),
-                sim.makespanSeconds,
-                static_cast<long long>(res.samplesUsed));
+    api::RunReport rep = runner.run(exp);
+    std::printf("%s\n", rep.summaryLine().c_str());
     if (args.timeline) {
+        m3e::Problem& problem =
+            runner.problem(exp.problem, exp.search.objective);
+        sched::ScheduleResult sim =
+            problem.evaluator().evaluate(rep.best, true);
         analysis::TimelineExporter tl(sim, problem.group(),
                                       problem.evaluator().numAccels());
         std::printf("%s", tl.renderGantt(72).c_str());
         std::printf("%s\n", tl.renderBwProfile(72).c_str());
     }
+    return rep;
+}
+
+/** Write the report artifact and verify it re-parses bitwise. */
+void
+writeReport(const api::RunReport& rep, const std::string& path)
+{
+    std::string text = rep.toText();
+    {
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write report '%s'\n",
+                         path.c_str());
+            std::exit(1);
+        }
+        out << text;
+    }
+    std::ifstream in(path);
+    std::string back((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (!(api::RunReport::fromText(back) == rep)) {
+        std::fprintf(stderr, "report round-trip FAILED: %s\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::printf("report round-trip OK: %s\n", path.c_str());
 }
 
 }  // namespace
@@ -176,31 +198,44 @@ int
 main(int argc, char** argv)
 {
     CliArgs args = parse(argc, argv);
+    api::Runner runner;
 
-    auto problem =
-        args.flexible
-            ? m3e::makeFlexibleProblem(args.task, args.setting, args.bw,
-                                       args.group, args.seed)
-            : m3e::makeProblem(args.task, args.setting, args.bw,
-                               args.group, args.seed);
-    problem->evaluator().setObjective(args.objective);
-
+    const api::ProblemSpec& ps = args.exp.problem;
+    m3e::Problem& problem =
+        runner.problem(ps, args.exp.search.objective);
     std::printf("%s (%s), task %s, BW %g GB/s, group %d, budget %lld, "
                 "objective %s\n",
-                problem->platform().name.c_str(),
-                problem->platform().description.c_str(),
-                dnn::taskTypeName(args.task).c_str(), args.bw, args.group,
-                static_cast<long long>(args.budget),
-                sched::objectiveName(args.objective).c_str());
+                problem.platform().name.c_str(),
+                problem.platform().description.c_str(),
+                dnn::taskTypeName(ps.task).c_str(), ps.systemBwGbps,
+                ps.groupSize,
+                static_cast<long long>(args.exp.search.sampleBudget),
+                sched::objectiveName(args.exp.search.objective).c_str());
     std::printf("peak %.0f GFLOP/s, group total %.2f GFLOPs\n\n",
-                problem->platform().peakGflops(),
-                problem->group().totalFlops() / 1e9);
+                problem.platform().peakGflops(),
+                problem.group().totalFlops() / 1e9);
 
+    api::RunReport last;
     if (args.all) {
-        for (m3e::Method m : m3e::paperMethods())
-            runOne(m, *problem, args);
+        if (!args.reportPath.empty()) {
+            std::fprintf(stderr,
+                         "--report needs a single --method (not --all)\n");
+            return 2;
+        }
+        for (m3e::Method m : m3e::paperMethods()) {
+            api::ExperimentSpec exp = args.exp;
+            exp.search.method = m3e::methodName(m);
+            runOne(runner, exp, args);
+        }
     } else {
-        runOne(m3e::methodFromName(args.method), *problem, args);
+        try {
+            last = runOne(runner, args.exp, args);
+        } catch (const std::invalid_argument& e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+        if (!args.reportPath.empty())
+            writeReport(last, args.reportPath);
     }
 
     if (args.stats) {

@@ -13,18 +13,21 @@
  *   m3e_serve [--requests N] [--tenants N] [--workers N] [--threads N]
  *             [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
  *             [--bw GBPS] [--group N] [--budget N] [--seed N]
- *             [--store PATH] [--no-warm] [--quiet]
+ *             [--objective NAME] [--store PATH] [--no-warm] [--quiet]
  *
- * --threads N sets evaluation lanes per request (0 = auto via
- * MAGMA_THREADS / hardware concurrency). --store PATH loads the
- * warm-start store at startup and saves it at shutdown, so a second run
- * starts warm. --no-warm disables the store (cold baseline).
+ * The flags populate the api::ProblemSpec/api::SearchSpec embedded in
+ * every serve::MapRequest — the same declarative artifacts `m3e_cli
+ * --spec` runs offline. --threads N sets evaluation lanes per request
+ * (0 = auto via MAGMA_THREADS / hardware concurrency). --store PATH
+ * loads the warm-start store at startup and saves it at shutdown, so a
+ * second run starts warm. --no-warm disables the store (cold baseline).
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,10 +45,8 @@ struct ServeArgs {
     int tenants = 3;
     int workers = 2;
     int threads = 1;
-    dnn::TaskType task = dnn::TaskType::Mix;
-    accel::Setting setting = accel::Setting::S2;
-    double bw = 16.0;
-    int group = 24;
+    api::ProblemSpec problem;
+    sched::Objective objective = sched::Objective::Throughput;
     int64_t budget = 1600;
     uint64_t seed = 1;
     std::string storePath;
@@ -53,35 +54,24 @@ struct ServeArgs {
     bool quiet = false;
 };
 
-dnn::TaskType
-parseTask(const std::string& s)
+/** Parse via fn, mapping std::invalid_argument to a usage error. */
+template <typename Fn>
+auto
+parseOrDie(Fn&& fn, const std::string& value)
 {
-    for (dnn::TaskType t : {dnn::TaskType::Vision, dnn::TaskType::Language,
-                            dnn::TaskType::Recommendation,
-                            dnn::TaskType::Mix})
-        if (dnn::taskTypeName(t) == s)
-            return t;
-    std::fprintf(stderr, "unknown task '%s' (Vision|Lang|Recom|Mix)\n",
-                 s.c_str());
-    std::exit(2);
-}
-
-accel::Setting
-parseSetting(const std::string& s)
-{
-    for (accel::Setting st : {accel::Setting::S1, accel::Setting::S2,
-                              accel::Setting::S3, accel::Setting::S4,
-                              accel::Setting::S5, accel::Setting::S6})
-        if (accel::settingName(st) == s)
-            return st;
-    std::fprintf(stderr, "unknown setting '%s' (S1..S6)\n", s.c_str());
-    std::exit(2);
+    try {
+        return fn(value);
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        std::exit(2);
+    }
 }
 
 ServeArgs
 parse(int argc, char** argv)
 {
     ServeArgs a;
+    a.problem.groupSize = 24;
     auto need = [&](int i) {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "missing value for %s\n", argv[i]);
@@ -100,17 +90,20 @@ parse(int argc, char** argv)
         else if (flag == "--threads")
             a.threads = std::stoi(need(i++));
         else if (flag == "--task")
-            a.task = parseTask(need(i++));
+            a.problem.task = parseOrDie(dnn::taskTypeFromName, need(i++));
         else if (flag == "--setting")
-            a.setting = parseSetting(need(i++));
+            a.problem.setting =
+                parseOrDie(accel::settingFromName, need(i++));
         else if (flag == "--bw")
-            a.bw = std::stod(need(i++));
+            a.problem.systemBwGbps = std::stod(need(i++));
         else if (flag == "--group")
-            a.group = std::stoi(need(i++));
+            a.problem.groupSize = std::stoi(need(i++));
         else if (flag == "--budget")
             a.budget = std::stoll(need(i++));
         else if (flag == "--seed")
             a.seed = std::stoull(need(i++));
+        else if (flag == "--objective")
+            a.objective = parseOrDie(sched::objectiveFromName, need(i++));
         else if (flag == "--store")
             a.storePath = need(i++);
         else if (flag == "--no-warm")
@@ -125,7 +118,7 @@ parse(int argc, char** argv)
     a.requests = std::max(0, a.requests);
     a.tenants = std::max(1, a.tenants);
     a.workers = std::max(1, a.workers);
-    a.group = std::max(1, a.group);
+    a.problem.groupSize = std::max(1, a.problem.groupSize);
     return a;
 }
 
@@ -145,9 +138,10 @@ main(int argc, char** argv)
     std::printf("mapping service: %d workers x %d eval lane(s), task %s, "
                 "%s @ %g GB/s, group %d, cold budget %lld%s\n",
                 args.workers, args.threads,
-                dnn::taskTypeName(args.task).c_str(),
-                accel::settingName(args.setting).c_str(), args.bw,
-                args.group, static_cast<long long>(args.budget),
+                dnn::taskTypeName(args.problem.task).c_str(),
+                accel::settingName(args.problem.setting).c_str(),
+                args.problem.systemBwGbps, args.problem.groupSize,
+                static_cast<long long>(args.budget),
                 args.storePath.empty()
                     ? ""
                     : (", store " + args.storePath).c_str());
@@ -165,14 +159,12 @@ main(int argc, char** argv)
         serve::MapRequest req;
         req.tenant = "tenant-" + std::to_string(i % args.tenants);
         req.priority = (i % 5 == 0) ? 0 : 1;
-        req.task = args.task;
-        req.groupSize = args.group;
-        req.workloadSeed = args.seed + i;
-        req.setting = args.setting;
-        req.bwGbps = args.bw;
-        req.sampleBudget = args.budget;
-        req.seed = args.seed + i;
-        req.allowWarmStart = args.warm;
+        req.problem = args.problem;
+        req.problem.workloadSeed = args.seed + i;
+        req.search.objective = args.objective;
+        req.search.sampleBudget = args.budget;
+        req.search.seed = args.seed + i;
+        req.search.warmStart = args.warm;
         futures.push_back(service.submit(std::move(req)));
     }
 

@@ -1,19 +1,21 @@
 /**
  * @file
  * Quickstart: map a Mix workload onto the small heterogeneous accelerator
- * (S2, Table III) with MAGMA and compare against the manual baselines.
+ * (S2, Table III) with MAGMA and compare against the manual baselines —
+ * written against the declarative api/ layer's three-object flow:
  *
- * Walks the full M3E flow of Fig. 3: describe jobs -> configure the
- * platform -> pre-process (Job Analyzer) -> optimize -> inspect the
- * resulting schedule.
+ *   1. describe the experiment  (api::ProblemSpec + api::SearchSpec)
+ *   2. run it                   (api::Runner)
+ *   3. inspect the result       (api::RunReport)
+ *
+ * Specs and reports are plain values with exact text round-trips, so the
+ * whole experiment (and its outcome) is a portable artifact: save the
+ * printed spec to a file and `m3e_cli --spec FILE` replays it.
  */
 
 #include <cstdio>
 
-#include "baselines/ai_mt_like.h"
-#include "baselines/herald_like.h"
-#include "m3e/problem.h"
-#include "opt/magma_ga.h"
+#include "api/runner.h"
 
 int
 main()
@@ -23,47 +25,58 @@ main()
     // A group of 40 dependency-free jobs drawn from vision, language and
     // recommendation models (the "Mix" task), on S2 with 16 GB/s of
     // shared system bandwidth.
-    auto problem = m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2,
-                                    /*system_bw_gbps=*/16.0,
-                                    /*group_size=*/40, /*seed=*/7);
-    const auto& eval = problem->evaluator();
-
-    std::printf("Platform %s (%s): %d sub-accelerators, %.0f GFLOP/s peak, "
-                "%.0f GB/s system BW\n",
-                problem->platform().name.c_str(),
-                problem->platform().description.c_str(), eval.numAccels(),
-                problem->platform().peakGflops(),
-                problem->platform().systemBwGbps);
-    std::printf("Group: %d jobs, %.2f GFLOPs total\n\n", eval.groupSize(),
-                problem->group().totalFlops() / 1e9);
-
-    // Manual baselines (single deterministic mapping each).
-    baselines::HeraldLike herald(/*seed=*/1);
-    baselines::AiMtLike aimt(/*seed=*/1);
-    opt::SearchResult herald_res = herald.search(eval);
-    opt::SearchResult aimt_res = aimt.search(eval);
+    api::ProblemSpec problem;
+    problem.task = dnn::TaskType::Mix;
+    problem.setting = accel::Setting::S2;
+    problem.systemBwGbps = 16.0;
+    problem.groupSize = 40;
+    problem.workloadSeed = 7;
 
     // MAGMA with a 2K-sample budget. threads = 0 fans each generation
     // out over all cores (exec::EvalEngine); the result is identical to
     // a serial search with the same seed — only wall-clock changes.
-    opt::MagmaGa magma_ga(/*seed=*/1);
-    opt::SearchOptions opts;
-    opts.sampleBudget = 2000;
-    opts.threads = 0;
-    opt::SearchResult magma_res = magma_ga.search(eval, opts);
+    api::SearchSpec magma_search;
+    magma_search.method = "MAGMA";
+    magma_search.sampleBudget = 2000;
+    magma_search.seed = 1;
+    magma_search.threads = 0;
 
+    api::Runner runner;
+    m3e::Problem& prob = runner.problem(problem, magma_search.objective);
+    std::printf("Platform %s (%s): %d sub-accelerators, %.0f GFLOP/s peak, "
+                "%.0f GB/s system BW\n",
+                prob.platform().name.c_str(),
+                prob.platform().description.c_str(),
+                prob.evaluator().numAccels(), prob.platform().peakGflops(),
+                prob.platform().systemBwGbps);
+    std::printf("Group: %d jobs, %.2f GFLOPs total\n\n",
+                prob.evaluator().groupSize(),
+                prob.group().totalFlops() / 1e9);
+
+    // The manual baselines are just other method names: the registry
+    // swaps mappers freely (the M3E property the paper leans on).
     std::printf("%-12s %14s\n", "mapper", "GFLOP/s");
-    std::printf("%-12s %14.1f\n", "Herald-like", herald_res.bestFitness);
-    std::printf("%-12s %14.1f\n", "AI-MT-like", aimt_res.bestFitness);
-    std::printf("%-12s %14.1f   (%lld samples)\n", "MAGMA",
-                magma_res.bestFitness,
-                static_cast<long long>(magma_res.samplesUsed));
+    for (const char* method : {"Herald-like", "AI-MT-like"}) {
+        api::SearchSpec baseline = magma_search;
+        baseline.method = method;
+        api::RunReport rep = runner.run(problem, baseline);
+        std::printf("%-12s %14.1f\n", rep.method.c_str(), rep.bestFitness);
+    }
+    api::RunReport rep = runner.run(problem, magma_search);
+    std::printf("%-12s %14.1f   (%lld samples, %.2f s)\n",
+                rep.method.c_str(), rep.bestFitness,
+                static_cast<long long>(rep.samplesUsed), rep.wallSeconds);
 
     // Inspect MAGMA's winning schedule.
     sched::ScheduleResult sim =
-        eval.evaluate(magma_res.best, /*record_timeline=*/true);
+        prob.evaluator().evaluate(rep.best, /*record_timeline=*/true);
     std::printf("\nMAGMA schedule: makespan %.3f ms, %zu BW re-allocation "
                 "segments\n",
                 sim.makespanSeconds * 1e3, sim.events.size());
+
+    // The experiment itself is one portable key=value artifact:
+    api::ExperimentSpec exp{problem, magma_search};
+    std::printf("\nSpec (feed this to `m3e_cli --spec FILE`):\n%s",
+                exp.toText().c_str());
     return 0;
 }

@@ -36,11 +36,12 @@ main()
 
     auto makeRequest = [&](const dnn::JobGroup& group) {
         serve::MapRequest req;
-        req.task = task;
+        req.problem.task = task;
+        req.problem.setting = accel::Setting::S4;
+        req.problem.systemBwGbps = 1.0;
         req.group = group;
-        req.setting = accel::Setting::S4;
-        req.bwGbps = 1.0;
-        req.seed = 1;
+        req.search.sampleBudget = full_budget;
+        req.search.seed = 1;
         return req;
     };
 
@@ -66,8 +67,7 @@ main()
 
         // Cold full search (the expensive path); writes back to the store.
         serve::MapRequest req = makeRequest(group);
-        req.allowWarmStart = false;
-        req.sampleBudget = full_budget;
+        req.search.warmStart = false;
         serve::MapResponse cold = service.submit(std::move(req)).get();
 
         if (!have_warm) {

@@ -1,6 +1,7 @@
 #include "accel/platform.h"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace magma::accel {
 
@@ -16,6 +17,16 @@ settingName(Setting s)
       case Setting::S6: return "S6";
     }
     return "?";
+}
+
+Setting
+settingFromName(const std::string& name)
+{
+    for (Setting s : {Setting::S1, Setting::S2, Setting::S3, Setting::S4,
+                      Setting::S5, Setting::S6})
+        if (settingName(s) == name)
+            return s;
+    throw std::invalid_argument("unknown setting '" + name + "' (S1..S6)");
 }
 
 cost::SubAccelConfig

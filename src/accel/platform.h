@@ -38,6 +38,9 @@ enum class Setting { S1, S2, S3, S4, S5, S6 };
 /** Setting name ("S1".."S6"). */
 std::string settingName(Setting s);
 
+/** Parse a settingName(); throws std::invalid_argument. */
+Setting settingFromName(const std::string& name);
+
 /**
  * Build a Table III platform.
  *

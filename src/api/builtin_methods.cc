@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Registration of the built-in mapper line-up (Table IV + the Random
+ * reference) with the OptimizerRegistry, in the paper's plot order and
+ * with the paper's hyper-parameters (each class's defaults).
+ *
+ * This is the replacement for the old m3e::factory enum switch: the
+ * registry is the source of truth, m3e::makeOptimizer is now a
+ * compatibility wrapper over these entries.
+ */
+
+#include "api/registry.h"
+
+#include "baselines/ai_mt_like.h"
+#include "baselines/herald_like.h"
+#include "opt/cma_es.h"
+#include "opt/de.h"
+#include "opt/magma_ga.h"
+#include "opt/pso.h"
+#include "opt/random_search.h"
+#include "opt/std_ga.h"
+#include "opt/tbpsa.h"
+#include "rl/a2c.h"
+#include "rl/ppo2.h"
+
+namespace magma::api::detail {
+
+namespace {
+
+template <typename T>
+OptimizerFactory
+simple()
+{
+    return [](uint64_t seed) { return std::make_unique<T>(seed); };
+}
+
+}  // namespace
+
+void
+registerBuiltinOptimizers(OptimizerRegistry& registry)
+{
+    registry.add("Herald-like", {"herald"},
+                 simple<baselines::HeraldLike>());
+    registry.add("AI-MT-like", {"ai-mt", "aimt"},
+                 simple<baselines::AiMtLike>());
+    registry.add("PSO", {}, simple<opt::Pso>());
+    registry.add("CMA", {"cma-es"}, simple<opt::CmaEs>());
+    registry.add("DE", {}, simple<opt::De>());
+    registry.add("TBPSA", {}, simple<opt::Tbpsa>());
+    registry.add("stdGA", {"std-ga"}, simple<opt::StdGa>());
+    registry.add("RL A2C", {"a2c", "rl-a2c"}, simple<rl::A2c>());
+    registry.add("RL PPO2", {"ppo2", "rl-ppo2"}, simple<rl::Ppo2>());
+    registry.add("MAGMA", {"magma-ga"}, simple<opt::MagmaGa>());
+    registry.add("Random", {"random-search"},
+                 simple<opt::RandomSearch>());
+}
+
+}  // namespace magma::api::detail

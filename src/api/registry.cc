@@ -1,0 +1,191 @@
+#include "api/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace magma::api {
+
+namespace {
+
+std::string
+lower(const std::string& s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+/** Classic Levenshtein distance, for the did-you-mean suggestion. */
+size_t
+editDistance(const std::string& a, const std::string& b)
+{
+    std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+}  // namespace
+
+OptimizerRegistry&
+OptimizerRegistry::global()
+{
+    // Heap-allocated so the registry survives static destruction order
+    // (downstream registrars may run very early, serve lanes very late).
+    static OptimizerRegistry* reg = [] {
+        auto* r = new OptimizerRegistry();
+        detail::registerBuiltinOptimizers(*r);
+        return r;
+    }();
+    return *reg;
+}
+
+void
+OptimizerRegistry::add(std::string name, std::vector<std::string> aliases,
+                       OptimizerFactory factory)
+{
+    if (name.empty() || !factory)
+        throw std::invalid_argument(
+            "OptimizerRegistry::add: empty name or null factory");
+    std::lock_guard<std::mutex> lk(mu_);
+    auto taken = [this](const std::string& key) {
+        for (const Entry& e : entries_) {
+            if (e.name == key)
+                return true;
+            for (const std::string& a : e.aliases)
+                if (a == key)
+                    return true;
+        }
+        return false;
+    };
+    if (taken(name))
+        throw std::invalid_argument("OptimizerRegistry: '" + name +
+                                    "' already registered");
+    for (const std::string& a : aliases)
+        if (a.empty() || taken(a))
+            throw std::invalid_argument("OptimizerRegistry: alias '" + a +
+                                        "' already registered");
+    entries_.push_back(
+        Entry{std::move(name), std::move(aliases), std::move(factory)});
+}
+
+const OptimizerRegistry::Entry*
+OptimizerRegistry::find(const std::string& name_or_alias) const
+{
+    for (const Entry& e : entries_) {
+        if (e.name == name_or_alias)
+            return &e;
+        for (const std::string& a : e.aliases)
+            if (a == name_or_alias)
+                return &e;
+    }
+    // Forgiving fallback: unique case-insensitive match.
+    std::string key = lower(name_or_alias);
+    for (const Entry& e : entries_) {
+        if (lower(e.name) == key)
+            return &e;
+        for (const std::string& a : e.aliases)
+            if (lower(a) == key)
+                return &e;
+    }
+    return nullptr;
+}
+
+const OptimizerRegistry::Entry&
+OptimizerRegistry::findOrThrow(const std::string& name_or_alias) const
+{
+    if (const Entry* e = find(name_or_alias))
+        return *e;
+
+    // Unknown: suggest the nearest name/alias and list everything.
+    std::string key = lower(name_or_alias);
+    std::string nearest;
+    size_t best = std::string::npos;
+    for (const Entry& e : entries_) {
+        auto consider = [&](const std::string& cand) {
+            size_t d = editDistance(key, lower(cand));
+            if (d < best) {
+                best = d;
+                nearest = cand;
+            }
+        };
+        consider(e.name);
+        for (const std::string& a : e.aliases)
+            consider(a);
+    }
+    std::ostringstream msg;
+    msg << "unknown optimizer '" << name_or_alias << "'";
+    if (!nearest.empty() && best <= std::max<size_t>(2, key.size() / 3))
+        msg << "; did you mean '" << nearest << "'?";
+    msg << " known methods: ";
+    for (size_t i = 0; i < entries_.size(); ++i)
+        msg << (i ? ", " : "") << entries_[i].name;
+    throw std::invalid_argument(msg.str());
+}
+
+std::unique_ptr<opt::Optimizer>
+OptimizerRegistry::make(const std::string& name_or_alias,
+                        uint64_t seed) const
+{
+    OptimizerFactory factory;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        factory = findOrThrow(name_or_alias).factory;  // copy: construct
+    }                                                  // outside the lock
+    return factory(seed);
+}
+
+std::string
+OptimizerRegistry::resolve(const std::string& name_or_alias) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return findOrThrow(name_or_alias).name;
+}
+
+bool
+OptimizerRegistry::contains(const std::string& name_or_alias) const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return find(name_or_alias) != nullptr;
+}
+
+std::vector<std::string>
+OptimizerRegistry::names() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+std::vector<OptimizerRegistry::Entry>
+OptimizerRegistry::entries() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_;
+}
+
+bool
+registerOptimizer(std::string name, std::vector<std::string> aliases,
+                  OptimizerFactory factory)
+{
+    OptimizerRegistry::global().add(std::move(name), std::move(aliases),
+                                    std::move(factory));
+    return true;
+}
+
+}  // namespace magma::api

@@ -1,0 +1,92 @@
+#ifndef MAGMA_API_REGISTRY_H_
+#define MAGMA_API_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "opt/optimizer.h"
+
+namespace magma::api {
+
+/** Builds an optimizer with its Table IV hyper-parameters. */
+using OptimizerFactory =
+    std::function<std::unique_ptr<opt::Optimizer>(uint64_t seed)>;
+
+/**
+ * String-keyed optimizer factory — the source of truth for which mapping
+ * methods exist. Every Table IV method self-registers here (see
+ * builtin_methods.cc), the legacy m3e::Method enum is a thin
+ * compatibility wrapper over lookups, and downstream users add methods
+ * with registerOptimizer() without touching m3e/:
+ *
+ *   static const bool kReg = magma::api::registerOptimizer(
+ *       "MyMapper", {"my", "mm"},
+ *       [](uint64_t seed) { return std::make_unique<MyMapper>(seed); });
+ *
+ * Lookups accept the canonical name or any alias, exact first and then
+ * case-insensitively; an unknown name throws std::invalid_argument with
+ * a nearest-match suggestion and the full method list.
+ *
+ * Thread-safe: registration and lookup may race with concurrent serve
+ * lanes.
+ */
+class OptimizerRegistry {
+  public:
+    struct Entry {
+        std::string name;  ///< canonical (the paper's plot label)
+        std::vector<std::string> aliases;
+        OptimizerFactory factory;
+    };
+
+    /** The process-wide registry, builtins pre-registered. */
+    static OptimizerRegistry& global();
+
+    /** Register a method; throws on a duplicate name or alias. */
+    void add(std::string name, std::vector<std::string> aliases,
+             OptimizerFactory factory);
+
+    /** Construct `name_or_alias` seeded; throws on unknown name. */
+    std::unique_ptr<opt::Optimizer> make(const std::string& name_or_alias,
+                                         uint64_t seed) const;
+
+    /** Canonical name for a name/alias; throws on unknown name. */
+    std::string resolve(const std::string& name_or_alias) const;
+
+    bool contains(const std::string& name_or_alias) const;
+
+    /** Canonical names in registration order (builtins: Table IV order). */
+    std::vector<std::string> names() const;
+
+    /** Entry snapshots in registration order (for --list-methods). */
+    std::vector<Entry> entries() const;
+
+  private:
+    const Entry* find(const std::string& name_or_alias) const;  // mu_ held
+    /** find() or throw the did-you-mean error. Caller holds mu_. */
+    const Entry& findOrThrow(const std::string& name_or_alias) const;
+
+    mutable std::mutex mu_;
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Convenience wrapper over global().add() whose bool return makes it
+ * usable as a namespace-scope static initializer (self-registration).
+ */
+bool registerOptimizer(std::string name, std::vector<std::string> aliases,
+                       OptimizerFactory factory);
+
+namespace detail {
+/** Defined in builtin_methods.cc; called once by global(). The explicit
+ * call (rather than per-TU static initializers) keeps the builtins from
+ * being dropped when magma_core is linked as a static library. */
+void registerBuiltinOptimizers(OptimizerRegistry& registry);
+}  // namespace detail
+
+}  // namespace magma::api
+
+#endif  // MAGMA_API_REGISTRY_H_

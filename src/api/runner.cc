@@ -1,0 +1,215 @@
+#include "api/runner.h"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "api/registry.h"
+#include "api/textio.h"
+
+namespace magma::api {
+
+using namespace textio;
+
+// --------------------------------------------------------- RunReport ---
+
+namespace {
+
+constexpr const char* kReportHeader = "magma-run-report v1";
+
+std::string
+joinDoubles(const std::vector<double>& vs)
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < vs.size(); ++i)
+        os << (i ? " " : "") << formatDouble(vs[i]);
+    return os.str();
+}
+
+std::vector<double>
+splitDoubles(const std::string& key, const std::string& line)
+{
+    std::vector<double> out;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        out.push_back(parseDouble(key, tok));
+    return out;
+}
+
+}  // namespace
+
+std::string
+RunReport::toText() const
+{
+    std::ostringstream os;
+    os << kReportHeader << '\n'
+       << problem.toText() << search.toText()
+       // "method" is the SearchSpec's key (possibly an alias);
+       // "resolved_method" is the canonical name the registry ran.
+       << "resolved_method=" << method << '\n'
+       << "best_fitness=" << formatDouble(bestFitness) << '\n'
+       << "makespan_seconds=" << formatDouble(makespanSeconds) << '\n'
+       << "throughput_gflops=" << formatDouble(throughputGflops) << '\n'
+       << "energy_joules=" << formatDouble(energyJoules) << '\n'
+       << "samples_used=" << samplesUsed << '\n'
+       << "wall_seconds=" << formatDouble(wallSeconds) << '\n'
+       << "mapping=" << best.toText() << '\n'
+       << "convergence=" << joinDoubles(convergence) << '\n';
+    return os.str();
+}
+
+RunReport
+RunReport::fromText(const std::string& text)
+{
+    size_t nl = text.find('\n');
+    if (trim(text.substr(0, nl)) != kReportHeader)
+        throw std::invalid_argument(
+            "RunReport::fromText: missing 'magma-run-report v1' header");
+    RunReport r;
+    forEachKeyValue(
+        text.substr(nl == std::string::npos ? text.size() : nl + 1),
+        [&](const std::string& k, const std::string& v) {
+            if (k == "resolved_method") {
+                r.method = v;
+                return;
+            }
+            if (r.problem.applyKey(k, v) || r.search.applyKey(k, v))
+                return;
+            if (k == "best_fitness")
+                r.bestFitness = parseDouble(k, v);
+            else if (k == "makespan_seconds")
+                r.makespanSeconds = parseDouble(k, v);
+            else if (k == "throughput_gflops")
+                r.throughputGflops = parseDouble(k, v);
+            else if (k == "energy_joules")
+                r.energyJoules = parseDouble(k, v);
+            else if (k == "samples_used")
+                r.samplesUsed = parseInt(k, v);
+            else if (k == "wall_seconds")
+                r.wallSeconds = parseDouble(k, v);
+            else if (k == "mapping")
+                r.best = sched::Mapping::fromText(v);
+            else if (k == "convergence")
+                r.convergence = splitDoubles(k, v);
+            else
+                throw std::invalid_argument(
+                    "RunReport: unknown key '" + k + "'");
+        });
+    return r;
+}
+
+std::string
+RunReport::csvHeader()
+{
+    return "task,setting,flexible,system_bw_gbps,group_size,bw_policy,"
+           "workload_seed,method,objective,sample_budget,seed,threads,"
+           "best_fitness,makespan_seconds,throughput_gflops,energy_joules,"
+           "samples_used,wall_seconds";
+}
+
+std::string
+RunReport::csvRow() const
+{
+    std::ostringstream os;
+    os << dnn::taskTypeName(problem.task) << ','
+       << accel::settingName(problem.setting) << ','
+       << (problem.flexible ? 1 : 0) << ','
+       << formatDouble(problem.systemBwGbps) << ',' << problem.groupSize
+       << ',' << sched::bwPolicyName(problem.bwPolicy) << ','
+       << problem.workloadSeed << ',' << method << ','
+       << sched::objectiveName(search.objective) << ','
+       << search.sampleBudget << ',' << search.seed << ','
+       << search.threads << ',' << formatDouble(bestFitness) << ','
+       << formatDouble(makespanSeconds) << ','
+       << formatDouble(throughputGflops) << ','
+       << formatDouble(energyJoules) << ',' << samplesUsed << ','
+       << formatDouble(wallSeconds);
+    return os.str();
+}
+
+std::string
+RunReport::summaryLine() const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-14s fitness %12.3f (%s)   throughput %9.2f GFLOP/s   "
+                  "makespan %.4g s   samples %lld",
+                  method.c_str(), bestFitness,
+                  sched::objectiveName(search.objective).c_str(),
+                  throughputGflops, makespanSeconds,
+                  static_cast<long long>(samplesUsed));
+    return buf;
+}
+
+// ------------------------------------------------- problem builders ---
+
+std::unique_ptr<m3e::Problem>
+buildProblem(const ProblemSpec& spec, sched::Objective objective)
+{
+    return spec.flexible
+               ? m3e::makeFlexibleProblem(spec.task, spec.setting,
+                                          spec.systemBwGbps, spec.groupSize,
+                                          spec.workloadSeed, objective,
+                                          spec.bwPolicy)
+               : m3e::makeProblem(spec.task, spec.setting,
+                                  spec.systemBwGbps, spec.groupSize,
+                                  spec.workloadSeed, objective,
+                                  spec.bwPolicy);
+}
+
+// ------------------------------------------------------------ Runner ---
+
+m3e::Problem&
+Runner::problem(const ProblemSpec& spec, sched::Objective objective)
+{
+    if (!cached_ || !(cachedSpec_ == spec) || cachedObjective_ != objective) {
+        cached_ = buildProblem(spec, objective);
+        cachedSpec_ = spec;
+        cachedObjective_ = objective;
+    }
+    return *cached_;
+}
+
+RunReport
+Runner::run(const ProblemSpec& ps, const SearchSpec& ss,
+            opt::SearchResult* raw)
+{
+    m3e::Problem& prob = problem(ps, ss.objective);
+    sched::MappingEvaluator& eval = prob.evaluator();
+
+    std::unique_ptr<opt::Optimizer> optimizer =
+        OptimizerRegistry::global().make(ss.method, ss.seed);
+
+    opt::SearchOptions opts;
+    opts.sampleBudget = ss.sampleBudget;
+    opts.threads = ss.threads;
+    opts.recordConvergence = ss.recordConvergence;
+    opts.recordSamples = ss.recordSamples;
+
+    auto t0 = std::chrono::steady_clock::now();
+    opt::SearchResult res = optimizer->search(eval, opts);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+
+    sched::ScheduleResult sim = eval.evaluate(res.best);
+
+    RunReport rep;
+    rep.problem = ps;
+    rep.search = ss;
+    rep.method = optimizer->name();
+    rep.best = res.best;
+    rep.bestFitness = res.bestFitness;
+    rep.makespanSeconds = sim.makespanSeconds;
+    rep.throughputGflops = eval.throughputGflops(sim.makespanSeconds);
+    rep.energyJoules = eval.totalJoules(res.best);
+    rep.samplesUsed = res.samplesUsed;
+    rep.wallSeconds = wall;
+    rep.convergence = res.convergence;
+    if (raw)
+        *raw = std::move(res);
+    return rep;
+}
+
+}  // namespace magma::api

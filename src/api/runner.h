@@ -1,0 +1,94 @@
+#ifndef MAGMA_API_RUNNER_H_
+#define MAGMA_API_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/spec.h"
+#include "m3e/problem.h"
+#include "opt/optimizer.h"
+
+namespace magma::api {
+
+/**
+ * Structured outcome of one experiment: the input specs echoed back (a
+ * report is self-describing and replayable), the best mapping and its
+ * quality under every reporting lens, and the search cost.
+ *
+ * Text form: "magma-run-report v1" header, then the key=value blocks of
+ * both specs followed by the result keys — exact round-trip
+ * (fromText(toText(r)) == r bitwise), so reports are durable artifacts
+ * the same way specs and the MappingStore are. csvRow()/csvHeader() give
+ * the one-line spreadsheet form.
+ */
+struct RunReport {
+    ProblemSpec problem;
+    SearchSpec search;
+    std::string method;  ///< canonical registry name actually run
+
+    sched::Mapping best;
+    double bestFitness = 0.0;  ///< objective value of `best`
+    double makespanSeconds = 0.0;
+    double throughputGflops = 0.0;
+    double energyJoules = 0.0;
+    int64_t samplesUsed = 0;
+    double wallSeconds = 0.0;
+    /** best-so-far fitness per sample (when search.recordConvergence). */
+    std::vector<double> convergence;
+
+    std::string toText() const;
+    /** Exact inverse of toText(); throws std::invalid_argument. */
+    static RunReport fromText(const std::string& text);
+
+    static std::string csvHeader();
+    std::string csvRow() const;
+
+    /** One human-readable result line for CLIs and logs. */
+    std::string summaryLine() const;
+
+    bool operator==(const RunReport&) const = default;
+};
+
+/** Wire the full m3e::Problem a ProblemSpec describes. */
+std::unique_ptr<m3e::Problem> buildProblem(
+    const ProblemSpec& spec,
+    sched::Objective objective = sched::Objective::Throughput);
+
+/**
+ * The one-call facade from specs to a RunReport: builds the problem,
+ * constructs the method through the OptimizerRegistry, runs the search
+ * and fills the report. For fixed seeds the result is bitwise identical
+ * to hand-wiring m3e::makeProblem + m3e::makeOptimizer (tests/test_api.cc
+ * locks this in).
+ *
+ * The Runner caches the problem of the last (ProblemSpec, objective)
+ * pair, so sweeping methods over one workload (m3e_cli --all) re-uses
+ * the Job Analyzer tables. Not thread-safe; use one Runner per thread.
+ */
+class Runner {
+  public:
+    Runner() = default;
+
+    RunReport run(const ProblemSpec& problem, const SearchSpec& search,
+                  opt::SearchResult* raw = nullptr);
+    RunReport run(const ExperimentSpec& exp,
+                  opt::SearchResult* raw = nullptr)
+    {
+        return run(exp.problem, exp.search, raw);
+    }
+
+    /** The (cached) problem for a spec — for header prints, timelines and
+     * other post-run inspection against the same evaluator. */
+    m3e::Problem& problem(const ProblemSpec& spec,
+                          sched::Objective objective);
+
+  private:
+    std::unique_ptr<m3e::Problem> cached_;
+    ProblemSpec cachedSpec_;
+    sched::Objective cachedObjective_ = sched::Objective::Throughput;
+};
+
+}  // namespace magma::api
+
+#endif  // MAGMA_API_RUNNER_H_

@@ -17,6 +17,9 @@ enum class TaskType { Vision, Language, Recommendation, Mix };
 /** Human-readable task name ("Vision", "Lang", "Recom", "Mix"). */
 std::string taskTypeName(TaskType t);
 
+/** Parse a taskTypeName(); throws std::invalid_argument. */
+TaskType taskTypeFromName(const std::string& name);
+
 /**
  * One DNN model: an ordered list of accelerator-visible layers.
  *

@@ -20,6 +20,17 @@ taskTypeName(TaskType t)
     return "?";
 }
 
+TaskType
+taskTypeFromName(const std::string& name)
+{
+    for (TaskType t : {TaskType::Vision, TaskType::Language,
+                       TaskType::Recommendation, TaskType::Mix})
+        if (taskTypeName(t) == name)
+            return t;
+    throw std::invalid_argument("unknown task '" + name +
+                                "' (Vision|Lang|Recom|Mix)");
+}
+
 std::vector<Model>
 allModels()
 {

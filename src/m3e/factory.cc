@@ -2,19 +2,25 @@
 
 #include <stdexcept>
 
-#include "baselines/ai_mt_like.h"
-#include "baselines/herald_like.h"
-#include "opt/cma_es.h"
-#include "opt/de.h"
-#include "opt/magma_ga.h"
-#include "opt/pso.h"
-#include "opt/random_search.h"
-#include "opt/std_ga.h"
-#include "opt/tbpsa.h"
-#include "rl/a2c.h"
-#include "rl/ppo2.h"
+#include "api/registry.h"
 
 namespace magma::m3e {
+
+namespace {
+
+/** All enum values, Table IV plot order then Random. */
+const std::vector<Method>&
+allMethods()
+{
+    static const std::vector<Method> all = {
+        Method::HeraldLike, Method::AiMtLike, Method::Pso,
+        Method::Cma,        Method::De,       Method::Tbpsa,
+        Method::StdGa,      Method::RlA2c,    Method::RlPpo2,
+        Method::Magma,      Method::Random};
+    return all;
+}
+
+}  // namespace
 
 std::string
 methodName(Method m)
@@ -38,50 +44,30 @@ methodName(Method m)
 std::unique_ptr<opt::Optimizer>
 makeOptimizer(Method m, uint64_t seed)
 {
-    switch (m) {
-      case Method::HeraldLike:
-        return std::make_unique<baselines::HeraldLike>(seed);
-      case Method::AiMtLike:
-        return std::make_unique<baselines::AiMtLike>(seed);
-      case Method::Pso:
-        return std::make_unique<opt::Pso>(seed);
-      case Method::Cma:
-        return std::make_unique<opt::CmaEs>(seed);
-      case Method::De:
-        return std::make_unique<opt::De>(seed);
-      case Method::Tbpsa:
-        return std::make_unique<opt::Tbpsa>(seed);
-      case Method::StdGa:
-        return std::make_unique<opt::StdGa>(seed);
-      case Method::RlA2c:
-        return std::make_unique<rl::A2c>(seed);
-      case Method::RlPpo2:
-        return std::make_unique<rl::Ppo2>(seed);
-      case Method::Magma:
-        return std::make_unique<opt::MagmaGa>(seed);
-      case Method::Random:
-        return std::make_unique<opt::RandomSearch>(seed);
-    }
-    throw std::invalid_argument("unknown method");
+    return api::OptimizerRegistry::global().make(methodName(m), seed);
 }
 
 std::vector<Method>
 paperMethods()
 {
-    return {Method::HeraldLike, Method::AiMtLike, Method::Pso, Method::Cma,
-            Method::De,         Method::Tbpsa,    Method::StdGa,
-            Method::RlA2c,      Method::RlPpo2,   Method::Magma};
+    std::vector<Method> out = allMethods();
+    out.pop_back();  // Random is the reference method, not a Table IV bar
+    return out;
 }
 
 Method
 methodFromName(const std::string& name)
 {
-    for (Method m : paperMethods())
-        if (methodName(m) == name)
+    // Resolve through the registry so aliases ("cma-es", "ppo2", ...)
+    // and the did-you-mean error apply here too.
+    std::string canonical = api::OptimizerRegistry::global().resolve(name);
+    for (Method m : allMethods())
+        if (methodName(m) == canonical)
             return m;
-    if (name == "Random")
-        return Method::Random;
-    throw std::invalid_argument("unknown method name: " + name);
+    throw std::invalid_argument(
+        "method '" + canonical +
+        "' is registry-only (no m3e::Method enum value); construct it "
+        "with api::OptimizerRegistry::global().make()");
 }
 
 }  // namespace magma::m3e

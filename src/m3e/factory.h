@@ -11,6 +11,12 @@ namespace magma::m3e {
 
 /**
  * The mapper line-up of Table IV / Figs. 8-9, in the paper's plot order.
+ *
+ * Compatibility layer: since the api/ redesign the string-keyed
+ * api::OptimizerRegistry is the source of truth for which methods exist;
+ * every function below is a thin wrapper over registry lookups. New code
+ * should prefer the registry (and api::SearchSpec's method-by-name),
+ * which downstream users can extend without touching m3e/.
  */
 enum class Method {
     HeraldLike,
@@ -35,7 +41,8 @@ std::unique_ptr<opt::Optimizer> makeOptimizer(Method m, uint64_t seed);
 /** The ten methods of Figs. 8-9 in plot order (excludes Random). */
 std::vector<Method> paperMethods();
 
-/** Parse a method from its name; throws std::invalid_argument. */
+/** Parse a method from its name or any registry alias; throws
+ * std::invalid_argument (with a did-you-mean suggestion). */
 Method methodFromName(const std::string& name);
 
 }  // namespace magma::m3e

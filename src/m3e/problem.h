@@ -22,7 +22,8 @@ namespace magma::m3e {
 class Problem {
   public:
     Problem(dnn::JobGroup group, accel::Platform platform,
-            sched::BwPolicy policy = sched::BwPolicy::Proportional);
+            sched::BwPolicy policy = sched::BwPolicy::Proportional,
+            sched::Objective objective = sched::Objective::Throughput);
     Problem(const Problem&) = delete;
     Problem& operator=(const Problem&) = delete;
 
@@ -41,19 +42,21 @@ class Problem {
 
 /**
  * Convenience factory: generate a task group (seeded) on a Table III
- * setting with a given system BW.
+ * setting with a given system BW, optimizing `objective` under
+ * `policy`-governed bandwidth allocation.
  */
-std::unique_ptr<Problem> makeProblem(dnn::TaskType task,
-                                     accel::Setting setting,
-                                     double system_bw_gbps, int group_size,
-                                     uint64_t seed = 1);
+std::unique_ptr<Problem> makeProblem(
+    dnn::TaskType task, accel::Setting setting, double system_bw_gbps,
+    int group_size, uint64_t seed = 1,
+    sched::Objective objective = sched::Objective::Throughput,
+    sched::BwPolicy policy = sched::BwPolicy::Proportional);
 
 /** Same, but on the flexible-array variant of the setting (Fig. 14). */
-std::unique_ptr<Problem> makeFlexibleProblem(dnn::TaskType task,
-                                             accel::Setting setting,
-                                             double system_bw_gbps,
-                                             int group_size,
-                                             uint64_t seed = 1);
+std::unique_ptr<Problem> makeFlexibleProblem(
+    dnn::TaskType task, accel::Setting setting, double system_bw_gbps,
+    int group_size, uint64_t seed = 1,
+    sched::Objective objective = sched::Objective::Throughput,
+    sched::BwPolicy policy = sched::BwPolicy::Proportional);
 
 }  // namespace magma::m3e
 

@@ -4,8 +4,31 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 namespace magma::sched {
+
+std::string
+bwPolicyName(BwPolicy p)
+{
+    switch (p) {
+      case BwPolicy::Proportional:
+        return "proportional";
+      case BwPolicy::EvenSplit:
+        return "even-split";
+    }
+    return "?";
+}
+
+BwPolicy
+bwPolicyFromName(const std::string& name)
+{
+    for (BwPolicy p : {BwPolicy::Proportional, BwPolicy::EvenSplit})
+        if (bwPolicyName(p) == name)
+            return p;
+    throw std::invalid_argument("unknown BW policy '" + name +
+                                "' (proportional|even-split)");
+}
 
 ScheduleResult
 BwAllocator::run(const DecodedMapping& decoded, const JobAnalysisTable& table,

@@ -1,6 +1,7 @@
 #ifndef MAGMA_SCHED_BW_ALLOCATOR_H_
 #define MAGMA_SCHED_BW_ALLOCATOR_H_
 
+#include <string>
 #include <vector>
 
 #include "sched/job_analyzer.h"
@@ -38,6 +39,12 @@ struct ScheduleResult {
  * which strands the unused share of compute-bound cores.
  */
 enum class BwPolicy { Proportional, EvenSplit };
+
+/** Policy name ("proportional", "even-split"). */
+std::string bwPolicyName(BwPolicy p);
+
+/** Parse a bwPolicyName(); throws std::invalid_argument. */
+BwPolicy bwPolicyFromName(const std::string& name);
 
 /**
  * The BW Allocator (Algorithm 1).

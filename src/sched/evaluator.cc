@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace magma::sched {
 
@@ -23,14 +24,35 @@ objectiveName(Objective o)
     return "?";
 }
 
+Objective
+objectiveFromName(const std::string& name)
+{
+    for (Objective o : {Objective::Throughput, Objective::Latency,
+                        Objective::Energy, Objective::EnergyDelay,
+                        Objective::PerfPerWatt})
+        if (objectiveName(o) == name)
+            return o;
+    // Short spellings the CLI has historically accepted.
+    if (name == "edp")
+        return Objective::EnergyDelay;
+    if (name == "perf-per-watt")
+        return Objective::PerfPerWatt;
+    throw std::invalid_argument(
+        "unknown objective '" + name +
+        "' (throughput|latency|energy|energy-delay-product|"
+        "performance-per-watt; short forms: edp, perf-per-watt)");
+}
+
 MappingEvaluator::MappingEvaluator(const dnn::JobGroup& group,
                                    const accel::Platform& platform,
                                    const cost::CostModel& model,
                                    BwPolicy policy,
-                                   exec::CostCache* cost_cache)
+                                   exec::CostCache* cost_cache,
+                                   Objective objective)
     : group_(&group),
       platform_(&platform),
-      allocator_(platform.systemBwGbps, policy)
+      allocator_(platform.systemBwGbps, policy),
+      objective_(objective)
 {
     JobAnalyzer analyzer(model, cost_cache);
     table_ = analyzer.analyze(group, platform);

@@ -36,6 +36,12 @@ enum class Objective {
 std::string objectiveName(Objective o);
 
 /**
+ * Parse an objective from its objectiveName(), also accepting the short
+ * CLI spellings "edp" and "perf-per-watt"; throws std::invalid_argument.
+ */
+Objective objectiveFromName(const std::string& name);
+
+/**
  * The M3E evaluation phase in one object (Fig. 3): decoder -> BW allocator
  * -> fitness. Construction runs the pre-process step (Job Analyzer builds
  * the Job Analysis Table); `fitness` is then a pure table-driven
@@ -43,7 +49,9 @@ std::string objectiveName(Objective o);
  *
  * The default fitness is throughput in GFLOP/s — the paper's objective
  * everywhere — computed as total group FLOPs / makespan; other Section
- * IV-C objectives are selected via setObjective().
+ * IV-C objectives are selected at construction (the `objective` ctor
+ * parameter, threaded through m3e::Problem/makeProblem and the api::
+ * specs).
  *
  * Thread-safety: after construction the evaluator is immutable except for
  * the sample meter (a relaxed atomic), so `fitness`/`evaluate` may be
@@ -55,15 +63,23 @@ class MappingEvaluator {
     /**
      * `cost_cache`, when given, memoizes the Job Analyzer's cost-model
      * queries across evaluator instances (sweeps rebuild tables for the
-     * same layers over and over).
+     * same layers over and over). `objective` is what `fitness`
+     * maximizes; it is fixed for the evaluator's lifetime.
      */
     MappingEvaluator(const dnn::JobGroup& group,
                      const accel::Platform& platform,
                      const cost::CostModel& model,
                      BwPolicy policy = BwPolicy::Proportional,
-                     exec::CostCache* cost_cache = nullptr);
+                     exec::CostCache* cost_cache = nullptr,
+                     Objective objective = Objective::Throughput);
 
-    /** Select the objective `fitness` maximizes (default Throughput). */
+    /**
+     * @deprecated Pass the objective to the constructor instead — this
+     * shim mutates what is otherwise an immutable-after-construction
+     * object and must not be called once concurrent evaluation may have
+     * started. Kept for one release for downstream callers.
+     */
+    [[deprecated("pass Objective to the MappingEvaluator constructor")]]
     void setObjective(Objective o) { objective_ = o; }
     Objective objective() const { return objective_; }
 
@@ -104,6 +120,7 @@ class MappingEvaluator {
     const accel::Platform* platform_;
     JobAnalysisTable table_;
     BwAllocator allocator_;
+    /** Non-const only for the deprecated setObjective() shim. */
     Objective objective_ = Objective::Throughput;
     mutable std::atomic<int64_t> samples_{0};
 };

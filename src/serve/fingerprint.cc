@@ -56,4 +56,11 @@ fingerprintOf(const dnn::JobGroup& group, const accel::Platform& platform,
     return Fingerprint{fine.str(), coarse.str()};
 }
 
+Fingerprint
+fingerprintOf(const dnn::JobGroup& group, const api::ProblemSpec& spec,
+              sched::Objective objective)
+{
+    return fingerprintOf(group, api::buildPlatform(spec), objective);
+}
+
 }  // namespace magma::serve

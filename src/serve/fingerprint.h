@@ -4,6 +4,7 @@
 #include <string>
 
 #include "accel/platform.h"
+#include "api/spec.h"
 #include "dnn/workload.h"
 #include "sched/evaluator.h"
 
@@ -37,6 +38,15 @@ struct Fingerprint {
  * Deterministic: the same inputs always produce the same keys. */
 Fingerprint fingerprintOf(
     const dnn::JobGroup& group, const accel::Platform& platform,
+    sched::Objective objective = sched::Objective::Throughput);
+
+/**
+ * Same, for the platform a declarative ProblemSpec describes — what the
+ * MappingService keys its store by for spec-carried requests. Equals the
+ * platform overload on api::buildPlatform(spec) exactly.
+ */
+Fingerprint fingerprintOf(
+    const dnn::JobGroup& group, const api::ProblemSpec& spec,
     sched::Objective objective = sched::Objective::Throughput);
 
 }  // namespace magma::serve

@@ -4,9 +4,8 @@
 #include <cstdint>
 #include <string>
 
-#include "accel/platform.h"
+#include "api/spec.h"
 #include "dnn/workload.h"
-#include "sched/evaluator.h"
 #include "sched/mapping.h"
 
 namespace magma::serve {
@@ -16,39 +15,50 @@ namespace magma::serve {
  * of the Section V-C scenario: groups of jobs keep arriving and the
  * mapper amortizes search cost by transferring previous solutions).
  *
- * The workload is either an explicit `group`, or — when `group` is empty
- * — a spec (`task`, `groupSize`, `workloadSeed`) the service expands via
- * WorkloadGenerator. Everything that influences the result is carried in
- * the request, so a request with a fixed `seed` yields a bitwise
- * identical mapping regardless of queue interleaving (given the same
- * store view, see `allowWarmStart`/`writeBack`).
+ * Since the api/ redesign a request *is* a declarative experiment plus
+ * admission metadata: `problem` (api::ProblemSpec) describes the
+ * workload/platform, `search` (api::SearchSpec) the optimization — the
+ * same artifacts `m3e_cli --spec` runs offline, so a spec file can be
+ * replayed through the service verbatim. The workload is either an
+ * explicit `group`, or — when `group` is empty — generated from the
+ * problem spec (task, groupSize, workloadSeed) via WorkloadGenerator.
+ *
+ * Everything that influences the result is carried in the request, so a
+ * request with a fixed `search.seed` yields a bitwise identical mapping
+ * regardless of queue interleaving (given the same store view, see
+ * `search.warmStart`/`writeBack`).
  */
 struct MapRequest {
     // -- admission ------------------------------------------------------
     std::string tenant = "default";
     int priority = 0;  ///< lower is more urgent; FIFO + fair within a level
 
-    // -- workload -------------------------------------------------------
-    dnn::TaskType task = dnn::TaskType::Mix;
-    dnn::JobGroup group;       ///< explicit jobs; generated from spec if empty
-    int groupSize = 40;        ///< spec: jobs per generated group
-    uint64_t workloadSeed = 1; ///< spec: WorkloadGenerator seed
-
-    // -- platform -------------------------------------------------------
-    accel::Setting setting = accel::Setting::S2;
-    double bwGbps = 16.0;
-    bool flexible = false;  ///< Fig. 14 flexible-array variant
-
-    // -- search ---------------------------------------------------------
-    sched::Objective objective = sched::Objective::Throughput;
-    int64_t sampleBudget = 2000;  ///< cold-search budget
-    uint64_t seed = 1;            ///< optimizer seed
+    // -- experiment -----------------------------------------------------
+    api::ProblemSpec problem;  ///< workload + platform + BW regime
+    /**
+     * Method, objective, budget, seed and warm toggle. The service's
+     * cold-search budget default stays at the pre-redesign 2000 (not
+     * SearchSpec's offline 10K): online requests are latency-bound.
+     * `threads` and the record* flags are governed by the service, not
+     * the spec: evaluation lanes come from ServiceConfig::
+     * threadsPerRequest, and convergence recording is enabled internally
+     * when a warm start needs the Trf-0-ep probe.
+     */
+    api::SearchSpec search = [] {
+        api::SearchSpec s;
+        s.sampleBudget = 2000;
+        return s;
+    }();
+    /** Explicit jobs; when non-empty it overrides the generated group of
+     * the problem spec (problem.task should still describe it). */
+    dnn::JobGroup group;
 
     // -- warm start -----------------------------------------------------
-    bool allowWarmStart = true;  ///< seed from the MappingStore on a hit
-    bool writeBack = true;       ///< publish improved solutions to the store
-    /** Budget on a store hit; <= 0 selects sampleBudget / 4 (the Table V
-     * regime: transferred solutions need a fraction of the cold cost). */
+    /** search.warmStart gates seeding from the MappingStore on a hit. */
+    bool writeBack = true;  ///< publish improved solutions to the store
+    /** Budget on a store hit; <= 0 selects search.sampleBudget / 4 (the
+     * Table V regime: transferred solutions need a fraction of the cold
+     * cost). */
     int64_t warmBudget = 0;
 };
 

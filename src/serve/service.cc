@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "api/registry.h"
 #include "exec/eval_engine.h"
 #include "exec/thread_pool.h"
 #include "m3e/problem.h"
@@ -221,7 +222,7 @@ MappingService::workerLoop()
                 stats_.samplesSpent += resp.samplesUsed;
                 if (resp.warmStart)
                     stats_.samplesSaved += std::max<int64_t>(
-                        0, p.req.sampleBudget - resp.samplesUsed);
+                        0, p.req.search.sampleBudget - resp.samplesUsed);
             }
             if (queueEmpty() && in_flight_ == 0)
                 idle_cv_.notify_all();
@@ -236,20 +237,19 @@ MappingService::workerLoop()
 MapResponse
 MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
 {
-    // 1. Materialize the workload and platform from the request.
+    // 1. Materialize the workload and platform from the request's
+    // declarative specs.
     dnn::JobGroup group = req.group;
     if (group.jobs.empty()) {
-        dnn::WorkloadGenerator gen(req.workloadSeed);
-        group = gen.makeGroup(req.task, req.groupSize);
+        dnn::WorkloadGenerator gen(req.problem.workloadSeed);
+        group = gen.makeGroup(req.problem.task, req.problem.groupSize);
     }
-    accel::Platform platform =
-        req.flexible ? accel::makeFlexibleSetting(req.setting, req.bwGbps)
-                     : accel::makeSetting(req.setting, req.bwGbps);
-    Fingerprint fp = fingerprintOf(group, platform, req.objective);
+    accel::Platform platform = api::buildPlatform(req.problem);
+    Fingerprint fp = fingerprintOf(group, platform, req.search.objective);
 
-    m3e::Problem problem(std::move(group), std::move(platform));
+    m3e::Problem problem(std::move(group), std::move(platform),
+                         req.problem.bwPolicy, req.search.objective);
     sched::MappingEvaluator& eval = problem.evaluator();
-    eval.setObjective(req.objective);
 
     // Paper's setting: population tracks group size (Section V-B2).
     const int pop = std::clamp(eval.groupSize(), 8, 100);
@@ -260,12 +260,12 @@ MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
     // 2. Warm start: transfer the store's solution when the fingerprint
     // (or its coarse tier) is known.
     opt::SearchOptions opts;
-    opts.sampleBudget = req.sampleBudget;
+    opts.sampleBudget = req.search.sampleBudget;
     std::optional<MappingStore::Hit> hit;
-    if (req.allowWarmStart)
+    if (req.search.warmStart)
         hit = store_.lookup(fp);
     if (hit) {
-        common::Rng seed_rng(req.seed ^ 0x5eedbeefULL);
+        common::Rng seed_rng(req.search.seed ^ 0x5eedbeefULL);
         sched::Mapping base =
             hit->entry.group.jobs.empty()
                 ? opt::transfer::adaptPositional(hit->entry.mapping,
@@ -277,10 +277,10 @@ MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
         opts.seeds = opt::transfer::seedsAround(base, pop,
                                                 eval.numAccels(),
                                                 seed_rng);
-        opts.sampleBudget = req.warmBudget > 0
-                                ? req.warmBudget
-                                : std::max<int64_t>(pop,
-                                                    req.sampleBudget / 4);
+        opts.sampleBudget =
+            req.warmBudget > 0
+                ? req.warmBudget
+                : std::max<int64_t>(pop, req.search.sampleBudget / 4);
         // The convergence curve gives Trf-0-ep for free: the search
         // evaluates the seeds first, so best-so-far after them is the
         // transferred quality before any refinement.
@@ -289,16 +289,28 @@ MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
         resp.exactHit = hit->exact;
     }
 
-    // 3. Search on this lane's engine.
+    // 3. Search on this lane's engine with the method the spec names
+    // (an unknown name fails this request's future with the registry's
+    // did-you-mean error). MAGMA — the default — keeps the paper's rule
+    // of population tracking group size rather than the registry
+    // factory's fixed default.
     std::unique_ptr<exec::EvalEngine> engine;
     if (lane_pool) {
         engine = std::make_unique<exec::EvalEngine>(eval, *lane_pool);
         opts.engine = engine.get();
     }
-    opt::MagmaConfig cfg;
-    cfg.population = pop;
-    opt::MagmaGa ga(req.seed, cfg);
-    opt::SearchResult res = ga.search(eval, opts);
+    std::string method =
+        api::OptimizerRegistry::global().resolve(req.search.method);
+    std::unique_ptr<opt::Optimizer> optimizer;
+    if (method == "MAGMA") {
+        opt::MagmaConfig cfg;
+        cfg.population = pop;
+        optimizer = std::make_unique<opt::MagmaGa>(req.search.seed, cfg);
+    } else {
+        optimizer = api::OptimizerRegistry::global().make(method,
+                                                          req.search.seed);
+    }
+    opt::SearchResult res = optimizer->search(eval, opts);
 
     resp.best = res.best;
     resp.bestFitness = res.bestFitness;

@@ -66,7 +66,10 @@ struct ServiceStats {
  * Online mapping service (the production form of Section V-C's serving
  * scenario): accepts MapRequests, queues them under per-tenant fair
  * admission, and serves them on a fixed set of worker lanes, each lane
- * running the MAGMA search over the exec engine.
+ * running the search the request's SearchSpec names (default MAGMA,
+ * with the paper's population-tracks-group-size rule; any
+ * api::OptimizerRegistry method works, an unknown name fails the
+ * request's future) over the exec engine.
  *
  * Admission order: strict priority levels first (lower value first);
  * within a level, lanes round-robin across the currently waiting tenants

@@ -1,0 +1,447 @@
+/**
+ * @file Tests for the declarative experiment API (src/api/): spec and
+ * RunReport exact text round-trips (property-style over random specs),
+ * OptimizerRegistry completeness (every Table IV method constructible by
+ * name and by every alias, did-you-mean errors), downstream
+ * self-registration, and the acceptance-criterion parity runs: for fixed
+ * seeds, every method through api::Runner must reproduce the hand-wired
+ * m3e::makeProblem + m3e::makeOptimizer path bitwise.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/registry.h"
+#include "api/runner.h"
+#include "api/spec.h"
+#include "common/rng.h"
+#include "m3e/factory.h"
+#include "m3e/problem.h"
+
+using namespace magma;
+using api::ExperimentSpec;
+using api::OptimizerRegistry;
+using api::ProblemSpec;
+using api::RunReport;
+using api::SearchSpec;
+
+namespace {
+
+/** Draw a random-but-valid ProblemSpec, exercising awkward doubles. */
+ProblemSpec
+randomProblemSpec(common::Rng& rng)
+{
+    static const dnn::TaskType kTasks[] = {
+        dnn::TaskType::Vision, dnn::TaskType::Language,
+        dnn::TaskType::Recommendation, dnn::TaskType::Mix};
+    static const accel::Setting kSettings[] = {
+        accel::Setting::S1, accel::Setting::S2, accel::Setting::S3,
+        accel::Setting::S4, accel::Setting::S5, accel::Setting::S6};
+    ProblemSpec s;
+    s.task = kTasks[rng.uniformInt(4)];
+    s.setting = kSettings[rng.uniformInt(6)];
+    s.flexible = rng.uniformInt(2) == 1;
+    // Non-representable sums and tiny/huge magnitudes must survive.
+    switch (rng.uniformInt(4)) {
+      case 0: s.systemBwGbps = 0.1 + 0.2; break;
+      case 1: s.systemBwGbps = 1.0 / 3.0; break;
+      case 2: s.systemBwGbps = 1e-17; break;
+      default: s.systemBwGbps = 16.0 * (1 + rng.uniformInt(64)); break;
+    }
+    s.groupSize = 1 + rng.uniformInt(200);
+    s.bwPolicy = rng.uniformInt(2) ? sched::BwPolicy::EvenSplit
+                                : sched::BwPolicy::Proportional;
+    s.workloadSeed = rng.engine()();
+    return s;
+}
+
+SearchSpec
+randomSearchSpec(common::Rng& rng)
+{
+    static const sched::Objective kObjectives[] = {
+        sched::Objective::Throughput, sched::Objective::Latency,
+        sched::Objective::Energy, sched::Objective::EnergyDelay,
+        sched::Objective::PerfPerWatt};
+    std::vector<std::string> names = OptimizerRegistry::global().names();
+    SearchSpec s;
+    s.method = names[rng.uniformInt(static_cast<int>(names.size()))];
+    s.objective = kObjectives[rng.uniformInt(5)];
+    s.sampleBudget = 1 + rng.uniformInt(100000);
+    s.seed = rng.engine()();
+    s.threads = rng.uniformInt(8);
+    s.recordConvergence = rng.uniformInt(2) == 1;
+    s.recordSamples = rng.uniformInt(2) == 1;
+    s.warmStart = rng.uniformInt(2) == 1;
+    return s;
+}
+
+/** The pre-redesign manual wiring, verbatim. */
+opt::SearchResult
+manualRun(m3e::Method method, const ProblemSpec& ps, const SearchSpec& ss)
+{
+    auto problem = ps.flexible
+                       ? m3e::makeFlexibleProblem(
+                             ps.task, ps.setting, ps.systemBwGbps,
+                             ps.groupSize, ps.workloadSeed, ss.objective)
+                       : m3e::makeProblem(ps.task, ps.setting,
+                                          ps.systemBwGbps, ps.groupSize,
+                                          ps.workloadSeed, ss.objective);
+    auto optimizer = m3e::makeOptimizer(method, ss.seed);
+    opt::SearchOptions opts;
+    opts.sampleBudget = ss.sampleBudget;
+    return optimizer->search(problem->evaluator(), opts);
+}
+
+}  // namespace
+
+// ------------------------------------------------ spec round-trips ---
+
+TEST(ProblemSpecText, RoundTripsExactRandomized)
+{
+    common::Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        ProblemSpec s = randomProblemSpec(rng);
+        EXPECT_EQ(ProblemSpec::fromText(s.toText()), s) << s.toText();
+    }
+}
+
+TEST(SearchSpecText, RoundTripsExactRandomized)
+{
+    common::Rng rng(12);
+    for (int i = 0; i < 200; ++i) {
+        SearchSpec s = randomSearchSpec(rng);
+        EXPECT_EQ(SearchSpec::fromText(s.toText()), s) << s.toText();
+    }
+}
+
+TEST(ExperimentSpecText, RoundTripsExactRandomized)
+{
+    common::Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        ExperimentSpec e{randomProblemSpec(rng), randomSearchSpec(rng)};
+        EXPECT_EQ(ExperimentSpec::fromText(e.toText()), e);
+    }
+}
+
+TEST(ExperimentSpecText, FileLoadingWithCommentsAndBlanks)
+{
+    const std::string path = "api_spec_test.spec";
+    ExperimentSpec e;
+    e.problem.task = dnn::TaskType::Language;
+    e.problem.systemBwGbps = 0.1 + 0.2;
+    e.search.method = "cma-es";  // aliases are preserved verbatim
+    e.search.sampleBudget = 777;
+    {
+        std::ofstream out(path);
+        out << "# an experiment, hand-annotated\n\n"
+            << e.toText() << "\n# trailing comment\n";
+    }
+    EXPECT_EQ(ExperimentSpec::fromFile(path), e);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(ExperimentSpec::fromFile("no_such_file.spec"),
+                 std::runtime_error);
+}
+
+TEST(SpecText, RejectsUnknownKeysAndBadValues)
+{
+    EXPECT_THROW(ProblemSpec::fromText("tusk=Mix\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(ProblemSpec::fromText("task=Sound\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(ProblemSpec::fromText("group_size twelve\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(ProblemSpec::fromText("system_bw_gbps=fast\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(SearchSpec::fromText("objective=speed\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(SearchSpec::fromText("warm_start=maybe\n"),
+                 std::invalid_argument);
+    // ExperimentSpec accepts keys of either block, rejects strangers.
+    EXPECT_NO_THROW(ExperimentSpec::fromText("task=Mix\nmethod=PSO\n"));
+    EXPECT_THROW(ExperimentSpec::fromText("population=9\n"),
+                 std::invalid_argument);
+}
+
+TEST(SpecText, PartialTextKeepsDefaults)
+{
+    ProblemSpec s = ProblemSpec::fromText("task=Vision\n");
+    EXPECT_EQ(s.task, dnn::TaskType::Vision);
+    EXPECT_EQ(s.groupSize, ProblemSpec{}.groupSize);
+    EXPECT_EQ(s.setting, ProblemSpec{}.setting);
+}
+
+TEST(Names, TaskSettingPolicyRoundTrips)
+{
+    for (dnn::TaskType t : {dnn::TaskType::Vision, dnn::TaskType::Language,
+                            dnn::TaskType::Recommendation,
+                            dnn::TaskType::Mix})
+        EXPECT_EQ(dnn::taskTypeFromName(dnn::taskTypeName(t)), t);
+    EXPECT_THROW(dnn::taskTypeFromName("Audio"), std::invalid_argument);
+
+    for (accel::Setting st : {accel::Setting::S1, accel::Setting::S2,
+                              accel::Setting::S3, accel::Setting::S4,
+                              accel::Setting::S5, accel::Setting::S6})
+        EXPECT_EQ(accel::settingFromName(accel::settingName(st)), st);
+    EXPECT_THROW(accel::settingFromName("S7"), std::invalid_argument);
+
+    for (sched::BwPolicy p :
+         {sched::BwPolicy::Proportional, sched::BwPolicy::EvenSplit})
+        EXPECT_EQ(sched::bwPolicyFromName(sched::bwPolicyName(p)), p);
+    EXPECT_THROW(sched::bwPolicyFromName("greedy"), std::invalid_argument);
+}
+
+// ----------------------------------------------------- registry ---
+
+TEST(Registry, EveryTableIvMethodConstructibleByNameAndAliases)
+{
+    OptimizerRegistry& reg = OptimizerRegistry::global();
+    // The full paper line-up (+ Random) is registered, in plot order.
+    std::vector<std::string> expect;
+    for (m3e::Method m : m3e::paperMethods())
+        expect.push_back(m3e::methodName(m));
+    expect.push_back("Random");
+    std::vector<std::string> names = reg.names();
+    ASSERT_GE(names.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(names[i], expect[i]);
+
+    for (const auto& e : reg.entries()) {
+        EXPECT_EQ(reg.make(e.name, 3)->name(), e.name);
+        EXPECT_EQ(reg.resolve(e.name), e.name);
+        for (const std::string& alias : e.aliases) {
+            EXPECT_EQ(reg.resolve(alias), e.name) << alias;
+            EXPECT_EQ(reg.make(alias, 3)->name(), e.name) << alias;
+        }
+    }
+}
+
+TEST(Registry, LookupIsCaseInsensitiveAsFallback)
+{
+    OptimizerRegistry& reg = OptimizerRegistry::global();
+    EXPECT_EQ(reg.resolve("magma"), "MAGMA");
+    EXPECT_EQ(reg.resolve("pso"), "PSO");
+    EXPECT_EQ(reg.resolve("herald-LIKE"), "Herald-like");
+    EXPECT_EQ(reg.resolve("rl a2c"), "RL A2C");
+}
+
+TEST(Registry, UnknownNameThrowsWithSuggestionAndMethodList)
+{
+    OptimizerRegistry& reg = OptimizerRegistry::global();
+    EXPECT_FALSE(reg.contains("MAGMAA"));
+    try {
+        reg.make("MAGMAA", 1);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("did you mean"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("MAGMA"), std::string::npos) << msg;
+        // The full list is included so users can pick directly.
+        EXPECT_NE(msg.find("Herald-like"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("RL PPO2"), std::string::npos) << msg;
+    }
+    // m3e::methodFromName goes through the same resolution.
+    EXPECT_THROW(m3e::methodFromName("nope"), std::invalid_argument);
+}
+
+namespace {
+
+/** A downstream method: one deterministic round-robin mapping. */
+class RoundRobinMapper : public opt::Optimizer {
+  public:
+    explicit RoundRobinMapper(uint64_t seed) : Optimizer(seed) {}
+    std::string name() const override { return "RoundRobin-test"; }
+
+  protected:
+    void run(const sched::MappingEvaluator& eval, const opt::SearchOptions&,
+             opt::SearchRecorder& rec) override
+    {
+        sched::Mapping m;
+        for (int j = 0; j < eval.groupSize(); ++j) {
+            m.accelSel.push_back(j % eval.numAccels());
+            m.priority.push_back(static_cast<double>(j) /
+                                 eval.groupSize());
+        }
+        rec.evaluate(m);
+    }
+};
+
+// Self-registration exactly as a downstream user would write it.
+const bool kRoundRobinRegistered = api::registerOptimizer(
+    "RoundRobin-test", {"rr"},
+    [](uint64_t seed) { return std::make_unique<RoundRobinMapper>(seed); });
+
+}  // namespace
+
+TEST(Registry, DownstreamSelfRegistrationWorks)
+{
+    ASSERT_TRUE(kRoundRobinRegistered);
+    auto p = m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2, 8.0,
+                              8, 17);
+    auto o = OptimizerRegistry::global().make("rr", 1);
+    EXPECT_EQ(o->name(), "RoundRobin-test");
+    opt::SearchResult r = o->search(p->evaluator());
+    EXPECT_GT(r.bestFitness, 0.0);
+    EXPECT_EQ(r.samplesUsed, 1);
+    // Registry-only methods are rejected by the legacy enum with a
+    // pointer to the registry, not mis-mapped onto some enum value.
+    EXPECT_THROW(m3e::methodFromName("RoundRobin-test"),
+                 std::invalid_argument);
+    // Duplicate registration is refused.
+    EXPECT_THROW(OptimizerRegistry::global().add("rr", {}, nullptr),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------- bitwise parity ---
+
+TEST(Parity, RegistryMatchesEnumFactoryBitwise)
+{
+    auto p = m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2, 8.0,
+                              10, 21);
+    std::vector<m3e::Method> methods = m3e::paperMethods();
+    methods.push_back(m3e::Method::Random);
+    for (m3e::Method m : methods) {
+        opt::SearchOptions opts;
+        opts.sampleBudget = 120;
+        opt::SearchResult via_enum =
+            m3e::makeOptimizer(m, 42)->search(p->evaluator(), opts);
+        opt::SearchResult via_registry =
+            OptimizerRegistry::global()
+                .make(m3e::methodName(m), 42)
+                ->search(p->evaluator(), opts);
+        EXPECT_EQ(via_registry.best, via_enum.best) << m3e::methodName(m);
+        EXPECT_EQ(via_registry.bestFitness, via_enum.bestFitness)
+            << m3e::methodName(m);
+        EXPECT_EQ(via_registry.samplesUsed, via_enum.samplesUsed)
+            << m3e::methodName(m);
+    }
+}
+
+TEST(Parity, RunnerMatchesManualPathForEveryTableIvMethod)
+{
+    // THE acceptance criterion: identical seeds through the new API must
+    // reproduce the pre-redesign results bitwise, for every method.
+    ProblemSpec ps;
+    ps.task = dnn::TaskType::Mix;
+    ps.setting = accel::Setting::S2;
+    ps.systemBwGbps = 8.0;
+    ps.groupSize = 10;
+    ps.workloadSeed = 31;
+
+    api::Runner runner;
+    for (m3e::Method m : m3e::paperMethods()) {
+        SearchSpec ss;
+        ss.method = m3e::methodName(m);
+        ss.sampleBudget = 120;
+        ss.seed = 42;
+        opt::SearchResult manual = manualRun(m, ps, ss);
+        RunReport rep = runner.run(ps, ss);
+        EXPECT_EQ(rep.best, manual.best) << ss.method;
+        EXPECT_EQ(rep.bestFitness, manual.bestFitness) << ss.method;
+        EXPECT_EQ(rep.samplesUsed, manual.samplesUsed) << ss.method;
+        EXPECT_EQ(rep.method, ss.method);
+    }
+}
+
+TEST(Parity, RunnerReproducesNonDefaultObjectiveAndFlexible)
+{
+    ProblemSpec ps;
+    ps.task = dnn::TaskType::Vision;
+    ps.setting = accel::Setting::S1;
+    ps.flexible = true;
+    ps.systemBwGbps = 4.0;
+    ps.groupSize = 9;
+    ps.workloadSeed = 5;
+    SearchSpec ss;
+    ss.method = "MAGMA";
+    ss.objective = sched::Objective::EnergyDelay;
+    ss.sampleBudget = 150;
+    ss.seed = 9;
+
+    opt::SearchResult manual = manualRun(m3e::Method::Magma, ps, ss);
+    api::Runner runner;
+    RunReport rep = runner.run(ps, ss);
+    EXPECT_EQ(rep.best, manual.best);
+    EXPECT_EQ(rep.bestFitness, manual.bestFitness);
+}
+
+// ------------------------------------------------- Runner report ---
+
+TEST(Runner, ReportIsInternallyConsistent)
+{
+    ProblemSpec ps;
+    ps.groupSize = 10;
+    SearchSpec ss;
+    ss.sampleBudget = 200;
+    ss.recordConvergence = true;
+
+    api::Runner runner;
+    RunReport rep = runner.run(ps, ss);
+    EXPECT_EQ(rep.method, "MAGMA");
+    EXPECT_GT(rep.bestFitness, 0.0);
+    EXPECT_GT(rep.makespanSeconds, 0.0);
+    EXPECT_GT(rep.throughputGflops, 0.0);
+    EXPECT_GT(rep.energyJoules, 0.0);
+    EXPECT_LE(rep.samplesUsed, ss.sampleBudget);
+    EXPECT_GE(rep.wallSeconds, 0.0);
+    EXPECT_EQ(static_cast<int64_t>(rep.convergence.size()),
+              rep.samplesUsed);
+    // Convergence is best-so-far: non-decreasing, ends at bestFitness.
+    for (size_t i = 1; i < rep.convergence.size(); ++i)
+        EXPECT_GE(rep.convergence[i], rep.convergence[i - 1]);
+    EXPECT_EQ(rep.convergence.back(), rep.bestFitness);
+    EXPECT_EQ(rep.best.size(), ps.groupSize);
+    // The report echoes its inputs.
+    EXPECT_EQ(rep.problem, ps);
+    EXPECT_EQ(rep.search, ss);
+}
+
+TEST(RunReportText, RoundTripsExact)
+{
+    ProblemSpec ps;
+    ps.groupSize = 8;
+    ps.systemBwGbps = 1.0 / 3.0;
+    SearchSpec ss;
+    ss.method = "stdGA";
+    ss.sampleBudget = 90;
+    ss.recordConvergence = true;
+
+    api::Runner runner;
+    RunReport rep = runner.run(ps, ss);
+    RunReport back = RunReport::fromText(rep.toText());
+    EXPECT_EQ(back, rep);  // bitwise, mapping and convergence included
+    // And the artifact is stable: re-serializing is byte-identical.
+    EXPECT_EQ(back.toText(), rep.toText());
+}
+
+TEST(RunReportText, EmptyConvergenceAndHeaderChecks)
+{
+    RunReport rep;
+    rep.method = "MAGMA";
+    EXPECT_EQ(RunReport::fromText(rep.toText()), rep);
+    EXPECT_THROW(RunReport::fromText("task=Mix\n"), std::invalid_argument);
+    EXPECT_THROW(RunReport::fromText("magma-run-report v1\nbogus=1\n"),
+                 std::invalid_argument);
+}
+
+TEST(RunReportCsv, HeaderAndRowAgree)
+{
+    ProblemSpec ps;
+    ps.groupSize = 8;
+    SearchSpec ss;
+    ss.sampleBudget = 60;
+    api::Runner runner;
+    RunReport rep = runner.run(ps, ss);
+
+    auto columns = [](const std::string& s) {
+        return std::count(s.begin(), s.end(), ',') + 1;
+    };
+    EXPECT_EQ(columns(RunReport::csvHeader()), columns(rep.csvRow()));
+    EXPECT_NE(rep.csvRow().find("MAGMA"), std::string::npos);
+}

@@ -64,11 +64,13 @@ TEST(Problem, ObjectiveSelectionFlowsThroughFitness)
 {
     auto p = m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2, 8.0,
                               12, 13);
+    auto p_lat = m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2,
+                                  8.0, 12, 13, sched::Objective::Latency);
+    EXPECT_EQ(p_lat->evaluator().objective(), sched::Objective::Latency);
     common::Rng rng(13);
     sched::Mapping m = sched::Mapping::random(12, 4, rng);
     double tp = p->evaluator().fitness(m);
-    p->evaluator().setObjective(sched::Objective::Latency);
-    double lat = p->evaluator().fitness(m);
+    double lat = p_lat->evaluator().fitness(m);
     EXPECT_NE(tp, lat);
     sched::ScheduleResult r = p->evaluator().evaluate(m);
     EXPECT_NEAR(lat, 1.0 / r.makespanSeconds, lat * 1e-9);

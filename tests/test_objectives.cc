@@ -12,10 +12,10 @@ using sched::Objective;
 namespace {
 
 std::unique_ptr<m3e::Problem>
-problem(uint64_t seed = 3)
+problem(uint64_t seed = 3, Objective objective = Objective::Throughput)
 {
     return m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2, 8.0, 20,
-                            seed);
+                            seed, objective);
 }
 
 }  // namespace
@@ -31,10 +31,44 @@ TEST(Objectives, Names)
               "performance-per-watt");
 }
 
+TEST(Objectives, FromNameRoundTripsAndAcceptsCliSpellings)
+{
+    for (Objective o : {Objective::Throughput, Objective::Latency,
+                        Objective::Energy, Objective::EnergyDelay,
+                        Objective::PerfPerWatt})
+        EXPECT_EQ(sched::objectiveFromName(sched::objectiveName(o)), o);
+    // The short spellings the CLI has always accepted.
+    EXPECT_EQ(sched::objectiveFromName("edp"), Objective::EnergyDelay);
+    EXPECT_EQ(sched::objectiveFromName("perf-per-watt"),
+              Objective::PerfPerWatt);
+    EXPECT_THROW(sched::objectiveFromName("speed"), std::invalid_argument);
+}
+
 TEST(Objectives, DefaultIsThroughput)
 {
     auto p = problem();
     EXPECT_EQ(p->evaluator().objective(), Objective::Throughput);
+}
+
+TEST(Objectives, ConstructorSelectsObjective)
+{
+    auto p = problem(3, Objective::Energy);
+    EXPECT_EQ(p->evaluator().objective(), Objective::Energy);
+}
+
+TEST(Objectives, DeprecatedSetObjectiveShimStillWorks)
+{
+    // Kept for one release; downstream callers may still mutate.
+    auto p = problem();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    p->evaluator().setObjective(Objective::Latency);
+#pragma GCC diagnostic pop
+    EXPECT_EQ(p->evaluator().objective(), Objective::Latency);
+    common::Rng rng(7);
+    Mapping m = Mapping::random(20, p->evaluator().numAccels(), rng);
+    EXPECT_EQ(p->evaluator().fitness(m),
+              problem(3, Objective::Latency)->evaluator().fitness(m));
 }
 
 TEST(Objectives, ThroughputAndLatencyAgreeOnOrdering)
@@ -42,15 +76,15 @@ TEST(Objectives, ThroughputAndLatencyAgreeOnOrdering)
     // For a fixed group, throughput = totalFlops/makespan is a monotone
     // transform of 1/makespan, so the two objectives rank any two
     // mappings identically.
-    auto p = problem();
-    auto& eval = p->evaluator();
+    auto p_tp = problem(3, Objective::Throughput);
+    auto p_lat = problem(3, Objective::Latency);
     common::Rng rng(1);
-    Mapping a = Mapping::random(20, eval.numAccels(), rng);
-    Mapping b = Mapping::random(20, eval.numAccels(), rng);
-    eval.setObjective(Objective::Throughput);
-    double ta = eval.fitness(a), tb = eval.fitness(b);
-    eval.setObjective(Objective::Latency);
-    double la = eval.fitness(a), lb = eval.fitness(b);
+    Mapping a = Mapping::random(20, p_tp->evaluator().numAccels(), rng);
+    Mapping b = Mapping::random(20, p_tp->evaluator().numAccels(), rng);
+    double ta = p_tp->evaluator().fitness(a);
+    double tb = p_tp->evaluator().fitness(b);
+    double la = p_lat->evaluator().fitness(a);
+    double lb = p_lat->evaluator().fitness(b);
     EXPECT_EQ(ta > tb, la > lb);
 }
 
@@ -70,15 +104,13 @@ TEST(Objectives, EnergyCountsAssignedCores)
 
 TEST(Objectives, AllObjectivesFiniteAndPositive)
 {
-    auto p = problem();
-    auto& eval = p->evaluator();
     common::Rng rng(3);
-    Mapping m = Mapping::random(20, eval.numAccels(), rng);
+    Mapping m = Mapping::random(20, 4, rng);
     for (Objective o : {Objective::Throughput, Objective::Latency,
                         Objective::Energy, Objective::EnergyDelay,
                         Objective::PerfPerWatt}) {
-        eval.setObjective(o);
-        double f = eval.fitness(m);
+        auto p = problem(3, o);
+        double f = p->evaluator().fitness(m);
         EXPECT_TRUE(std::isfinite(f)) << sched::objectiveName(o);
         EXPECT_GT(f, 0.0) << sched::objectiveName(o);
     }
@@ -86,12 +118,11 @@ TEST(Objectives, AllObjectivesFiniteAndPositive)
 
 TEST(Objectives, EdpCombinesEnergyAndDelay)
 {
-    auto p = problem();
+    auto p = problem(4, Objective::EnergyDelay);
     auto& eval = p->evaluator();
     common::Rng rng(4);
     Mapping m = Mapping::random(20, eval.numAccels(), rng);
     sched::ScheduleResult r = eval.evaluate(m);
-    eval.setObjective(Objective::EnergyDelay);
     double edp = eval.fitness(m);
     EXPECT_NEAR(edp,
                 1.0 / (eval.totalJoules(m) * r.makespanSeconds),
@@ -102,32 +133,29 @@ TEST(Objectives, SearchUnderEnergyPrefersLowEnergyMappings)
 {
     // MAGMA optimizing the energy objective should find a mapping with no
     // more energy than the best throughput-optimized mapping it finds.
-    auto p = problem(9);
-    auto& eval = p->evaluator();
     opt::SearchOptions opts;
     opts.sampleBudget = 600;
 
-    eval.setObjective(Objective::Throughput);
+    auto p_tp = problem(9, Objective::Throughput);
     opt::MagmaGa m1(1);
-    sched::Mapping best_tp = m1.search(eval, opts).best;
+    sched::Mapping best_tp = m1.search(p_tp->evaluator(), opts).best;
 
-    eval.setObjective(Objective::Energy);
+    auto p_en = problem(9, Objective::Energy);
     opt::MagmaGa m2(1);
-    sched::Mapping best_en = m2.search(eval, opts).best;
+    sched::Mapping best_en = m2.search(p_en->evaluator(), opts).best;
 
-    EXPECT_LE(eval.totalJoules(best_en),
-              eval.totalJoules(best_tp) * 1.0001);
+    EXPECT_LE(p_en->evaluator().totalJoules(best_en),
+              p_en->evaluator().totalJoules(best_tp) * 1.0001);
 }
 
 TEST(Objectives, PerfPerWattConsistency)
 {
-    auto p = problem();
+    auto p = problem(3, Objective::PerfPerWatt);
     auto& eval = p->evaluator();
     common::Rng rng(5);
     Mapping m = Mapping::random(20, eval.numAccels(), rng);
     sched::ScheduleResult r = eval.evaluate(m);
     double gflops = eval.throughputGflops(r.makespanSeconds);
     double watts = eval.totalJoules(m) / r.makespanSeconds;
-    eval.setObjective(Objective::PerfPerWatt);
     EXPECT_NEAR(eval.fitness(m), gflops / watts, gflops / watts * 1e-9);
 }

@@ -16,6 +16,8 @@
 
 #include <gtest/gtest.h>
 
+#include "api/spec.h"
+#include "m3e/factory.h"
 #include "m3e/problem.h"
 #include "serve/fingerprint.h"
 #include "serve/mapping_store.h"
@@ -45,18 +47,18 @@ randomMapping(int group_size, int num_accels, uint64_t seed)
     return sched::Mapping::random(group_size, num_accels, rng);
 }
 
-/** A small S2 request with everything pinned down. */
+/** A small S2 request with everything pinned down (spec-carried). */
 MapRequest
 baseRequest(uint64_t seed)
 {
     MapRequest req;
-    req.task = dnn::TaskType::Mix;
-    req.groupSize = 12;
-    req.workloadSeed = seed;
-    req.setting = accel::Setting::S2;
-    req.bwGbps = 4.0;
-    req.sampleBudget = 300;
-    req.seed = seed;
+    req.problem.task = dnn::TaskType::Mix;
+    req.problem.groupSize = 12;
+    req.problem.workloadSeed = seed;
+    req.problem.setting = accel::Setting::S2;
+    req.problem.systemBwGbps = 4.0;
+    req.search.sampleBudget = 300;
+    req.search.seed = seed;
     return req;
 }
 
@@ -126,6 +128,28 @@ TEST(Fingerprint, DeterministicAndSensitive)
     // Keys are single whitespace-free tokens (store-format requirement).
     EXPECT_EQ(a.key.find(' '), std::string::npos);
     EXPECT_EQ(a.key.find('\t'), std::string::npos);
+}
+
+TEST(Fingerprint, ProblemSpecOverloadMatchesPlatformOverload)
+{
+    // The spec overload (what MapRequest-carried specs key the store by)
+    // must equal fingerprinting the platform the spec describes.
+    api::ProblemSpec spec;
+    spec.setting = accel::Setting::S2;
+    spec.systemBwGbps = 4.0;
+    dnn::JobGroup g = makeGroup(dnn::TaskType::Mix, 16, 5);
+
+    Fingerprint via_spec =
+        serve::fingerprintOf(g, spec, sched::Objective::Energy);
+    Fingerprint via_platform = serve::fingerprintOf(
+        g, api::buildPlatform(spec), sched::Objective::Energy);
+    EXPECT_EQ(via_spec.key, via_platform.key);
+    EXPECT_EQ(via_spec.coarse, via_platform.coarse);
+
+    // The flexible flag changes the platform and with it both tiers.
+    api::ProblemSpec flex = spec;
+    flex.flexible = true;
+    EXPECT_NE(serve::fingerprintOf(g, flex).key, via_spec.key);
 }
 
 TEST(Fingerprint, SameDistributionSharesCoarseTier)
@@ -334,7 +358,7 @@ TEST(MappingService, ConcurrentMatchesSerialBitwiseInAnyOrder)
     for (uint64_t i = 0; i < 8; ++i) {
         MapRequest r = baseRequest(/*seed=*/100 + i);
         r.tenant = "tenant-" + std::to_string(i % 3);
-        r.allowWarmStart = false;  // isolate from store-order effects
+        r.search.warmStart = false;  // isolate from store-order effects
         r.writeBack = false;
         reqs.push_back(r);
     }
@@ -419,8 +443,8 @@ TEST(MappingService, PerTenantFairAdmission)
     for (size_t i = 0; i < tenants.size(); ++i) {
         MapRequest r = baseRequest(10 + i);
         r.tenant = tenants[i];
-        r.sampleBudget = 60;
-        r.allowWarmStart = false;
+        r.search.sampleBudget = 60;
+        r.search.warmStart = false;
         r.writeBack = false;
         futures.push_back(service.submit(std::move(r)));
     }
@@ -449,15 +473,15 @@ TEST(MappingService, PriorityLevelsBeforeFairness)
         MapRequest r = baseRequest(20 + i);
         r.tenant = "A";
         r.priority = 1;
-        r.sampleBudget = 60;
-        r.allowWarmStart = false;
+        r.search.sampleBudget = 60;
+        r.search.warmStart = false;
         futures.push_back(service.submit(std::move(r)));
     }
     MapRequest urgent = baseRequest(30);
     urgent.tenant = "B";
     urgent.priority = 0;
-    urgent.sampleBudget = 60;
-    urgent.allowWarmStart = false;
+    urgent.search.sampleBudget = 60;
+    urgent.search.warmStart = false;
     futures.push_back(service.submit(std::move(urgent)));
     service.start();
 
@@ -480,8 +504,8 @@ TEST(MappingService, WarmStartAcrossReloadReachesColdQualityAtQuarterBudget)
     std::remove(path.c_str());
 
     MapRequest cold = baseRequest(/*seed=*/7);
-    cold.groupSize = 16;
-    cold.sampleBudget = 2000;
+    cold.problem.groupSize = 16;
+    cold.search.sampleBudget = 2000;
 
     MapResponse cold_resp;
     {
@@ -503,12 +527,12 @@ TEST(MappingService, WarmStartAcrossReloadReachesColdQualityAtQuarterBudget)
         EXPECT_EQ(service.store().size(), 1);
 
         MapRequest warm = cold;  // same workload spec, same seed
-        warm.warmBudget = cold.sampleBudget / 4;
+        warm.warmBudget = cold.search.sampleBudget / 4;
         MapResponse warm_resp = service.submit(warm).get();
 
         EXPECT_TRUE(warm_resp.warmStart);
         EXPECT_TRUE(warm_resp.exactHit);
-        EXPECT_LE(warm_resp.samplesUsed, cold.sampleBudget / 4);
+        EXPECT_LE(warm_resp.samplesUsed, cold.search.sampleBudget / 4);
         // The transferred seed is the stored cold solution verbatim, so
         // refinement can only match or improve it.
         EXPECT_GE(warm_resp.bestFitness, cold_resp.bestFitness);
@@ -541,13 +565,68 @@ TEST(MappingService, ConcurrentTenantsCompoundStoreKnowledge)
     MapRequest again = baseRequest(999);
     MapResponse resp = service.submit(again).get();
     EXPECT_TRUE(resp.warmStart);
-    EXPECT_LT(resp.samplesUsed, again.sampleBudget);
+    EXPECT_LT(resp.samplesUsed, again.search.sampleBudget);
 
     serve::ServiceStats s = service.stats();
     EXPECT_EQ(s.served, 7);
     EXPECT_GT(s.warmServed, 0);
     EXPECT_GT(s.samplesSaved, 0);
     service.stop();
+}
+
+TEST(MappingService, HonorsSearchSpecMethodBitwise)
+{
+    // The request's SearchSpec.method selects the optimizer: a stdGA
+    // request must reproduce the hand-wired stdGA search bitwise.
+    MapRequest r = baseRequest(/*seed=*/55);
+    r.search.method = "std-ga";  // aliases resolve too
+    r.search.warmStart = false;
+    r.writeBack = false;
+
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    MappingService service(cfg);
+    MapResponse resp = service.submit(r).get();
+    service.stop();
+
+    auto problem = m3e::makeProblem(r.problem.task, r.problem.setting,
+                                    r.problem.systemBwGbps,
+                                    r.problem.groupSize,
+                                    r.problem.workloadSeed);
+    auto optimizer = m3e::makeOptimizer(m3e::Method::StdGa, r.search.seed);
+    opt::SearchOptions opts;
+    opts.sampleBudget = r.search.sampleBudget;
+    opt::SearchResult manual =
+        optimizer->search(problem->evaluator(), opts);
+    EXPECT_EQ(resp.best, manual.best);
+    EXPECT_EQ(resp.bestFitness, manual.bestFitness);
+    EXPECT_EQ(resp.samplesUsed, manual.samplesUsed);
+}
+
+TEST(MappingService, UnknownMethodFailsTheRequestFuture)
+{
+    MapRequest r = baseRequest(1);
+    r.search.method = "MAGMAA";
+
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    MappingService service(cfg);
+    auto future = service.submit(std::move(r));
+    EXPECT_THROW(future.get(), std::invalid_argument);
+    serve::ServiceStats s = service.stats();
+    EXPECT_EQ(s.failed, 1);
+    EXPECT_EQ(s.served, 0);
+    service.stop();
+}
+
+TEST(MapRequestDefaults, ColdBudgetStaysAtServeDefault)
+{
+    // The serve-side default must not silently inherit SearchSpec's
+    // offline 10K budget (a 5x cost regression for default requests).
+    MapRequest r;
+    EXPECT_EQ(r.search.sampleBudget, 2000);
+    EXPECT_EQ(r.search.method, "MAGMA");
+    EXPECT_TRUE(r.search.warmStart);
 }
 
 TEST(MappingService, ExplicitGroupRequestAndStats)
@@ -558,10 +637,10 @@ TEST(MappingService, ExplicitGroupRequestAndStats)
 
     MapRequest r;
     r.group = makeGroup(dnn::TaskType::Vision, 10, 77);
-    r.task = dnn::TaskType::Vision;
-    r.setting = accel::Setting::S1;
-    r.bwGbps = 8.0;
-    r.sampleBudget = 200;
+    r.problem.task = dnn::TaskType::Vision;
+    r.problem.setting = accel::Setting::S1;
+    r.problem.systemBwGbps = 8.0;
+    r.search.sampleBudget = 200;
     MapResponse resp = service.submit(r).get();
     EXPECT_EQ(resp.best.size(), 10);
     EXPECT_GT(resp.bestFitness, 0.0);
