@@ -22,7 +22,7 @@ main(int argc, char** argv)
     bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
     bench::printHeader("Ablation: proportional vs even BW allocation "
                        "(Mix task, MAGMA mapper)");
-    common::CsvWriter csv("ablation_bw_policy.csv",
+    common::CsvWriter csv(args.outPath("ablation_bw_policy.csv"),
                           {"setting", "bw_gbps", "proportional_gflops",
                            "even_gflops", "ratio"});
 
@@ -61,6 +61,6 @@ main(int argc, char** argv)
                      common::CsvWriter::num(fp / fe)});
         }
     }
-    std::printf("\nSeries written to ablation_bw_policy.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("ablation_bw_policy.csv").c_str());
     return 0;
 }

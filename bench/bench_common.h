@@ -1,30 +1,50 @@
 #ifndef MAGMA_BENCH_BENCH_COMMON_H_
 #define MAGMA_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace magma::bench {
 
 /**
  * Shared harness knobs. Every figure/table harness accepts:
- *   --full      paper-scale budgets (10K samples, group size 100)
- *   --seed N    workload/search seed
+ *   --full         paper-scale budgets (10K samples, group size 100)
+ *   --seed N       workload/search seed
+ *   --out-dir DIR  where CSV/JSON artifacts land (default: the build
+ *                  directory baked in as MAGMA_BENCH_OUT_DIR, so benches
+ *                  invoked from anywhere stop littering the invoking CWD)
+ *   --json FILE    machine-readable result (harnesses that support it);
+ *                  relative paths land in --out-dir
  * and defaults to a reduced budget so the whole suite runs in minutes.
  */
 struct BenchArgs {
     bool full = false;
     uint64_t seed = 1;
+    std::string outDir;
+    std::string jsonPath;
 
     static BenchArgs parse(int argc, char** argv)
     {
         BenchArgs a;
+#ifdef MAGMA_BENCH_OUT_DIR
+        a.outDir = MAGMA_BENCH_OUT_DIR;
+#else
+        a.outDir = ".";
+#endif
         for (int i = 1; i < argc; ++i) {
             if (std::strcmp(argv[i], "--full") == 0)
                 a.full = true;
             else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
                 a.seed = std::strtoull(argv[++i], nullptr, 10);
+            else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc)
+                a.outDir = argv[++i];
+            else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+                a.jsonPath = argv[++i];
         }
         return a;
     }
@@ -37,6 +57,27 @@ struct BenchArgs {
 
     /** Group size: paper's 100 under --full, else reduced. */
     int groupSize(int reduced = 40) const { return full ? 100 : reduced; }
+
+    /**
+     * Output path for an artifact `file`: absolute paths pass through,
+     * relative ones land in outDir (created on demand).
+     */
+    std::string outPath(const std::string& file) const
+    {
+        std::filesystem::path p(file);
+        if (p.is_absolute())
+            return file;
+        std::filesystem::path dir(outDir.empty() ? "." : outDir);
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);  // best effort
+        return (dir / p).string();
+    }
+
+    /** Resolved --json path (empty when not requested). */
+    std::string jsonOutPath() const
+    {
+        return jsonPath.empty() ? std::string() : outPath(jsonPath);
+    }
 };
 
 inline void
@@ -46,6 +87,146 @@ printHeader(const std::string& title)
     std::printf("%s\n", title.c_str());
     std::printf("==============================================================\n");
 }
+
+/**
+ * Minimal JSON emitter for the shared bench telemetry schema
+ *   { "bench": ..., "config": {...}, "metrics": {...}, "samples": [...] }
+ * so every harness's --json output is consumed by the same CI tooling
+ * (the perf-smoke artifact step). Purely append-only: call the key/value
+ * helpers between begin/end pairs; commas are managed automatically.
+ */
+class JsonWriter {
+  public:
+    JsonWriter() { out_.reserve(1024); }
+
+    void beginObject()
+    {
+        comma();
+        out_ += '{';
+        first_ = true;
+    }
+    void endObject()
+    {
+        out_ += '}';
+        first_ = false;
+    }
+    void beginArray(const std::string& k)
+    {
+        key(k);
+        out_ += '[';
+        first_ = true;
+    }
+    void endArray()
+    {
+        out_ += ']';
+        first_ = false;
+    }
+    void beginObject(const std::string& k)
+    {
+        key(k);
+        out_ += '{';
+        first_ = true;
+    }
+
+    void field(const std::string& k, const std::string& v)
+    {
+        key(k);
+        appendString(v);
+    }
+    void field(const std::string& k, const char* v)
+    {
+        field(k, std::string(v));
+    }
+    void field(const std::string& k, double v)
+    {
+        key(k);
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out_ += buf;
+    }
+    void field(const std::string& k, int64_t v)
+    {
+        key(k);
+        out_ += std::to_string(v);
+    }
+    void field(const std::string& k, int v)
+    {
+        field(k, static_cast<int64_t>(v));
+    }
+    void field(const std::string& k, uint64_t v)
+    {
+        key(k);
+        out_ += std::to_string(v);
+    }
+    void field(const std::string& k, bool v)
+    {
+        key(k);
+        out_ += v ? "true" : "false";
+    }
+
+    const std::string& str() const { return out_; }
+
+    /** Write to `path`; returns false (with a stderr note) on failure. */
+    bool writeFile(const std::string& path) const
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write JSON '%s'\n", path.c_str());
+            return false;
+        }
+        std::fwrite(out_.data(), 1, out_.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    void comma()
+    {
+        if (!first_ && !out_.empty() && out_.back() != '{' &&
+            out_.back() != '[')
+            out_ += ',';
+        first_ = false;
+    }
+    void key(const std::string& k)
+    {
+        comma();
+        appendString(k);
+        out_ += ':';
+    }
+    void appendString(const std::string& s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                out_ += "\\\"";
+                break;
+              case '\\':
+                out_ += "\\\\";
+                break;
+              case '\n':
+                out_ += "\\n";
+                break;
+              case '\t':
+                out_ += "\\t";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    bool first_ = true;
+};
 
 }  // namespace magma::bench
 

@@ -72,7 +72,7 @@ main(int argc, char** argv)
     cost::SubAccelConfig lb =
         accel::makeSubAccel(cost::DataflowStyle::LB, 64, 218);
 
-    common::CsvWriter csv("fig07_job_analysis.csv",
+    common::CsvWriter csv(args.outPath("fig07_job_analysis.csv"),
                           {"task", "model", "hb_lat_cycles", "lb_lat_cycles",
                            "hb_bw_gbps", "lb_bw_gbps"});
 
@@ -123,6 +123,6 @@ main(int argc, char** argv)
                  common::CsvWriter::num(agg.bw_hb / agg.n),
                  common::CsvWriter::num(agg.bw_lb / agg.n)});
     }
-    std::printf("\nSeries written to fig07_job_analysis.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("fig07_job_analysis.csv").c_str());
     return 0;
 }

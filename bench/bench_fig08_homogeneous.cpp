@@ -25,7 +25,7 @@ main(int argc, char** argv)
     std::printf("budget=%lld group=%d (use --full for paper scale)\n",
                 static_cast<long long>(args.budget()), args.groupSize());
 
-    common::CsvWriter csv("fig08_homogeneous.csv",
+    common::CsvWriter csv(args.outPath("fig08_homogeneous.csv"),
                           {"task", "method", "gflops", "norm_vs_magma"});
 
     std::vector<double> vs_manual, vs_opt;
@@ -53,6 +53,6 @@ main(int argc, char** argv)
                 "(paper: 1.4x/1.41x), %.2fx vs black-box optimizers "
                 "(paper: 1.6x)\n",
                 common::geomean(vs_manual), common::geomean(vs_opt));
-    std::printf("Series written to fig08_homogeneous.csv\n");
+    std::printf("Series written to %s\n", args.outPath("fig08_homogeneous.csv").c_str());
     return 0;
 }

@@ -25,7 +25,7 @@ main(int argc, char** argv)
     std::printf("budget=%lld group=%d (use --full for paper scale)\n",
                 static_cast<long long>(args.budget()), args.groupSize());
 
-    common::CsvWriter csv("fig09_heterogeneous.csv",
+    common::CsvWriter csv(args.outPath("fig09_heterogeneous.csv"),
                           {"config", "method", "gflops", "norm_vs_magma"});
 
     struct Config {
@@ -61,6 +61,6 @@ main(int argc, char** argv)
                     magma / bench::gflopsOf(runs, "RL A2C"),
                     magma / bench::gflopsOf(runs, "RL PPO2"));
     }
-    std::printf("\nSeries written to fig09_heterogeneous.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("fig09_heterogeneous.csv").c_str());
     return 0;
 }

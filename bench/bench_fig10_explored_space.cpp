@@ -79,7 +79,7 @@ main(int argc, char** argv)
     auto series = projector.project(names, samples, fitness,
                                     problem->evaluator().numAccels());
 
-    common::CsvWriter csv("fig10_explored_space.csv",
+    common::CsvWriter csv(args.outPath("fig10_explored_space.csv"),
                           {"method", "pc1", "pc2", "gflops"});
     for (const auto& s : series)
         for (size_t i = 0; i < s.points.size(); ++i)
@@ -90,6 +90,6 @@ main(int argc, char** argv)
     std::printf("\nPCA explained variance: PC1 %.1f%%, PC2 %.1f%%\n",
                 100.0 * projector.explainedVariance()[0],
                 100.0 * projector.explainedVariance()[1]);
-    std::printf("Projected samples written to fig10_explored_space.csv\n");
+    std::printf("Projected samples written to %s\n", args.outPath("fig10_explored_space.csv").c_str());
     return 0;
 }

@@ -62,12 +62,12 @@ main(int argc, char** argv)
 {
     bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
     bench::printHeader("Fig. 11: convergence over extended budgets");
-    common::CsvWriter csv("fig11_convergence.csv",
+    common::CsvWriter csv(args.outPath("fig11_convergence.csv"),
                           {"case", "method", "samples", "best_gflops"});
     runCase("(a) Vision, S2, BW=16", dnn::TaskType::Vision,
             accel::Setting::S2, 16.0, args, csv);
     runCase("(b) Mix, S3, BW=16", dnn::TaskType::Mix, accel::Setting::S3,
             16.0, args, csv);
-    std::printf("\nSeries written to fig11_convergence.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("fig11_convergence.csv").c_str());
     return 0;
 }

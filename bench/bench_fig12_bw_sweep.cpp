@@ -77,13 +77,13 @@ main(int argc, char** argv)
     bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
     bench::printHeader("Fig. 12: BW sweep on heterogeneous accelerators "
                        "(Mix task)");
-    common::CsvWriter csv("fig12_bw_sweep.csv",
+    common::CsvWriter csv(args.outPath("fig12_bw_sweep.csv"),
                           {"case", "method", "bw_gbps", "gflops",
                            "norm_vs_magma"});
     sweep("(a) Mix, Small hetero (S2)", accel::Setting::S2,
           {1.0, 4.0, 8.0, 16.0}, args, csv);
     sweep("(b) Mix, Large hetero (S4)", accel::Setting::S4,
           {1.0, 16.0, 64.0, 256.0}, args, csv);
-    std::printf("\nSeries written to fig12_bw_sweep.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("fig12_bw_sweep.csv").c_str());
     return 0;
 }

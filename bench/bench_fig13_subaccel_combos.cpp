@@ -64,7 +64,7 @@ main(int argc, char** argv)
         dnn::TaskType::Vision, dnn::TaskType::Language,
         dnn::TaskType::Recommendation, dnn::TaskType::Mix};
 
-    common::CsvWriter csv("fig13_subaccel_combos.csv",
+    common::CsvWriter csv(args.outPath("fig13_subaccel_combos.csv"),
                           {"section", "setting", "task_or_bw", "value"});
 
     // (a)/(b) jobs analysis.
@@ -117,6 +117,6 @@ main(int argc, char** argv)
         }
         std::printf("\n");
     }
-    std::printf("\nSeries written to fig13_subaccel_combos.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("fig13_subaccel_combos.csv").c_str());
     return 0;
 }

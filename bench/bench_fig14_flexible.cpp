@@ -55,7 +55,7 @@ main(int argc, char** argv)
 {
     bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
     bench::printHeader("Fig. 14: fixed vs flexible PE arrays (S1/S3)");
-    common::CsvWriter csv("fig14_flexible.csv",
+    common::CsvWriter csv(args.outPath("fig14_flexible.csv"),
                           {"section", "accel", "task", "bw", "fixed",
                            "flexible"});
 
@@ -118,6 +118,6 @@ main(int argc, char** argv)
             }
         }
     }
-    std::printf("\nSeries written to fig14_flexible.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("fig14_flexible.csv").c_str());
     return 0;
 }

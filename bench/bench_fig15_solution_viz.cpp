@@ -53,7 +53,7 @@ main(int argc, char** argv)
 
     auto problem = m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S5,
                                     1.0, args.groupSize(), args.seed);
-    common::CsvWriter csv("fig15_solution_viz.csv",
+    common::CsvWriter csv(args.outPath("fig15_solution_viz.csv"),
                           {"mapper", "t_start", "t_end", "accel", "job",
                            "task", "alloc_bw_gbps"});
 
@@ -67,6 +67,6 @@ main(int argc, char** argv)
     opt::SearchResult res = magma_opt->search(problem->evaluator(), opts);
     show("MAGMA", res.best, *problem, csv);
 
-    std::printf("\nSegments written to fig15_solution_viz.csv\n");
+    std::printf("\nSegments written to %s\n", args.outPath("fig15_solution_viz.csv").c_str());
     return 0;
 }

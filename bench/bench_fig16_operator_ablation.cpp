@@ -74,12 +74,12 @@ main(int argc, char** argv)
 {
     bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
     bench::printHeader("Fig. 16: MAGMA genetic-operator ablation");
-    common::CsvWriter csv("fig16_operator_ablation.csv",
+    common::CsvWriter csv(args.outPath("fig16_operator_ablation.csv"),
                           {"case", "operators", "samples", "best_gflops"});
     runCase("(a) Vision, S2, BW=16", dnn::TaskType::Vision,
             accel::Setting::S2, args, csv);
     runCase("(b) Mix, S3, BW=16", dnn::TaskType::Mix, accel::Setting::S3,
             args, csv);
-    std::printf("\nSeries written to fig16_operator_ablation.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("fig16_operator_ablation.csv").c_str());
     return 0;
 }

@@ -21,7 +21,7 @@ main(int argc, char** argv)
     bench::printHeader("Fig. 17: group-size sweep (Mix, S2, BW=16)");
 
     std::vector<int> sizes = {1000, 500, 200, 100, 50, 40, 20, 10, 4};
-    common::CsvWriter csv("fig17_group_size.csv",
+    common::CsvWriter csv(args.outPath("fig17_group_size.csv"),
                           {"group_size", "gflops", "norm_vs_1000"});
 
     std::vector<double> gflops;
@@ -44,6 +44,6 @@ main(int argc, char** argv)
         std::printf("  %-10d %12.1f %10.2f\n", sizes[i], gflops[i], norm);
         csv.rowNumeric({static_cast<double>(sizes[i]), gflops[i], norm});
     }
-    std::printf("\nSeries written to fig17_group_size.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("fig17_group_size.csv").c_str());
     return 0;
 }

@@ -1,179 +1,294 @@
 /**
  * @file
- * Micro-benchmarks (google-benchmark) for the framework's hot paths,
- * backing the paper's search-time claim (Section VI-B: ~0.25 s per MAGMA
- * epoch, 25 s for a full 10K-sample search on a desktop CPU):
+ * Micro-benchmarks for the framework's hot paths, backing the paper's
+ * search-time claim (Section VI-B: ~0.25 s per MAGMA epoch, 25 s for a
+ * full 10K-sample search on a desktop CPU) and the flat-evaluator
+ * speedup claim:
  *   - one cost-model query (cold and through the exec::CostCache),
  *   - Job Analysis Table construction (group 100 on S4),
- *   - one fitness evaluation (decode + BW allocator),
- *   - one MAGMA epoch (population 100),
- *   - batch evaluation and full MAGMA search at 1/2/4 threads, so the
- *     exec-engine speedup is measured rather than asserted.
+ *   - candidate-evaluation throughput, reference vs flat kernel, at
+ *     threads = 1/2/4, so the exec-engine and FlatEvaluator speedups
+ *     are measured rather than asserted,
+ *   - a flat-vs-reference bitwise parity self-check over randomized
+ *     candidates and all five objectives — the bench exits non-zero on
+ *     any mismatch, which is what the CI perf-smoke step gates on.
+ *
+ * Self-timed (no google-benchmark dependency), so it always builds and
+ * can run as a CI gate. Flags, on top of the shared bench_common.h set
+ * (--full, --seed, --out-dir, --json FILE):
+ *   --check-speedup X   exit non-zero unless flat >= X * reference
+ *                       single-thread throughput (CI floor: 1.2)
+ *
+ * --json emits the shared telemetry schema
+ *   { "bench": "micro_speed", "config": {...}, "metrics": {...},
+ *     "samples": [ {name, mode, threads, evals_per_sec}, ... ] }
  */
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "exec/cost_cache.h"
 #include "exec/eval_engine.h"
 #include "m3e/problem.h"
 #include "opt/magma_ga.h"
+#include "sched/flat_eval.h"
 #include "sched/job_analyzer.h"
 
 using namespace magma;
 
 namespace {
 
-const m3e::Problem&
-sharedProblem()
+double
+nowSeconds()
 {
-    static auto p = m3e::makeProblem(dnn::TaskType::Mix,
-                                     accel::Setting::S4, 64.0, 100, 5);
-    return *p;
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
 
-void
-BM_CostModelQuery(benchmark::State& state)
+/** Run `fn` repeatedly for ~`budget_s` and return calls/second. */
+template <typename Fn>
+double
+rate(Fn&& fn, double budget_s, int calls_per_rep = 1)
 {
-    cost::CostModel model;
-    cost::SubAccelConfig cfg =
-        accel::makeSubAccel(cost::DataflowStyle::HB, 128, 580);
-    dnn::LayerShape l = dnn::conv(256, 128, 28, 28, 3, 3);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(model.analyze(l, 4, cfg));
-    }
+    fn();  // warm-up
+    int64_t reps = 0;
+    double t0 = nowSeconds(), t1;
+    do {
+        fn();
+        ++reps;
+        t1 = nowSeconds();
+    } while (t1 - t0 < budget_s);
+    return static_cast<double>(reps) * calls_per_rep / (t1 - t0);
 }
-BENCHMARK(BM_CostModelQuery);
 
-void
-BM_CostModelQueryFlexible(benchmark::State& state)
-{
-    cost::CostModel model;
-    cost::SubAccelConfig cfg =
-        accel::makeSubAccel(cost::DataflowStyle::HB, 128, 580);
-    cfg.flexibleShape = true;
-    dnn::LayerShape l = dnn::conv(256, 128, 28, 28, 3, 3);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(model.analyze(l, 4, cfg));
-    }
-}
-BENCHMARK(BM_CostModelQueryFlexible);
-
-void
-BM_JobAnalysisTableBuild(benchmark::State& state)
-{
-    dnn::WorkloadGenerator gen(7);
-    dnn::JobGroup group = gen.makeGroup(dnn::TaskType::Mix, 100);
-    accel::Platform platform = accel::makeSetting(accel::Setting::S4, 64.0);
-    cost::CostModel model;
-    sched::JobAnalyzer analyzer(model);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(analyzer.analyze(group, platform));
-    }
-}
-BENCHMARK(BM_JobAnalysisTableBuild);
-
-void
-BM_FitnessEvaluation(benchmark::State& state)
-{
-    const auto& p = sharedProblem();
-    common::Rng rng(11);
-    sched::Mapping m =
-        sched::Mapping::random(100, p.evaluator().numAccels(), rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(p.evaluator().fitness(m));
-    }
-}
-BENCHMARK(BM_FitnessEvaluation);
-
-void
-BM_MagmaEpoch(benchmark::State& state)
-{
-    const auto& p = sharedProblem();
-    // One epoch = population-size samples (100). Search-time claim target:
-    // ~0.25s per epoch on the paper's desktop.
-    for (auto _ : state) {
-        opt::MagmaGa magma_ga(3);
-        opt::SearchOptions opts;
-        opts.sampleBudget = 200;  // init population + one generation
-        benchmark::DoNotOptimize(
-            magma_ga.search(p.evaluator(), opts).bestFitness);
-    }
-}
-BENCHMARK(BM_MagmaEpoch);
-
-void
-BM_BwAllocatorRun(benchmark::State& state)
-{
-    const auto& p = sharedProblem();
-    common::Rng rng(13);
-    sched::Mapping m =
-        sched::Mapping::random(100, p.evaluator().numAccels(), rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(p.evaluator().evaluate(m));
-    }
-}
-BENCHMARK(BM_BwAllocatorRun);
-
-void
-BM_CostCacheHit(benchmark::State& state)
-{
-    cost::CostModel model;
-    cost::SubAccelConfig cfg =
-        accel::makeSubAccel(cost::DataflowStyle::HB, 128, 580);
-    dnn::LayerShape l = dnn::conv(256, 128, 28, 28, 3, 3);
-    exec::CostCache cache;
-    cache.analyze(model, l, 4, cfg);  // warm
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(cache.analyze(model, l, 4, cfg));
-    }
-}
-BENCHMARK(BM_CostCacheHit);
+struct Workload {
+    dnn::TaskType task = dnn::TaskType::Mix;
+    accel::Setting setting = accel::Setting::S4;
+    double bwGbps = 64.0;
+    int group = 100;
+};
 
 /**
- * Throughput of one generation-sized batch (256 candidates of the Fig. 8
- * workload: Mix task on S4, group 100) at 1, 2 and 4 evaluation lanes.
- * items_per_second is candidates/s — the threads=N vs threads=1 ratio is
- * the exec-engine speedup.
+ * Bitwise parity self-check: flat vs reference fitness and full
+ * ScheduleResult on `n` random candidates per objective, plus one
+ * 4-thread EvalEngine batch per objective against the serial reference
+ * loop. Returns the number of mismatching candidates (0 = pass).
  */
-void
-BM_BatchEvaluation(benchmark::State& state)
+int64_t
+parityCheck(const Workload& w, uint64_t seed, int n, int64_t* checked)
 {
-    const auto& p = sharedProblem();
-    common::Rng rng(17);
-    std::vector<sched::Mapping> batch;
-    batch.reserve(256);
-    for (int i = 0; i < 256; ++i)
-        batch.push_back(
-            sched::Mapping::random(100, p.evaluator().numAccels(), rng));
-    exec::EvalEngine engine(p.evaluator(),
-                            static_cast<int>(state.range(0)));
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(engine.evaluateBatch(batch));
-    }
-    state.SetItemsProcessed(state.iterations() *
-                            static_cast<int64_t>(batch.size()));
-}
-BENCHMARK(BM_BatchEvaluation)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+    int64_t bad = 0;
+    *checked = 0;
+    for (sched::Objective obj :
+         {sched::Objective::Throughput, sched::Objective::Latency,
+          sched::Objective::Energy, sched::Objective::EnergyDelay,
+          sched::Objective::PerfPerWatt}) {
+        auto p = m3e::makeProblem(w.task, w.setting, w.bwGbps, w.group,
+                                  seed, obj);
+        const sched::MappingEvaluator& ev = p->evaluator();
+        sched::FlatEvaluator flat(ev);
+        sched::EvalScratch scratch;
+        common::Rng rng(seed * 977 + static_cast<int>(obj));
+        std::vector<sched::Mapping> batch;
+        batch.reserve(n);
+        for (int i = 0; i < n; ++i)
+            batch.push_back(
+                sched::Mapping::random(w.group, ev.numAccels(), rng));
 
-/** Full MAGMA search (2K samples) at 1, 2 and 4 evaluation lanes. */
-void
-BM_MagmaSearchThreads(benchmark::State& state)
-{
-    const auto& p = sharedProblem();
-    for (auto _ : state) {
-        opt::MagmaGa magma_ga(3);
-        opt::SearchOptions opts;
-        opts.sampleBudget = 2000;
-        opts.threads = static_cast<int>(state.range(0));
-        benchmark::DoNotOptimize(
-            magma_ga.search(p.evaluator(), opts).bestFitness);
+        for (const sched::Mapping& m : batch) {
+            ++*checked;
+            if (ev.fitness(m) != flat.fitness(m, scratch)) {
+                ++bad;
+                continue;
+            }
+            sched::ScheduleResult a = ev.evaluate(m, true);
+            sched::ScheduleResult b = flat.evaluate(m, scratch, true);
+            bool events_equal = a.events.size() == b.events.size();
+            for (size_t e = 0; events_equal && e < a.events.size(); ++e)
+                events_equal = a.events[e].start == b.events[e].start &&
+                               a.events[e].end == b.events[e].end &&
+                               a.events[e].job == b.events[e].job &&
+                               a.events[e].accel == b.events[e].accel &&
+                               a.events[e].allocBw == b.events[e].allocBw;
+            if (a.makespanSeconds != b.makespanSeconds ||
+                a.finishTime != b.finishTime || !events_equal)
+                ++bad;
+        }
+
+        // Batch path: 4 flat lanes vs the serial reference loop.
+        exec::EvalEngine engine(ev, 4, sched::EvalMode::Flat);
+        std::vector<double> fits = engine.evaluateBatch(batch);
+        for (size_t i = 0; i < batch.size(); ++i) {
+            ++*checked;
+            if (fits[i] != ev.fitness(batch[i]))
+                ++bad;
+        }
     }
-    state.SetItemsProcessed(state.iterations() * 2000);
+    return bad;
 }
-BENCHMARK(BM_MagmaSearchThreads)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    double check_speedup = 0.0;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--check-speedup") == 0 && i + 1 < argc)
+            check_speedup = std::strtod(argv[++i], nullptr);
+
+    Workload w;
+    const double budget_s = args.full ? 1.0 : 0.35;
+    const int parity_n = args.full ? 400 : 120;
+    const int batch_size = 256;
+    const std::vector<int> thread_counts = {1, 2, 4};
+
+    bench::printHeader(
+        "micro_speed: hot-path timings + flat-evaluator speedup (" +
+        dnn::taskTypeName(w.task) + " on " + accel::settingName(w.setting) +
+        ", group " + std::to_string(w.group) + ")");
+
+    // ---------------------------------------------------------- parity ---
+    int64_t checked = 0;
+    int64_t bad = parityCheck(w, args.seed, parity_n, &checked);
+    std::printf("parity self-check: %lld candidates x 5 objectives -> %s\n",
+                static_cast<long long>(checked),
+                bad == 0 ? "OK (bitwise identical)" : "FAILED");
+    if (bad != 0)
+        std::fprintf(stderr, "flat/reference parity FAILED on %lld of %lld "
+                             "checks\n",
+                     static_cast<long long>(bad),
+                     static_cast<long long>(checked));
+
+    // ------------------------------------------------ micro hot paths ---
+    cost::CostModel model;
+    cost::SubAccelConfig cfg =
+        accel::makeSubAccel(cost::DataflowStyle::HB, 128, 580);
+    dnn::LayerShape layer = dnn::conv(256, 128, 28, 28, 3, 3);
+    volatile double sink = 0.0;
+
+    double q_per_s = rate(
+        [&] { sink = model.analyze(layer, 4, cfg).noStallCycles; },
+        budget_s);
+
+    exec::CostCache cache;
+    cache.analyze(model, layer, 4, cfg);
+    double hit_per_s = rate(
+        [&] { sink = cache.analyze(model, layer, 4, cfg).noStallCycles; },
+        budget_s);
+
+    dnn::WorkloadGenerator gen(args.seed);
+    dnn::JobGroup group = gen.makeGroup(w.task, w.group);
+    accel::Platform platform = accel::makeSetting(w.setting, w.bwGbps);
+    sched::JobAnalyzer analyzer(model);
+    double table_per_s =
+        rate([&] { sink = analyzer.analyze(group, platform).numJobs(); },
+             budget_s);
+
+    std::printf("\ncost-model query     %10.0f /s  (%.2f us)\n", q_per_s,
+                1e6 / q_per_s);
+    std::printf("cost-cache hit       %10.0f /s  (%.3f us)\n", hit_per_s,
+                1e6 / hit_per_s);
+    std::printf("job-table build      %10.2f /s  (%.1f ms)\n", table_per_s,
+                1e3 / table_per_s);
+    (void)sink;
+
+    // ------------------------------- candidate-evaluation throughput ---
+    auto problem = m3e::makeProblem(w.task, w.setting, w.bwGbps, w.group,
+                                    args.seed);
+    const sched::MappingEvaluator& ev = problem->evaluator();
+    common::Rng rng(17);
+    std::vector<sched::Mapping> batch;
+    batch.reserve(batch_size);
+    for (int i = 0; i < batch_size; ++i)
+        batch.push_back(
+            sched::Mapping::random(w.group, ev.numAccels(), rng));
+
+    bench::JsonWriter json;
+    json.beginObject();
+    json.field("bench", "micro_speed");
+    json.beginObject("config");
+    json.field("full", args.full);
+    json.field("seed", args.seed);
+    json.field("task", dnn::taskTypeName(w.task));
+    json.field("setting", accel::settingName(w.setting));
+    json.field("system_bw_gbps", w.bwGbps);
+    json.field("group_size", w.group);
+    json.field("batch_size", batch_size);
+    json.field("parity_candidates", static_cast<int64_t>(parity_n));
+    json.endObject();
+
+    std::printf("\n%-10s %8s %16s %10s\n", "kernel", "threads",
+                "candidates/s", "speedup");
+    double ref_t1 = 0.0, flat_t1 = 0.0;
+    struct Sample {
+        std::string mode;
+        int threads;
+        double evals_per_sec;
+    };
+    std::vector<Sample> samples;
+    for (sched::EvalMode mode :
+         {sched::EvalMode::Reference, sched::EvalMode::Flat}) {
+        for (int threads : thread_counts) {
+            exec::EvalEngine engine(ev, threads, mode);
+            double eps = rate([&] { sink = engine.evaluateBatch(batch)[0]; },
+                              budget_s, batch_size);
+            samples.push_back({sched::evalModeName(mode), threads, eps});
+            if (threads == 1) {
+                (mode == sched::EvalMode::Flat ? flat_t1 : ref_t1) = eps;
+            }
+            double vs_ref_t1 = ref_t1 > 0.0 ? eps / ref_t1 : 0.0;
+            std::printf("%-10s %8d %16.0f %9.2fx\n",
+                        sched::evalModeName(mode).c_str(), threads, eps,
+                        vs_ref_t1);
+        }
+    }
+    double speedup_t1 = ref_t1 > 0.0 ? flat_t1 / ref_t1 : 0.0;
+    std::printf("\nflat vs reference, single thread: %.2fx\n", speedup_t1);
+
+    json.beginObject("metrics");
+    json.field("parity_ok", bad == 0);
+    json.field("parity_checked", checked);
+    json.field("cost_model_query_per_sec", q_per_s);
+    json.field("cost_cache_hit_per_sec", hit_per_s);
+    json.field("job_table_build_per_sec", table_per_s);
+    json.field("ref_evals_per_sec_t1", ref_t1);
+    json.field("flat_evals_per_sec_t1", flat_t1);
+    json.field("speedup_t1", speedup_t1);
+    json.endObject();
+    json.beginArray("samples");
+    for (const Sample& s : samples) {
+        json.beginObject();
+        json.field("name", "batch_eval");
+        json.field("mode", s.mode);
+        json.field("threads", s.threads);
+        json.field("evals_per_sec", s.evals_per_sec);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    std::string json_path = args.jsonOutPath();
+    if (!json_path.empty()) {
+        if (!json.writeFile(json_path))
+            return 1;
+        std::printf("JSON telemetry written to %s\n", json_path.c_str());
+    }
+
+    if (bad != 0)
+        return 1;
+    if (check_speedup > 0.0 && speedup_t1 < check_speedup) {
+        std::fprintf(stderr,
+                     "perf floor violated: flat/reference = %.2fx < "
+                     "required %.2fx\n",
+                     speedup_t1, check_speedup);
+        return 1;
+    }
+    return 0;
+}

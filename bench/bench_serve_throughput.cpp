@@ -77,7 +77,7 @@ main(int argc, char** argv)
     bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
     bench::printHeader("Serving throughput: requests/sec and samples "
                        "saved, 1/2/4 worker lanes");
-    common::CsvWriter csv("serve_throughput.csv",
+    common::CsvWriter csv(args.outPath("serve_throughput.csv"),
                           {"workers", "mode", "wall_s", "req_per_s",
                            "samples_spent", "samples_saved",
                            "warm_served"});
@@ -117,6 +117,6 @@ main(int argc, char** argv)
                      std::to_string(r.warmServed)});
         }
     }
-    std::printf("\nSeries written to serve_throughput.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("serve_throughput.csv").c_str());
     return 0;
 }

@@ -85,7 +85,7 @@ main(int argc, char** argv)
 {
     bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
     bench::printHeader("Table V: warm-start of MAGMA");
-    common::CsvWriter csv("table05_warmstart.csv",
+    common::CsvWriter csv(args.outPath("table05_warmstart.csv"),
                           {"section", "instance", "raw", "trf0", "trf1",
                            "trf30", "trf100"});
     const int pop = args.full ? 100 : 40;
@@ -173,6 +173,6 @@ main(int argc, char** argv)
                  common::CsvWriter::num(common::mean(trf1_n)),
                  common::CsvWriter::num(common::mean(trf30_n)), "1"});
     }
-    std::printf("\nSeries written to table05_warmstart.csv\n");
+    std::printf("\nSeries written to %s\n", args.outPath("table05_warmstart.csv").c_str());
     return 0;
 }

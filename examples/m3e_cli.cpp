@@ -9,7 +9,7 @@
  *   m3e_cli [--spec FILE] [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
  *           [--bw GBPS] [--group N] [--budget N] [--seed N]
  *           [--method NAME | --all] [--objective NAME] [--flexible]
- *           [--timeline] [--threads N] [--stats]
+ *           [--timeline] [--threads N] [--eval flat|reference] [--stats]
  *           [--report FILE] [--list-methods]
  *
  * --spec FILE loads a key=value experiment spec (see api::ExperimentSpec;
@@ -21,6 +21,13 @@
  * --threads N fans candidate evaluation out over N lanes (0 = auto via
  * MAGMA_THREADS env var / hardware concurrency); results are identical
  * at every thread count — only wall-clock changes.
+ *
+ * --eval selects the evaluation kernel: "flat" (default) scores
+ * candidates through the allocation-free sched::FlatEvaluator fast
+ * path, "reference" through the original MappingEvaluator object path.
+ * The two are bitwise identical on every candidate, so this flag never
+ * changes results — it is the fallback lever if the fast path ever
+ * misbehaves on new hardware.
  *
  * --stats prints the process-wide exec::CostCache counters (hits, misses,
  * entries) after the run — how much cost-model work memoization skipped.
@@ -135,6 +142,9 @@ parse(int argc, char** argv)
             a.stats = true;
         else if (flag == "--threads")
             a.exp.search.threads = std::stoi(need(i++));
+        else if (flag == "--eval")
+            a.exp.search.eval =
+                parseOrDie(sched::evalModeFromName, need(i++));
         else if (flag == "--report")
             a.reportPath = need(i++);
         else if (flag == "--list-methods") {

@@ -88,9 +88,13 @@ makeSetting(Setting s, double system_bw_gbps)
         add(DataflowStyle::LB, 64, 218, 1);
         break;
     }
-    // Give every sub-accelerator a numbered instance name.
-    for (size_t i = 0; i < p.subAccels.size(); ++i)
-        p.subAccels[i].name += "#" + std::to_string(i);
+    // Give every sub-accelerator a numbered instance name. Appended in
+    // two steps: `+= "#" + std::to_string(i)` trips GCC 12's -Wrestrict
+    // false positive (PR 105651) under -O2.
+    for (size_t i = 0; i < p.subAccels.size(); ++i) {
+        p.subAccels[i].name += '#';
+        p.subAccels[i].name += std::to_string(i);
+    }
     return p;
 }
 

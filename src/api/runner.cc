@@ -184,6 +184,7 @@ Runner::run(const ProblemSpec& ps, const SearchSpec& ss,
     opt::SearchOptions opts;
     opts.sampleBudget = ss.sampleBudget;
     opts.threads = ss.threads;
+    opts.evalMode = ss.eval;
     opts.recordConvergence = ss.recordConvergence;
     opts.recordSamples = ss.recordSamples;
 

@@ -8,6 +8,7 @@
 #include "dnn/model.h"
 #include "sched/bw_allocator.h"
 #include "sched/evaluator.h"
+#include "sched/flat_eval.h"
 
 namespace magma::api {
 
@@ -48,7 +49,7 @@ struct ProblemSpec {
  * OptimizerRegistry name or alias), optimizing what, under which budget
  * and seed. Same text discipline as ProblemSpec.
  *
- * Keys: method, objective, sample_budget, seed, threads,
+ * Keys: method, objective, sample_budget, seed, threads, eval,
  * record_convergence, record_samples, warm_start.
  */
 struct SearchSpec {
@@ -57,6 +58,9 @@ struct SearchSpec {
     int64_t sampleBudget = 10000;  ///< paper's main-experiment budget
     uint64_t seed = 1;             ///< optimizer seed
     int threads = 1;  ///< evaluation lanes (0 = auto, see SearchOptions)
+    /** Evaluation kernel: the flat fast path (default) or the reference
+     * object path — bitwise-identical results, different wall-clock. */
+    sched::EvalMode eval = sched::EvalMode::Flat;
     bool recordConvergence = false;
     bool recordSamples = false;
     /** Allow store-seeded warm starts when served (serve::MapRequest);

@@ -6,10 +6,33 @@ std::vector<double>
 EvalEngine::evaluateBatch(const sched::Mapping* batch, size_t count) const
 {
     std::vector<double> fitness(count);
-    pool_->parallelFor(static_cast<int64_t>(count), [&](int64_t i) {
-        fitness[i] = eval_->fitness(batch[i]);
-    });
+    if (flat_) {
+        if (pool_->numThreads() == 1) {
+            // Serial flat path: skip the pool's std::function dispatch —
+            // one tight loop over lane 0's scratch.
+            sched::EvalScratch& s = scratch_[0];
+            for (size_t i = 0; i < count; ++i)
+                fitness[i] = flat_->fitness(batch[i], s);
+        } else {
+            pool_->parallelForLane(
+                static_cast<int64_t>(count), [&](int lane, int64_t i) {
+                    fitness[i] = flat_->fitness(batch[i], scratch_[lane]);
+                });
+        }
+    } else {
+        pool_->parallelFor(static_cast<int64_t>(count), [&](int64_t i) {
+            fitness[i] = eval_->fitness(batch[i]);
+        });
+    }
     return fitness;
+}
+
+double
+EvalEngine::fitnessOne(const sched::Mapping& m) const
+{
+    if (flat_)
+        return flat_->fitness(m, scratch_[0]);
+    return eval_->fitness(m);
 }
 
 }  // namespace magma::exec

@@ -6,6 +6,7 @@
 
 #include "exec/thread_pool.h"
 #include "sched/evaluator.h"
+#include "sched/flat_eval.h"
 #include "sched/mapping.h"
 
 namespace magma::exec {
@@ -15,17 +16,25 @@ namespace magma::exec {
  * mappings out over a ThreadPool and returns their fitness values in
  * submission order.
  *
+ * Evaluation kernel (sched::EvalMode): by default candidates are scored
+ * through the allocation-free sched::FlatEvaluator fast path — the
+ * engine compiles the evaluator's tables once at construction and keeps
+ * one reusable sched::EvalScratch per worker lane, so a whole
+ * generation is evaluated without a single heap allocation in the inner
+ * loop. EvalMode::Reference falls back to MappingEvaluator::fitness.
+ * Both kernels are bitwise identical on every candidate (the flat
+ * evaluator's parity contract), so the mode only changes wall-clock.
+ *
  * Why this is safe without per-candidate locking: after construction a
  * MappingEvaluator is immutable — `fitness` reads the Job Analysis Table
  * and runs the BW-Allocator simulation on purely local state — except for
- * the sample meter, which is a relaxed atomic. Each worker therefore
- * shares one evaluator and keeps all scratch (decoded queues, allocator
- * state) on its own stack; there is no per-thread evaluator clone to keep
- * in sync.
+ * the sample meter, which is a relaxed atomic shared by both kernels.
+ * Each lane owns its scratch exclusively (ThreadPool::parallelForLane),
+ * so there is no per-thread evaluator clone to keep in sync.
  *
  * Determinism: result[i] is always the fitness of batch[i], computed by
- * the exact same code as the serial path, so a batch evaluation is
- * bitwise identical to evaluating the same mappings one-by-one (IEEE
+ * code bitwise-equal to the serial reference path, so a batch evaluation
+ * is identical to evaluating the same mappings one-by-one (IEEE
  * arithmetic on a fixed input is scheduling-independent).
  */
 class EvalEngine {
@@ -34,10 +43,14 @@ class EvalEngine {
      * `threads <= 0` selects ThreadPool::defaultThreads() (MAGMA_THREADS
      * env var, else hardware concurrency).
      */
-    explicit EvalEngine(const sched::MappingEvaluator& eval, int threads = 0)
+    explicit EvalEngine(const sched::MappingEvaluator& eval,
+                        int threads = 0,
+                        sched::EvalMode mode = sched::EvalMode::Flat)
         : eval_(&eval), owned_pool_(std::make_unique<ThreadPool>(threads)),
           pool_(owned_pool_.get())
-    {}
+    {
+        initKernel(mode);
+    }
 
     /**
      * Borrow an external pool instead of owning one — lets a long-lived
@@ -46,13 +59,20 @@ class EvalEngine {
      * churn per request. The pool must outlive the engine and must not
      * have another batch in flight during evaluateBatch.
      */
-    EvalEngine(const sched::MappingEvaluator& eval, ThreadPool& pool)
+    EvalEngine(const sched::MappingEvaluator& eval, ThreadPool& pool,
+               sched::EvalMode mode = sched::EvalMode::Flat)
         : eval_(&eval), pool_(&pool)
-    {}
+    {
+        initKernel(mode);
+    }
 
     int numThreads() const { return pool_->numThreads(); }
     const sched::MappingEvaluator& evaluator() const { return *eval_; }
     ThreadPool& pool() { return *pool_; }
+    sched::EvalMode mode() const
+    {
+        return flat_ ? sched::EvalMode::Flat : sched::EvalMode::Reference;
+    }
 
     /**
      * Fitness of `batch[first..first+count)`; result[i] corresponds to
@@ -68,10 +88,29 @@ class EvalEngine {
         return evaluateBatch(batch.data(), batch.size());
     }
 
+    /**
+     * Score a single candidate through the engine's kernel on the
+     * calling thread (lane 0) — the serial path of SearchRecorder when a
+     * flat engine exists. Counts one sample. Must not be called while a
+     * batch is in flight on the same engine.
+     */
+    double fitnessOne(const sched::Mapping& m) const;
+
   private:
+    void initKernel(sched::EvalMode mode)
+    {
+        if (mode == sched::EvalMode::Flat) {
+            flat_ = std::make_unique<sched::FlatEvaluator>(*eval_);
+            scratch_.resize(static_cast<size_t>(pool_->numThreads()));
+        }
+    }
+
     const sched::MappingEvaluator* eval_;
     std::unique_ptr<ThreadPool> owned_pool_;  // null when borrowing
     ThreadPool* pool_;
+    std::unique_ptr<sched::FlatEvaluator> flat_;  // null in Reference mode
+    /** One per lane; mutated during logically-const evaluation. */
+    mutable std::vector<sched::EvalScratch> scratch_;
 };
 
 }  // namespace magma::exec

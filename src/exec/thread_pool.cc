@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(int threads)
 {
     workers_.reserve(threads_ - 1);
     for (int i = 0; i < threads_ - 1; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -38,14 +38,14 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::drainBatch()
+ThreadPool::drainBatch(int lane)
 {
     while (true) {
         int64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
         if (i >= job_size_)
             return;
         try {
-            (*job_)(i);
+            (*job_)(lane, i);
         } catch (...) {
             std::lock_guard<std::mutex> lock(mu_);
             if (!error_)
@@ -58,7 +58,7 @@ ThreadPool::drainBatch()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(int lane)
 {
     uint64_t seen_epoch = 0;
     while (true) {
@@ -71,7 +71,7 @@ ThreadPool::workerLoop()
                 return;
             seen_epoch = epoch_;
         }
-        drainBatch();
+        drainBatch(lane);
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (--active_workers_ == 0)
@@ -83,13 +83,21 @@ ThreadPool::workerLoop()
 void
 ThreadPool::parallelFor(int64_t n, const std::function<void(int64_t)>& fn)
 {
+    parallelForLane(n, [&fn](int, int64_t i) { fn(i); });
+}
+
+void
+ThreadPool::parallelForLane(int64_t n,
+                            const std::function<void(int, int64_t)>& fn)
+{
     if (n <= 0)
         return;
 
     if (workers_.empty() || n == 1) {
-        // Serial fast path: no locking, same iteration semantics.
+        // Serial fast path: no locking, same iteration semantics; all
+        // iterations run on the calling thread, lane 0.
         for (int64_t i = 0; i < n; ++i)
-            fn(i);
+            fn(0, i);
         return;
     }
 
@@ -104,8 +112,8 @@ ThreadPool::parallelFor(int64_t n, const std::function<void(int64_t)>& fn)
     }
     batch_ready_.notify_all();
 
-    // The calling thread is a full participant.
-    drainBatch();
+    // The calling thread is a full participant, always lane 0.
+    drainBatch(0);
 
     std::unique_lock<std::mutex> lock(mu_);
     batch_done_.wait(lock, [&] { return active_workers_ == 0; });

@@ -54,6 +54,17 @@ class ThreadPool {
     void parallelFor(int64_t n, const std::function<void(int64_t)>& fn);
 
     /**
+     * Like parallelFor, but `fn(lane, i)` also receives the lane index
+     * of the executing thread — 0 for the calling thread, 1..numThreads-1
+     * for the workers. Lane indices are stable for the pool's lifetime,
+     * so callers can keep one mutable scratch object per lane (the
+     * EvalEngine's per-worker EvalScratch) without locking: a lane never
+     * runs two iterations concurrently.
+     */
+    void parallelForLane(int64_t n,
+                         const std::function<void(int, int64_t)>& fn);
+
+    /**
      * Thread count picked when none is given: the MAGMA_THREADS
      * environment variable if set to a positive integer, otherwise
      * std::thread::hardware_concurrency().
@@ -61,9 +72,9 @@ class ThreadPool {
     static int defaultThreads();
 
   private:
-    void workerLoop();
+    void workerLoop(int lane);
     /** Pull iterations off the shared cursor until the batch is drained. */
-    void drainBatch();
+    void drainBatch(int lane);
 
     int threads_ = 1;
     std::vector<std::thread> workers_;
@@ -72,7 +83,7 @@ class ThreadPool {
     std::mutex mu_;
     std::condition_variable batch_ready_;
     std::condition_variable batch_done_;
-    const std::function<void(int64_t)>* job_ = nullptr;
+    const std::function<void(int, int64_t)>* job_ = nullptr;
     int64_t job_size_ = 0;
     uint64_t epoch_ = 0;          ///< bumped per batch so workers wake once
     int active_workers_ = 0;      ///< workers still inside the batch

@@ -64,7 +64,7 @@ CmaEs::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
     struct Cand {
         std::vector<double> x;  // candidate point
         std::vector<double> z;  // N(0, I) draw behind it
-        double fitness;
+        double fitness = 0.0;
     };
 
     while (!rec.exhausted()) {

@@ -18,9 +18,13 @@ SearchRecorder::SearchRecorder(const sched::MappingEvaluator& eval,
         // otherwise candidates would be scored against another problem.
         assert(&opts_.engine->evaluator() == &eval);
         engine_ = opts_.engine;
-    } else if (opts_.threads != 1) {
-        owned_engine_ =
-            std::make_unique<exec::EvalEngine>(eval, opts_.threads);
+    } else if (opts_.threads != 1 ||
+               opts_.evalMode == sched::EvalMode::Flat) {
+        // An engine is also built for single-threaded flat searches:
+        // it owns the compiled FlatEvaluator + scratch, and a 1-lane
+        // ThreadPool spawns no threads, so the serial path stays serial.
+        owned_engine_ = std::make_unique<exec::EvalEngine>(
+            eval, opts_.threads, opts_.evalMode);
         engine_ = owned_engine_.get();
     }
 }
@@ -47,7 +51,7 @@ double
 SearchRecorder::evaluate(const sched::Mapping& m)
 {
     assert(!exhausted());
-    double f = eval_->fitness(m);
+    double f = engine_ ? engine_->fitnessOne(m) : eval_->fitness(m);
     record(m, f);
     return f;
 }
@@ -66,7 +70,8 @@ SearchRecorder::evaluateBatch(const std::vector<sched::Mapping>& ms)
     } else {
         fitness.resize(n);
         for (size_t i = 0; i < n; ++i)
-            fitness[i] = eval_->fitness(ms[i]);
+            fitness[i] =
+                engine_ ? engine_->fitnessOne(ms[i]) : eval_->fitness(ms[i]);
     }
     // Sequential bookkeeping in submission order keeps budget accounting
     // and convergence curves identical to the serial path.

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "sched/evaluator.h"
+#include "sched/flat_eval.h"
 #include "sched/mapping.h"
 
 namespace magma::exec {
@@ -39,8 +40,17 @@ struct SearchOptions {
      */
     int threads = 1;
     /**
+     * Which evaluation kernel scores candidates: the allocation-free
+     * sched::FlatEvaluator fast path (default) or the reference
+     * MappingEvaluator object path. Bitwise-identical results either
+     * way; Reference is the one-flag fallback (`--eval=reference`).
+     * Ignored when `engine` is set — the engine's own mode wins.
+     */
+    sched::EvalMode evalMode = sched::EvalMode::Flat;
+    /**
      * External batch engine to reuse across searches (overrides
-     * `threads`). Must outlive the search and wrap the same evaluator.
+     * `threads` and `evalMode`). Must outlive the search and wrap the
+     * same evaluator.
      */
     exec::EvalEngine* engine = nullptr;
 };

@@ -26,7 +26,7 @@ Tbpsa::run(const sched::MappingEvaluator& eval, const SearchOptions& opts,
 
     struct Cand {
         std::vector<double> x;
-        double fitness;
+        double fitness = 0.0;
     };
 
     while (!rec.exhausted()) {

@@ -15,13 +15,17 @@ namespace {
 std::string
 jobKey(const dnn::Job& job, bool with_size)
 {
-    std::string key = dnn::taskTypeName(job.task) + "/" +
-                      dnn::layerTypeName(job.layer.type);
+    // Appended piecewise: `+= "/" + std::to_string(...)` trips GCC 12's
+    // -Wrestrict false positive (PR 105651) under -O2.
+    std::string key = dnn::taskTypeName(job.task);
+    key += '/';
+    key += dnn::layerTypeName(job.layer.type);
     if (with_size) {
         int bucket = static_cast<int>(
             std::log2(static_cast<double>(std::max<int64_t>(job.macs(),
                                                             1))));
-        key += "/" + std::to_string(bucket / 2);  // 4x-wide size classes
+        key += '/';
+        key += std::to_string(bucket / 2);  // 4x-wide size classes
     }
     return key;
 }

@@ -72,6 +72,7 @@ class BwAllocator {
                        bool record_timeline = false) const;
 
     double systemBw() const { return system_bw_; }
+    BwPolicy policy() const { return policy_; }
 
   private:
     double system_bw_;

@@ -73,15 +73,8 @@ class MappingEvaluator {
                      exec::CostCache* cost_cache = nullptr,
                      Objective objective = Objective::Throughput);
 
-    /**
-     * @deprecated Pass the objective to the constructor instead — this
-     * shim mutates what is otherwise an immutable-after-construction
-     * object and must not be called once concurrent evaluation may have
-     * started. Kept for one release for downstream callers.
-     */
-    [[deprecated("pass Objective to the MappingEvaluator constructor")]]
-    void setObjective(Objective o) { objective_ = o; }
     Objective objective() const { return objective_; }
+    BwPolicy bwPolicy() const { return allocator_.policy(); }
 
     /** Objective value of an encoded mapping. Counts one sample. */
     double fitness(const Mapping& m) const;
@@ -103,6 +96,16 @@ class MappingEvaluator {
     }
     void resetSampleCount() { samples_.store(0, std::memory_order_relaxed); }
 
+    /**
+     * Spend one unit of the sample meter without evaluating — how the
+     * FlatEvaluator fast path keeps budget accounting on the shared
+     * meter. Not intended for callers outside evaluation kernels.
+     */
+    void countSample() const
+    {
+        samples_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     /** Throughput implied by a makespan for this group. */
     double throughputGflops(double makespan_seconds) const;
 
@@ -120,7 +123,6 @@ class MappingEvaluator {
     const accel::Platform* platform_;
     JobAnalysisTable table_;
     BwAllocator allocator_;
-    /** Non-const only for the deprecated setObjective() shim. */
     Objective objective_ = Objective::Throughput;
     mutable std::atomic<int64_t> samples_{0};
 };

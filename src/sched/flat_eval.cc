@@ -1,0 +1,324 @@
+#include "sched/flat_eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace magma::sched {
+
+std::string
+evalModeName(EvalMode m)
+{
+    switch (m) {
+      case EvalMode::Flat:
+        return "flat";
+      case EvalMode::Reference:
+        return "reference";
+    }
+    return "?";
+}
+
+EvalMode
+evalModeFromName(const std::string& name)
+{
+    for (EvalMode m : {EvalMode::Flat, EvalMode::Reference})
+        if (evalModeName(m) == name)
+            return m;
+    throw std::invalid_argument("unknown eval mode '" + name +
+                                "' (flat|reference)");
+}
+
+void
+EvalScratch::ensure(int jobs, int accels)
+{
+    if (jobs_ == jobs && accels_ == accels)
+        return;
+    jobs_ = jobs;
+    accels_ = accels;
+    queue_jobs_.resize(jobs);
+    queue_begin_.resize(accels + 1);
+    fill_.resize(accels);
+    cursor_.resize(accels);
+    remaining_.resize(accels);
+    req_bw_.resize(accels);
+    live_job_.resize(accels);
+    rate_.resize(accels);
+    finish_.resize(jobs);
+}
+
+FlatEvaluator::FlatEvaluator(const MappingEvaluator& ref)
+    : ref_(&ref),
+      jobs_(ref.groupSize()),
+      accels_(ref.numAccels()),
+      system_bw_(ref.platform().systemBwGbps),
+      policy_(ref.bwPolicy()),
+      objective_(ref.objective()),
+      total_flops_(ref.group().totalFlops())
+{
+    // Compile the Job Analysis Table into structure-of-arrays columns so
+    // the inner loop streams doubles instead of striding over JobProfile
+    // records.
+    size_t n = static_cast<size_t>(jobs_) * accels_;
+    no_stall_seconds_.resize(n);
+    req_bw_gbps_.resize(n);
+    energy_pj_.resize(n);
+    const JobAnalysisTable& table = ref.table();
+    for (int j = 0; j < jobs_; ++j) {
+        for (int a = 0; a < accels_; ++a) {
+            const JobProfile& p = table.lookup(j, a);
+            size_t i = static_cast<size_t>(j) * accels_ + a;
+            no_stall_seconds_[i] = p.noStallSeconds;
+            req_bw_gbps_[i] = p.reqBwGbps;
+            energy_pj_[i] = p.energyPj;
+        }
+    }
+}
+
+void
+FlatEvaluator::decodeInto(const Mapping& m, EvalScratch& s) const
+{
+    const int accels = accels_;
+    const int jobs = jobs_;
+
+    // Counting pass: queue_begin_[a + 1] = queue length of a, then
+    // prefix-summed into segment offsets.
+    for (int a = 0; a <= accels; ++a)
+        s.queue_begin_[a] = 0;
+    for (int j = 0; j < jobs; ++j) {
+        assert(m.accelSel[j] >= 0 && m.accelSel[j] < accels);
+        ++s.queue_begin_[m.accelSel[j] + 1];
+    }
+    for (int a = 0; a < accels; ++a)
+        s.queue_begin_[a + 1] += s.queue_begin_[a];
+
+    // Fill in ascending job order — the same insertion order decode()
+    // produces before its stable sort.
+    for (int a = 0; a < accels; ++a)
+        s.fill_[a] = s.queue_begin_[a];
+    for (int j = 0; j < jobs; ++j)
+        s.queue_jobs_[s.fill_[m.accelSel[j]]++] = j;
+
+    // Per-queue stable insertion sort by priority. Strict '<' moves keep
+    // equal priorities in original (ascending job id) order, matching
+    // decode()'s std::stable_sort exactly.
+    const double* prio = m.priority.data();
+    int32_t* q = s.queue_jobs_.data();
+    for (int a = 0; a < accels; ++a) {
+        int32_t lo = s.queue_begin_[a];
+        int32_t hi = s.queue_begin_[a + 1];
+        for (int32_t i = lo + 1; i < hi; ++i) {
+            int32_t job = q[i];
+            double p = prio[job];
+            int32_t k = i;
+            while (k > lo && p < prio[q[k - 1]]) {
+                q[k] = q[k - 1];
+                --k;
+            }
+            q[k] = job;
+        }
+    }
+}
+
+void
+FlatEvaluator::simulate(const Mapping& m, EvalScratch& s,
+                        bool record_timeline) const
+{
+    assert(m.size() == jobs_);
+    s.ensure(jobs_, accels_);
+    s.events_.clear();
+    decodeInto(m, s);
+
+    const int num_accels = accels_;
+    const double system_bw = system_bw_;
+    const bool proportional = (policy_ == BwPolicy::Proportional);
+    const double* no_stall = no_stall_seconds_.data();
+    const double* req_col = req_bw_gbps_.data();
+
+    // Raw-pointer views of the scratch keep the inner loop free of
+    // vector indirection the optimizer cannot hoist past stores.
+    const int32_t* qjobs = s.queue_jobs_.data();
+    const int32_t* qbegin = s.queue_begin_.data();
+    int32_t* cursor = s.cursor_.data();
+    double* remaining = s.remaining_.data();
+    double* req_bw = s.req_bw_.data();
+    int32_t* live_job = s.live_job_.data();
+    double* rate = s.rate_.data();
+    double* finish = s.finish_.data();
+
+    std::fill(s.finish_.begin(), s.finish_.end(), 0.0);
+
+    // The remainder replays BwAllocator::run on the flattened queues:
+    // same traversal order, same expressions, so every intermediate
+    // double is bit-identical to the reference simulation. The pass
+    // structure is fused — (demand sum) folds into the advance pass of
+    // the previous round, and unconstrained rounds skip the divisions —
+    // but only through identities that are exact in IEEE arithmetic
+    // (x / x == 1.0 for normal x, 1.0 * dt == dt, remaining / 1.0 ==
+    // remaining), so the fusion is unobservable in the results.
+    auto launchNext = [&](int a) {
+        if (cursor[a] < qbegin[a + 1]) {
+            int j = qjobs[cursor[a]++];
+            size_t i = static_cast<size_t>(j) * num_accels + a;
+            live_job[a] = j;
+            remaining[a] = no_stall[i];
+            req_bw[a] = req_col[i];
+        } else {
+            live_job[a] = -1;
+            remaining[a] = 0.0;
+            req_bw[a] = 0.0;
+        }
+    };
+
+    // Compacted list of slots whose queue is not yet drained, in
+    // ascending sub-accelerator order. The reference iterates every slot
+    // and skips dead ones; iterating only the live slots in the same
+    // ascending order visits the same values in the same order, so every
+    // demand sum and min-reduction is unchanged.
+    int32_t* live_idx = s.fill_.data();  // decode is done; reuse
+    int live_count = 0;
+    double total_req = 0.0;
+    for (int a = 0; a < num_accels; ++a) {
+        cursor[a] = qbegin[a];
+        launchNext(a);
+        if (live_job[a] >= 0) {
+            live_idx[live_count++] = a;
+            total_req += req_bw[a];
+        }
+    }
+
+    double now = 0.0;
+    const double eps = 1e-18;
+    while (live_count > 0) {
+        // Allocation + earliest-completion scan, one fused pass. In an
+        // unconstrained proportional round every live job runs at rate
+        // 1.0 (the reference computes min(1.0, req/req) == 1.0), so the
+        // divisions are skipped wholesale and nothing needs rate[].
+        double dt = std::numeric_limits<double>::infinity();
+        const bool full_speed = proportional && total_req <= system_bw;
+        if (full_speed) {
+            for (int k = 0; k < live_count; ++k)
+                dt = std::min(dt, remaining[live_idx[k]]);
+        } else {
+            for (int k = 0; k < live_count; ++k) {
+                int a = live_idx[k];
+                double alloc;
+                if (proportional) {
+                    alloc = req_bw[a] * system_bw / total_req;
+                } else {
+                    alloc = std::min(req_bw[a], system_bw / num_accels);
+                }
+                double r = (req_bw[a] <= eps)
+                               ? 1.0
+                               : std::min(1.0, alloc / req_bw[a]);
+                rate[a] = r;
+                double t = (r > eps)
+                               ? remaining[a] / r
+                               : std::numeric_limits<double>::infinity();
+                dt = std::min(dt, t);
+            }
+        }
+        assert(std::isfinite(dt));
+        dt = std::max(dt, 0.0);
+
+        if (record_timeline) {
+            for (int k = 0; k < live_count; ++k) {
+                int a = live_idx[k];
+                ScheduleEvent ev;
+                ev.start = now;
+                ev.end = now + dt;
+                ev.job = live_job[a];
+                ev.accel = a;
+                ev.allocBw = full_speed ? req_bw[a] : rate[a] * req_bw[a];
+                s.events_.push_back(ev);
+            }
+        }
+
+        now += dt;
+        // Advance pass, folded together with the next round's demand sum
+        // and in-place live-list compaction: req_bw[a] is final for the
+        // round once slot a has been advanced, and the reference sums
+        // demand in the same ascending order.
+        const double done_below = eps * std::max(1.0, now);
+        total_req = 0.0;
+        int write = 0;
+        for (int k = 0; k < live_count; ++k) {
+            int a = live_idx[k];
+            if (full_speed)
+                remaining[a] -= dt;
+            else {
+                double r = rate[a];
+                remaining[a] -= (r == 1.0) ? dt : r * dt;
+            }
+            if (remaining[a] <= done_below) {
+                finish[live_job[a]] = now;
+                launchNext(a);
+            }
+            if (live_job[a] >= 0) {
+                live_idx[write++] = a;
+                total_req += req_bw[a];
+            }
+        }
+        live_count = write;
+    }
+
+    s.makespan_ = now;
+}
+
+double
+FlatEvaluator::totalJoules(const Mapping& m) const
+{
+    const double* energy = energy_pj_.data();
+    double pj = 0.0;
+    for (int j = 0; j < m.size(); ++j)
+        pj += energy[static_cast<size_t>(j) * accels_ + m.accelSel[j]];
+    return pj * 1e-12;
+}
+
+double
+FlatEvaluator::objectiveValue(const Mapping& m, const EvalScratch& s) const
+{
+    double seconds = s.makespan_;
+    if (seconds <= 0.0)
+        return 0.0;
+    switch (objective_) {
+      case Objective::Throughput:
+        return static_cast<double>(total_flops_) / seconds / 1e9;
+      case Objective::Latency:
+        return 1.0 / seconds;
+      case Objective::Energy:
+        return 1.0 / std::max(totalJoules(m), 1e-30);
+      case Objective::EnergyDelay:
+        return 1.0 / std::max(totalJoules(m) * seconds, 1e-40);
+      case Objective::PerfPerWatt: {
+        double watts = totalJoules(m) / seconds;
+        return (static_cast<double>(total_flops_) / seconds / 1e9) /
+               std::max(watts, 1e-30);
+      }
+    }
+    return 0.0;
+}
+
+double
+FlatEvaluator::fitness(const Mapping& m, EvalScratch& s) const
+{
+    ref_->countSample();
+    simulate(m, s, false);
+    return objectiveValue(m, s);
+}
+
+ScheduleResult
+FlatEvaluator::evaluate(const Mapping& m, EvalScratch& s,
+                        bool record_timeline) const
+{
+    ref_->countSample();
+    simulate(m, s, record_timeline);
+    ScheduleResult r;
+    r.makespanSeconds = s.makespan_;
+    r.finishTime = s.finish_;
+    r.events = s.events_;
+    return r;
+}
+
+}  // namespace magma::sched

@@ -1,0 +1,158 @@
+#ifndef MAGMA_SCHED_FLAT_EVAL_H_
+#define MAGMA_SCHED_FLAT_EVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/bw_allocator.h"
+#include "sched/evaluator.h"
+#include "sched/mapping.h"
+
+namespace magma::sched {
+
+/**
+ * Which evaluation kernel scores candidates (SearchOptions/SearchSpec
+ * `eval`): the allocation-free FlatEvaluator fast path (the default) or
+ * the reference MappingEvaluator object path. The two are bitwise
+ * identical on every mapping and objective — tests/test_flat_eval.cc and
+ * bench_micro_speed's self-check lock that in — so the mode only changes
+ * wall-clock, never results.
+ */
+enum class EvalMode { Flat, Reference };
+
+/** Mode name ("flat", "reference"). */
+std::string evalModeName(EvalMode m);
+
+/** Parse an evalModeName(); throws std::invalid_argument. */
+EvalMode evalModeFromName(const std::string& name);
+
+/**
+ * Per-thread reusable evaluation state. All buffers are sized once (first
+ * use, or an explicit ensure()) and reused for every subsequent candidate,
+ * so the steady-state hot loop performs zero heap allocation. One scratch
+ * must only be used by one thread at a time; exec::EvalEngine keeps one
+ * per worker lane.
+ *
+ * After a simulate()/fitness()/evaluate() call the scratch holds the
+ * schedule outcome (makespan, per-job finish times, optional timeline
+ * events) until the next call overwrites it.
+ */
+class EvalScratch {
+  public:
+    EvalScratch() = default;
+
+    /** Size every buffer for a (jobs x accels) problem; idempotent. */
+    void ensure(int jobs, int accels);
+
+    double makespanSeconds() const { return makespan_; }
+    /** Per-job completion times of the last simulated candidate. */
+    const std::vector<double>& finishTime() const { return finish_; }
+    /** Timeline of the last simulate(record_timeline=true) call. */
+    const std::vector<ScheduleEvent>& events() const { return events_; }
+
+  private:
+    friend class FlatEvaluator;
+
+    int jobs_ = -1;
+    int accels_ = -1;
+
+    // Decoded queues, flattened: queue_jobs_[queue_begin_[a] ..
+    // queue_begin_[a+1]) is sub-accelerator a's job queue in ascending
+    // priority order (stable on job id) — the contiguous form of
+    // DecodedMapping::queues.
+    std::vector<int32_t> queue_jobs_;   // jobs
+    std::vector<int32_t> queue_begin_;  // accels + 1
+    std::vector<int32_t> fill_;         // accels: decode fill cursors
+
+    // Event-driven simulation state (one slot per sub-accelerator).
+    std::vector<int32_t> cursor_;     // next queue position
+    std::vector<double> remaining_;   // no-stall seconds left of live job
+    std::vector<double> req_bw_;      // live job's required BW
+    std::vector<int32_t> live_job_;   // live job id, -1 when drained
+    std::vector<double> rate_;        // granted/required BW of the round
+
+    std::vector<double> finish_;      // jobs: completion times
+    std::vector<ScheduleEvent> events_;
+    double makespan_ = 0.0;
+};
+
+/**
+ * Allocation-free fast-path evaluator (the "Turbo-Charged Mapper" idea
+ * applied to M3E's Fig. 3 evaluation phase): compiles the Job Analysis
+ * Table, platform BW regime and objective of a reference MappingEvaluator
+ * into contiguous structure-of-arrays buffers at construction, then
+ * scores candidates through a caller-provided EvalScratch with zero heap
+ * allocation and no virtual dispatch in the inner schedule-simulation
+ * loop.
+ *
+ * Parity contract: for every mapping, fitness()/evaluate() return results
+ * bitwise identical to the reference MappingEvaluator — the simulation
+ * replays the exact floating-point operation sequence of
+ * BwAllocator::run and MappingEvaluator::objectiveValue. Optimizers can
+ * therefore switch kernels freely (EvalMode) without perturbing any
+ * search trajectory.
+ *
+ * Thread-safety: immutable after construction; concurrent calls are safe
+ * as long as each thread passes its own EvalScratch. Samples are counted
+ * on the reference evaluator's meter so budget accounting is shared
+ * between both kernels.
+ *
+ * Lifetime: keeps a pointer to the reference evaluator (for the sample
+ * meter only); the reference must outlive the FlatEvaluator.
+ */
+class FlatEvaluator {
+  public:
+    explicit FlatEvaluator(const MappingEvaluator& ref);
+
+    /** Objective value of a candidate; counts one sample. Zero-alloc. */
+    double fitness(const Mapping& m, EvalScratch& s) const;
+
+    /**
+     * Full simulation into `s` (makespan, finish times, optional
+     * timeline); counts one sample. Zero-alloc in steady state: the
+     * scratch's buffers are reused across calls.
+     */
+    void simulate(const Mapping& m, EvalScratch& s,
+                  bool record_timeline = false) const;
+
+    /**
+     * Reference-shaped result for parity checks and cold paths; same
+     * numbers as simulate(), materialized as a ScheduleResult (allocates
+     * the result vectors, so not for the hot loop).
+     */
+    ScheduleResult evaluate(const Mapping& m, EvalScratch& s,
+                            bool record_timeline = false) const;
+
+    /** Objective value of the candidate simulated last into `s`. */
+    double objectiveValue(const Mapping& m, const EvalScratch& s) const;
+
+    /** Total energy (Joules) of a mapping; same sum order as reference. */
+    double totalJoules(const Mapping& m) const;
+
+    int numJobs() const { return jobs_; }
+    int numAccels() const { return accels_; }
+    Objective objective() const { return objective_; }
+    const MappingEvaluator& reference() const { return *ref_; }
+
+  private:
+    /** Decode `m` into s's flattened queues (exact decode() order). */
+    void decodeInto(const Mapping& m, EvalScratch& s) const;
+
+    const MappingEvaluator* ref_;
+    int jobs_ = 0;
+    int accels_ = 0;
+    double system_bw_ = 0.0;
+    BwPolicy policy_ = BwPolicy::Proportional;
+    Objective objective_ = Objective::Throughput;
+    int64_t total_flops_ = 0;
+
+    // Job Analysis Table columns, [job * accels_ + accel].
+    std::vector<double> no_stall_seconds_;
+    std::vector<double> req_bw_gbps_;
+    std::vector<double> energy_pj_;
+};
+
+}  // namespace magma::sched
+
+#endif  // MAGMA_SCHED_FLAT_EVAL_H_

@@ -261,6 +261,7 @@ MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
     // (or its coarse tier) is known.
     opt::SearchOptions opts;
     opts.sampleBudget = req.search.sampleBudget;
+    opts.evalMode = req.search.eval;
     std::optional<MappingStore::Hit> hit;
     if (req.search.warmStart)
         hit = store_.lookup(fp);
@@ -296,7 +297,8 @@ MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
     // factory's fixed default.
     std::unique_ptr<exec::EvalEngine> engine;
     if (lane_pool) {
-        engine = std::make_unique<exec::EvalEngine>(eval, *lane_pool);
+        engine = std::make_unique<exec::EvalEngine>(eval, *lane_pool,
+                                                    req.search.eval);
         opts.engine = engine.get();
     }
     std::string method =

@@ -56,14 +56,14 @@ TEST(Objectives, ConstructorSelectsObjective)
     EXPECT_EQ(p->evaluator().objective(), Objective::Energy);
 }
 
-TEST(Objectives, DeprecatedSetObjectiveShimStillWorks)
+TEST(Objectives, ConstructedObjectiveMatchesFreshEvaluator)
 {
-    // Kept for one release; downstream callers may still mutate.
-    auto p = problem();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    p->evaluator().setObjective(Objective::Latency);
-#pragma GCC diagnostic pop
+    // The setObjective() shim is gone (deprecated for one release after
+    // the api/ redesign): an evaluator's objective is fixed at
+    // construction, so selecting one means building the evaluator with
+    // it — and that is equivalent to any other evaluator built with the
+    // same objective.
+    auto p = problem(3, Objective::Latency);
     EXPECT_EQ(p->evaluator().objective(), Objective::Latency);
     common::Rng rng(7);
     Mapping m = Mapping::random(20, p->evaluator().numAccels(), rng);
