@@ -61,6 +61,7 @@ main(int argc, char** argv)
                      common::CsvWriter::num(fp / fe)});
         }
     }
-    std::printf("\nSeries written to %s\n", args.outPath("ablation_bw_policy.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("ablation_bw_policy.csv").c_str());
     return 0;
 }

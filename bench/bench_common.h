@@ -1,6 +1,7 @@
 #ifndef MAGMA_BENCH_BENCH_COMMON_H_
 #define MAGMA_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -83,21 +84,43 @@ struct BenchArgs {
 inline void
 printHeader(const std::string& title)
 {
-    std::printf("==============================================================\n");
+    std::printf(
+        "==============================================================\n");
     std::printf("%s\n", title.c_str());
-    std::printf("==============================================================\n");
+    std::printf(
+        "==============================================================\n");
 }
 
 /**
+ * Version of the shared telemetry schema emitted as the "schema" field
+ * by beginTelemetry(), so CI tooling consuming the perf-smoke artifacts
+ * can detect layout changes instead of mis-parsing them. Bump when the
+ * top-level shape ({bench, config, metrics, samples}) changes.
+ */
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/**
  * Minimal JSON emitter for the shared bench telemetry schema
- *   { "bench": ..., "config": {...}, "metrics": {...}, "samples": [...] }
+ *   { "schema": 1, "bench": ..., "config": {...}, "metrics": {...},
+ *     "samples": [...] }
  * so every harness's --json output is consumed by the same CI tooling
  * (the perf-smoke artifact step). Purely append-only: call the key/value
  * helpers between begin/end pairs; commas are managed automatically.
+ * Strings are escaped (quotes, backslashes, control characters) and
+ * non-finite doubles are emitted as null, so the output is always valid
+ * JSON regardless of payload.
  */
 class JsonWriter {
   public:
     JsonWriter() { out_.reserve(1024); }
+
+    /** Open the telemetry root: '{' + schema/bench fields. */
+    void beginTelemetry(const std::string& bench)
+    {
+        beginObject();
+        field("schema", kTelemetrySchemaVersion);
+        field("bench", bench);
+    }
 
     void beginObject()
     {
@@ -140,6 +163,12 @@ class JsonWriter {
     void field(const std::string& k, double v)
     {
         key(k);
+        if (!std::isfinite(v)) {
+            // JSON has no inf/nan literals; "%.17g" would emit them and
+            // corrupt the artifact.
+            out_ += "null";
+            return;
+        }
         char buf[40];
         std::snprintf(buf, sizeof(buf), "%.17g", v);
         out_ += buf;
@@ -199,19 +228,28 @@ class JsonWriter {
         out_ += '"';
         for (char c : s) {
             switch (c) {
-              case '"':
+            case '"':
                 out_ += "\\\"";
                 break;
-              case '\\':
+            case '\\':
                 out_ += "\\\\";
                 break;
-              case '\n':
+            case '\n':
                 out_ += "\\n";
                 break;
-              case '\t':
+            case '\t':
                 out_ += "\\t";
                 break;
-              default:
+            case '\r':
+                out_ += "\\r";
+                break;
+            case '\b':
+                out_ += "\\b";
+                break;
+            case '\f':
+                out_ += "\\f";
+                break;
+            default:
                 if (static_cast<unsigned char>(c) < 0x20) {
                     char buf[8];
                     std::snprintf(buf, sizeof(buf), "\\u%04x", c);

@@ -123,6 +123,7 @@ main(int argc, char** argv)
                  common::CsvWriter::num(agg.bw_hb / agg.n),
                  common::CsvWriter::num(agg.bw_lb / agg.n)});
     }
-    std::printf("\nSeries written to %s\n", args.outPath("fig07_job_analysis.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("fig07_job_analysis.csv").c_str());
     return 0;
 }

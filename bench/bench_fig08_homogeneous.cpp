@@ -53,6 +53,7 @@ main(int argc, char** argv)
                 "(paper: 1.4x/1.41x), %.2fx vs black-box optimizers "
                 "(paper: 1.6x)\n",
                 common::geomean(vs_manual), common::geomean(vs_opt));
-    std::printf("Series written to %s\n", args.outPath("fig08_homogeneous.csv").c_str());
+    std::printf("Series written to %s\n",
+                args.outPath("fig08_homogeneous.csv").c_str());
     return 0;
 }

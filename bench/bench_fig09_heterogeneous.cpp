@@ -61,6 +61,7 @@ main(int argc, char** argv)
                     magma / bench::gflopsOf(runs, "RL A2C"),
                     magma / bench::gflopsOf(runs, "RL PPO2"));
     }
-    std::printf("\nSeries written to %s\n", args.outPath("fig09_heterogeneous.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("fig09_heterogeneous.csv").c_str());
     return 0;
 }

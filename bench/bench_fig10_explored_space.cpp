@@ -90,6 +90,7 @@ main(int argc, char** argv)
     std::printf("\nPCA explained variance: PC1 %.1f%%, PC2 %.1f%%\n",
                 100.0 * projector.explainedVariance()[0],
                 100.0 * projector.explainedVariance()[1]);
-    std::printf("Projected samples written to %s\n", args.outPath("fig10_explored_space.csv").c_str());
+    std::printf("Projected samples written to %s\n",
+                args.outPath("fig10_explored_space.csv").c_str());
     return 0;
 }

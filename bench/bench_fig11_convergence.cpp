@@ -68,6 +68,7 @@ main(int argc, char** argv)
             accel::Setting::S2, 16.0, args, csv);
     runCase("(b) Mix, S3, BW=16", dnn::TaskType::Mix, accel::Setting::S3,
             16.0, args, csv);
-    std::printf("\nSeries written to %s\n", args.outPath("fig11_convergence.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("fig11_convergence.csv").c_str());
     return 0;
 }

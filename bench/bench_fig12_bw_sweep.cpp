@@ -84,6 +84,7 @@ main(int argc, char** argv)
           {1.0, 4.0, 8.0, 16.0}, args, csv);
     sweep("(b) Mix, Large hetero (S4)", accel::Setting::S4,
           {1.0, 16.0, 64.0, 256.0}, args, csv);
-    std::printf("\nSeries written to %s\n", args.outPath("fig12_bw_sweep.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("fig12_bw_sweep.csv").c_str());
     return 0;
 }

@@ -117,6 +117,7 @@ main(int argc, char** argv)
         }
         std::printf("\n");
     }
-    std::printf("\nSeries written to %s\n", args.outPath("fig13_subaccel_combos.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("fig13_subaccel_combos.csv").c_str());
     return 0;
 }

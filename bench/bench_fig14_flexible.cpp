@@ -118,6 +118,7 @@ main(int argc, char** argv)
             }
         }
     }
-    std::printf("\nSeries written to %s\n", args.outPath("fig14_flexible.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("fig14_flexible.csv").c_str());
     return 0;
 }

@@ -67,6 +67,7 @@ main(int argc, char** argv)
     opt::SearchResult res = magma_opt->search(problem->evaluator(), opts);
     show("MAGMA", res.best, *problem, csv);
 
-    std::printf("\nSegments written to %s\n", args.outPath("fig15_solution_viz.csv").c_str());
+    std::printf("\nSegments written to %s\n",
+                args.outPath("fig15_solution_viz.csv").c_str());
     return 0;
 }

@@ -80,6 +80,7 @@ main(int argc, char** argv)
             accel::Setting::S2, args, csv);
     runCase("(b) Mix, S3, BW=16", dnn::TaskType::Mix, accel::Setting::S3,
             args, csv);
-    std::printf("\nSeries written to %s\n", args.outPath("fig16_operator_ablation.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("fig16_operator_ablation.csv").c_str());
     return 0;
 }

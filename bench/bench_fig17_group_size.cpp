@@ -44,6 +44,7 @@ main(int argc, char** argv)
         std::printf("  %-10d %12.1f %10.2f\n", sizes[i], gflops[i], norm);
         csv.rowNumeric({static_cast<double>(sizes[i]), gflops[i], norm});
     }
-    std::printf("\nSeries written to %s\n", args.outPath("fig17_group_size.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("fig17_group_size.csv").c_str());
     return 0;
 }

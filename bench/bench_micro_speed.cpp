@@ -20,7 +20,8 @@
  *                       single-thread throughput (CI floor: 1.2)
  *
  * --json emits the shared telemetry schema
- *   { "bench": "micro_speed", "config": {...}, "metrics": {...},
+ *   { "schema": 1, "bench": "micro_speed", "config": {...},
+ *     "metrics": {...},
  *     "samples": [ {name, mode, threads, evals_per_sec}, ... ] }
  */
 
@@ -211,8 +212,7 @@ main(int argc, char** argv)
             sched::Mapping::random(w.group, ev.numAccels(), rng));
 
     bench::JsonWriter json;
-    json.beginObject();
-    json.field("bench", "micro_speed");
+    json.beginTelemetry("micro_speed");
     json.beginObject("config");
     json.field("full", args.full);
     json.field("seed", args.seed);

@@ -117,6 +117,7 @@ main(int argc, char** argv)
                      std::to_string(r.warmServed)});
         }
     }
-    std::printf("\nSeries written to %s\n", args.outPath("serve_throughput.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("serve_throughput.csv").c_str());
     return 0;
 }

@@ -173,6 +173,7 @@ main(int argc, char** argv)
                  common::CsvWriter::num(common::mean(trf1_n)),
                  common::CsvWriter::num(common::mean(trf30_n)), "1"});
     }
-    std::printf("\nSeries written to %s\n", args.outPath("table05_warmstart.csv").c_str());
+    std::printf("\nSeries written to %s\n",
+                args.outPath("table05_warmstart.csv").c_str());
     return 0;
 }

@@ -8,7 +8,8 @@
  * Usage:
  *   m3e_cli [--spec FILE] [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
  *           [--bw GBPS] [--group N] [--budget N] [--seed N]
- *           [--method NAME | --all] [--objective NAME] [--flexible]
+ *           [--method NAME | --all] [--objective NAME]
+ *           [--objectives LIST] [--front-out FILE] [--flexible]
  *           [--timeline] [--threads N] [--eval flat|reference] [--stats]
  *           [--report FILE] [--list-methods]
  *
@@ -32,6 +33,14 @@
  * --stats prints the process-wide exec::CostCache counters (hits, misses,
  * entries) after the run — how much cost-model work memoization skipped.
  *
+ * --objectives LIST (comma-separated, e.g. "throughput,energy") switches
+ * to multi-objective mode: the method (which must implement
+ * mo::MultiObjective, e.g. --method nsga2) searches for the whole Pareto
+ * front in one run, scoring every objective from a single simulation per
+ * candidate. The front is printed as a table; --front-out FILE persists
+ * it as a "magma-pareto-front v1" artifact (round-trip-verified, like
+ * --report) that ParetoArchive::load can reload for warm starts.
+ *
  * Method names are registry names or aliases ("MAGMA", "Herald-like",
  * "stdGA", "cma-es", "ppo2", ...). Objectives: throughput latency energy
  * edp perf-per-watt.
@@ -49,6 +58,7 @@
 #include "api/runner.h"
 #include "exec/cost_cache.h"
 #include "m3e/factory.h"
+#include "mo/pareto.h"
 
 using namespace magma;
 
@@ -60,6 +70,7 @@ struct CliArgs {
     bool timeline = false;
     bool stats = false;
     std::string reportPath;
+    std::string frontPath;
 };
 
 /** Parse via fn, mapping std::invalid_argument to a usage error. */
@@ -132,6 +143,11 @@ parse(int argc, char** argv)
         else if (flag == "--objective")
             a.exp.search.objective =
                 parseOrDie(sched::objectiveFromName, need(i++));
+        else if (flag == "--objectives")
+            a.exp.search.objectives =
+                parseOrDie(sched::objectiveListFromName, need(i++));
+        else if (flag == "--front-out")
+            a.frontPath = need(i++);
         else if (flag == "--all")
             a.all = true;
         else if (flag == "--flexible")
@@ -158,15 +174,43 @@ parse(int argc, char** argv)
     return a;
 }
 
+/** Front table + hypervolume print for multi-objective runs. */
+void
+printFront(const api::RunReport& rep)
+{
+    const auto& objectives = rep.search.objectives;
+    std::printf("\nPareto front: %zu points (%s)\n", rep.front.size(),
+                sched::objectiveListName(objectives).c_str());
+    std::printf("%5s", "point");
+    for (sched::Objective o : objectives)
+        std::printf("  %22s", sched::objectiveName(o).c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < rep.front.size(); ++i) {
+        std::printf("%5zu", i);
+        for (double v : rep.front[i].objs)
+            std::printf("  %22.6g", v);
+        std::printf("\n");
+    }
+    mo::ObjectiveVector origin(objectives.size(), 0.0);
+    std::printf("hypervolume (origin ref): %.6g\n",
+                rep.frontArchive().hypervolume(origin));
+}
+
 api::RunReport
 runOne(api::Runner& runner, const api::ExperimentSpec& exp,
        const CliArgs& args)
 {
     api::RunReport rep = runner.run(exp);
     std::printf("%s\n", rep.summaryLine().c_str());
+    if (!rep.front.empty())
+        printFront(rep);
     if (args.timeline) {
-        m3e::Problem& problem =
-            runner.problem(exp.problem, exp.search.objective);
+        // Key the problem cache the way the run did: on the primary
+        // objective in multi-objective mode.
+        m3e::Problem& problem = runner.problem(
+            exp.problem, exp.search.objectives.empty()
+                             ? exp.search.objective
+                             : exp.search.objectives[0]);
         sched::ScheduleResult sim =
             problem.evaluator().evaluate(rep.best, true);
         analysis::TimelineExporter tl(sim, problem.group(),
@@ -202,6 +246,25 @@ writeReport(const api::RunReport& rep, const std::string& path)
     std::printf("report round-trip OK: %s\n", path.c_str());
 }
 
+/** Persist the Pareto front and verify it reloads bitwise. */
+void
+writeFront(const api::RunReport& rep, const std::string& path)
+{
+    mo::ParetoArchive arch = rep.frontArchive();
+    try {
+        arch.save(path);
+        if (!(mo::ParetoArchive::load(path) == arch)) {
+            std::fprintf(stderr, "front round-trip FAILED: %s\n",
+                         path.c_str());
+            std::exit(1);
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "--front-out: %s\n", e.what());
+        std::exit(1);
+    }
+    std::printf("front round-trip OK: %s\n", path.c_str());
+}
+
 }  // namespace
 
 int
@@ -211,25 +274,37 @@ main(int argc, char** argv)
     api::Runner runner;
 
     const api::ProblemSpec& ps = args.exp.problem;
-    m3e::Problem& problem =
-        runner.problem(ps, args.exp.search.objective);
+    const api::SearchSpec& ss = args.exp.search;
+    // Multi-objective runs fix the evaluator on the primary objective.
+    sched::Objective header_obj =
+        ss.objectives.empty() ? ss.objective : ss.objectives[0];
+    std::string obj_label = ss.objectives.empty()
+                                ? sched::objectiveName(ss.objective)
+                                : sched::objectiveListName(ss.objectives);
+    m3e::Problem& problem = runner.problem(ps, header_obj);
     std::printf("%s (%s), task %s, BW %g GB/s, group %d, budget %lld, "
                 "objective %s\n",
                 problem.platform().name.c_str(),
                 problem.platform().description.c_str(),
                 dnn::taskTypeName(ps.task).c_str(), ps.systemBwGbps,
-                ps.groupSize,
-                static_cast<long long>(args.exp.search.sampleBudget),
-                sched::objectiveName(args.exp.search.objective).c_str());
+                ps.groupSize, static_cast<long long>(ss.sampleBudget),
+                obj_label.c_str());
     std::printf("peak %.0f GFLOP/s, group total %.2f GFLOPs\n\n",
                 problem.platform().peakGflops(),
                 problem.group().totalFlops() / 1e9);
 
     api::RunReport last;
     if (args.all) {
-        if (!args.reportPath.empty()) {
+        if (!args.reportPath.empty() || !args.frontPath.empty()) {
+            std::fprintf(stderr, "--report/--front-out need a single "
+                                 "--method (not --all)\n");
+            return 2;
+        }
+        if (!args.exp.search.objectives.empty()) {
             std::fprintf(stderr,
-                         "--report needs a single --method (not --all)\n");
+                         "--objectives needs a multi-objective --method "
+                         "(not --all; the Table IV line-up is "
+                         "single-objective)\n");
             return 2;
         }
         for (m3e::Method m : m3e::paperMethods()) {
@@ -238,6 +313,11 @@ main(int argc, char** argv)
             runOne(runner, exp, args);
         }
     } else {
+        if (!args.frontPath.empty() && ss.objectives.empty()) {
+            std::fprintf(stderr, "--front-out needs --objectives (a "
+                                 "single-objective run has no front)\n");
+            return 2;
+        }
         try {
             last = runOne(runner, args.exp, args);
         } catch (const std::invalid_argument& e) {
@@ -246,6 +326,8 @@ main(int argc, char** argv)
         }
         if (!args.reportPath.empty())
             writeReport(last, args.reportPath);
+        if (!args.frontPath.empty())
+            writeFront(last, args.frontPath);
     }
 
     if (args.stats) {

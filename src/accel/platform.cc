@@ -9,12 +9,12 @@ std::string
 settingName(Setting s)
 {
     switch (s) {
-      case Setting::S1: return "S1";
-      case Setting::S2: return "S2";
-      case Setting::S3: return "S3";
-      case Setting::S4: return "S4";
-      case Setting::S5: return "S5";
-      case Setting::S6: return "S6";
+    case Setting::S1: return "S1";
+    case Setting::S2: return "S2";
+    case Setting::S3: return "S3";
+    case Setting::S4: return "S4";
+    case Setting::S5: return "S5";
+    case Setting::S6: return "S6";
     }
     return "?";
 }
@@ -55,32 +55,32 @@ makeSetting(Setting s, double system_bw_gbps)
     };
     using cost::DataflowStyle;
     switch (s) {
-      case Setting::S1:
+    case Setting::S1:
         p.description = "Small Homog";
         add(DataflowStyle::HB, 32, 146, 4);
         break;
-      case Setting::S2:
+    case Setting::S2:
         p.description = "Small Hetero";
         add(DataflowStyle::HB, 32, 146, 3);
         add(DataflowStyle::LB, 32, 110, 1);
         break;
-      case Setting::S3:
+    case Setting::S3:
         p.description = "Large Homog";
         add(DataflowStyle::HB, 128, 580, 8);
         break;
-      case Setting::S4:
+    case Setting::S4:
         p.description = "Large Hetero";
         add(DataflowStyle::HB, 128, 580, 7);
         add(DataflowStyle::LB, 128, 434, 1);
         break;
-      case Setting::S5:
+    case Setting::S5:
         p.description = "Large Hetero BigLittle";
         add(DataflowStyle::HB, 128, 580, 3);
         add(DataflowStyle::LB, 128, 434, 1);
         add(DataflowStyle::HB, 64, 291, 3);
         add(DataflowStyle::LB, 64, 218, 1);
         break;
-      case Setting::S6:
+    case Setting::S6:
         p.description = "Large Scale-up";
         add(DataflowStyle::HB, 128, 580, 7);
         add(DataflowStyle::LB, 128, 434, 1);

@@ -18,13 +18,13 @@ char
 TimelineExporter::taskGlyph(int job) const
 {
     switch (group_->jobs[job].task) {
-      case dnn::TaskType::Vision:
+    case dnn::TaskType::Vision:
         return 'V';
-      case dnn::TaskType::Language:
+    case dnn::TaskType::Language:
         return 'L';
-      case dnn::TaskType::Recommendation:
+    case dnn::TaskType::Recommendation:
         return 'R';
-      default:
+    default:
         return '?';
     }
 }

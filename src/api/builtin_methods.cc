@@ -13,6 +13,7 @@
 
 #include "baselines/ai_mt_like.h"
 #include "baselines/herald_like.h"
+#include "mo/nsga2.h"
 #include "opt/cma_es.h"
 #include "opt/de.h"
 #include "opt/magma_ga.h"
@@ -53,6 +54,10 @@ registerBuiltinOptimizers(OptimizerRegistry& registry)
     registry.add("MAGMA", {"magma-ga"}, simple<opt::MagmaGa>());
     registry.add("Random", {"random-search"},
                  simple<opt::RandomSearch>());
+    // Appended after the Table IV line-up so the paper-order prefix of
+    // names() is preserved. The only built-in mo::MultiObjective method:
+    // SearchSpec `objectives=` dispatches to its Pareto search.
+    registry.add("NSGA-II", {"nsga2", "nsga-ii"}, simple<mo::Nsga2>());
 }
 
 }  // namespace magma::api::detail

@@ -6,6 +6,7 @@
 
 #include "api/registry.h"
 #include "api/textio.h"
+#include "mo/nsga2.h"
 
 namespace magma::api {
 
@@ -56,6 +57,8 @@ RunReport::toText() const
        << "wall_seconds=" << formatDouble(wallSeconds) << '\n'
        << "mapping=" << best.toText() << '\n'
        << "convergence=" << joinDoubles(convergence) << '\n';
+    for (const mo::MoPoint& p : front)
+        os << "front_point=" << p.toText() << '\n';
     return os.str();
 }
 
@@ -92,6 +95,8 @@ RunReport::fromText(const std::string& text)
                 r.best = sched::Mapping::fromText(v);
             else if (k == "convergence")
                 r.convergence = splitDoubles(k, v);
+            else if (k == "front_point")
+                r.front.push_back(mo::MoPoint::fromText(v));
             else
                 throw std::invalid_argument(
                     "RunReport: unknown key '" + k + "'");
@@ -111,6 +116,11 @@ RunReport::csvHeader()
 std::string
 RunReport::csvRow() const
 {
+    // In multi-objective mode bestFitness is the PRIMARY objective
+    // (objectives[0]); label it as such, not with the ignored scalar key.
+    sched::Objective reported = search.objectives.empty()
+                                    ? search.objective
+                                    : search.objectives[0];
     std::ostringstream os;
     os << dnn::taskTypeName(problem.task) << ','
        << accel::settingName(problem.setting) << ','
@@ -118,7 +128,7 @@ RunReport::csvRow() const
        << formatDouble(problem.systemBwGbps) << ',' << problem.groupSize
        << ',' << sched::bwPolicyName(problem.bwPolicy) << ','
        << problem.workloadSeed << ',' << method << ','
-       << sched::objectiveName(search.objective) << ','
+       << sched::objectiveName(reported) << ','
        << search.sampleBudget << ',' << search.seed << ','
        << search.threads << ',' << formatDouble(bestFitness) << ','
        << formatDouble(makespanSeconds) << ','
@@ -129,14 +139,45 @@ RunReport::csvRow() const
 }
 
 std::string
+RunReport::frontCsv() const
+{
+    if (front.empty())
+        return "";
+    std::ostringstream os;
+    os << "point";
+    for (sched::Objective o : search.objectives)
+        os << ',' << sched::objectiveName(o);
+    os << ",mapping\n";
+    for (size_t i = 0; i < front.size(); ++i) {
+        os << i;
+        for (double v : front[i].objs)
+            os << ',' << formatDouble(v);
+        os << ',' << front[i].m.toText() << '\n';
+    }
+    return os.str();
+}
+
+mo::ParetoArchive
+RunReport::frontArchive() const
+{
+    mo::ParetoArchive arch(search.objectives);
+    for (const mo::MoPoint& p : front)
+        arch.insert(p);
+    return arch;
+}
+
+std::string
 RunReport::summaryLine() const
 {
+    sched::Objective reported = search.objectives.empty()
+                                    ? search.objective
+                                    : search.objectives[0];
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "%-14s fitness %12.3f (%s)   throughput %9.2f GFLOP/s   "
                   "makespan %.4g s   samples %lld",
                   method.c_str(), bestFitness,
-                  sched::objectiveName(search.objective).c_str(),
+                  sched::objectiveName(reported).c_str(),
                   throughputGflops, makespanSeconds,
                   static_cast<long long>(samplesUsed));
     return buf;
@@ -175,7 +216,14 @@ RunReport
 Runner::run(const ProblemSpec& ps, const SearchSpec& ss,
             opt::SearchResult* raw)
 {
-    m3e::Problem& prob = problem(ps, ss.objective);
+    // Multi-objective mode: the evaluator is fixed on the PRIMARY
+    // objective (entry 0) so scalar summaries — bestFitness, samples on
+    // the shared meter — read consistently; the search itself scores
+    // all objectives from one simulation per candidate.
+    const bool multi = !ss.objectives.empty();
+    sched::Objective primary = multi ? ss.objectives[0] : ss.objective;
+
+    m3e::Problem& prob = problem(ps, primary);
     sched::MappingEvaluator& eval = prob.evaluator();
 
     std::unique_ptr<opt::Optimizer> optimizer =
@@ -188,6 +236,48 @@ Runner::run(const ProblemSpec& ps, const SearchSpec& ss,
     opts.recordConvergence = ss.recordConvergence;
     opts.recordSamples = ss.recordSamples;
 
+    RunReport rep;
+    rep.problem = ps;
+    rep.search = ss;
+    rep.method = optimizer->name();
+
+    if (multi) {
+        auto* mo_method = dynamic_cast<mo::MultiObjective*>(optimizer.get());
+        if (!mo_method)
+            throw std::invalid_argument(
+                "method '" + rep.method +
+                "' is single-objective; a SearchSpec with objectives= "
+                "needs a mo::MultiObjective method (e.g. method=nsga2)");
+
+        auto t0 = std::chrono::steady_clock::now();
+        mo::MoSearchResult res =
+            mo_method->searchMo(eval, ss.objectives, opts);
+        rep.wallSeconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+        rep.front = res.front.points();
+        rep.samplesUsed = res.samplesUsed;
+        // `best` is the front member maximizing the primary objective
+        // (first wins ties — insertion order is deterministic).
+        if (!rep.front.empty()) {
+            size_t bi = 0;
+            for (size_t i = 1; i < rep.front.size(); ++i)
+                if (rep.front[i].objs[0] > rep.front[bi].objs[0])
+                    bi = i;
+            rep.best = rep.front[bi].m;
+            rep.bestFitness = rep.front[bi].objs[0];
+            sched::ScheduleResult sim = eval.evaluate(rep.best);
+            rep.makespanSeconds = sim.makespanSeconds;
+            rep.throughputGflops =
+                eval.throughputGflops(sim.makespanSeconds);
+            rep.energyJoules = eval.totalJoules(rep.best);
+        }
+        if (raw)
+            *raw = opt::SearchResult{};
+        return rep;
+    }
+
     auto t0 = std::chrono::steady_clock::now();
     opt::SearchResult res = optimizer->search(eval, opts);
     double wall = std::chrono::duration<double>(
@@ -196,10 +286,6 @@ Runner::run(const ProblemSpec& ps, const SearchSpec& ss,
 
     sched::ScheduleResult sim = eval.evaluate(res.best);
 
-    RunReport rep;
-    rep.problem = ps;
-    rep.search = ss;
-    rep.method = optimizer->name();
     rep.best = res.best;
     rep.bestFitness = res.bestFitness;
     rep.makespanSeconds = sim.makespanSeconds;

@@ -7,6 +7,7 @@
 
 #include "api/spec.h"
 #include "m3e/problem.h"
+#include "mo/pareto.h"
 #include "opt/optimizer.h"
 
 namespace magma::api {
@@ -36,6 +37,15 @@ struct RunReport {
     double wallSeconds = 0.0;
     /** best-so-far fitness per sample (when search.recordConvergence). */
     std::vector<double> convergence;
+    /**
+     * Pareto front of search.objectives (multi-objective runs only;
+     * empty on the scalar path): mutually non-dominated points in
+     * archive insertion order, each carrying its mapping and one
+     * objective value per search.objectives entry. `best` is the member
+     * maximizing the primary objective. Serialized as one front_point=
+     * line per member; round-trips bitwise like every other field.
+     */
+    std::vector<mo::MoPoint> front;
 
     std::string toText() const;
     /** Exact inverse of toText(); throws std::invalid_argument. */
@@ -43,6 +53,16 @@ struct RunReport {
 
     static std::string csvHeader();
     std::string csvRow() const;
+
+    /**
+     * CSV of the Pareto front: "point,<objective names...>,mapping"
+     * header plus one row per front member — the spreadsheet form of
+     * the trade-off curve. Empty string when there is no front.
+     */
+    std::string frontCsv() const;
+
+    /** Front as a persistable archive (objectives from the spec). */
+    mo::ParetoArchive frontArchive() const;
 
     /** One human-readable result line for CLIs and logs. */
     std::string summaryLine() const;

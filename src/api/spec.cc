@@ -68,6 +68,7 @@ SearchSpec::toText() const
     std::ostringstream os;
     os << "method=" << method << '\n'
        << "objective=" << sched::objectiveName(objective) << '\n'
+       << "objectives=" << sched::objectiveListName(objectives) << '\n'
        << "sample_budget=" << sampleBudget << '\n'
        << "seed=" << seed << '\n'
        << "threads=" << threads << '\n'
@@ -85,6 +86,8 @@ SearchSpec::applyKey(const std::string& key, const std::string& value)
         method = value;
     else if (key == "objective")
         objective = sched::objectiveFromName(value);
+    else if (key == "objectives")
+        objectives = sched::objectiveListFromName(value);
     else if (key == "sample_budget")
         sampleBudget = parseInt(key, value);
     else if (key == "seed")

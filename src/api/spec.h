@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "accel/platform.h"
 #include "dnn/model.h"
@@ -49,12 +50,21 @@ struct ProblemSpec {
  * OptimizerRegistry name or alias), optimizing what, under which budget
  * and seed. Same text discipline as ProblemSpec.
  *
- * Keys: method, objective, sample_budget, seed, threads, eval,
- * record_convergence, record_samples, warm_start.
+ * Keys: method, objective, objectives, sample_budget, seed, threads,
+ * eval, record_convergence, record_samples, warm_start.
  */
 struct SearchSpec {
     std::string method = "MAGMA";  ///< registry name or alias
     sched::Objective objective = sched::Objective::Throughput;
+    /**
+     * Multi-objective mode: a non-empty list ("objectives=throughput,
+     * energy") makes the Runner search for the Pareto front of ALL
+     * listed objectives at once (the method must implement
+     * mo::MultiObjective, e.g. method=nsga2); entry 0 is the primary
+     * used for scalar summaries, and the scalar `objective` key is
+     * ignored. Empty (default) keeps the classic single-objective path.
+     */
+    std::vector<sched::Objective> objectives;
     int64_t sampleBudget = 10000;  ///< paper's main-experiment budget
     uint64_t seed = 1;             ///< optimizer seed
     int threads = 1;  ///< evaluation lanes (0 = auto, see SearchOptions)

@@ -8,33 +8,21 @@
 #include <string>
 #include <string_view>
 
+#include "common/textnum.h"
+
 namespace magma::api::textio {
 
 /**
  * Shared key=value text discipline of the declarative artifacts
  * (ProblemSpec / SearchSpec / ExperimentSpec / RunReport): one field per
  * line, doubles printed at full precision so that fromText(toText(x))
- * round-trips bitwise — the same rule Mapping::toText established.
+ * round-trips bitwise — the same rule Mapping::toText established. The
+ * double format pair itself lives in common/textnum.h (also used by
+ * mo::ParetoArchive).
  */
 
-/** %.17g — shortest form that strtod parses back bitwise. */
-inline std::string
-formatDouble(double v)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
-}
-
-inline double
-parseDouble(const std::string& key, const std::string& value)
-{
-    char* end = nullptr;
-    double v = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0')
-        throw std::invalid_argument(key + ": bad number '" + value + "'");
-    return v;
-}
+using common::formatDouble;
+using common::parseDouble;
 
 inline int64_t
 parseInt(const std::string& key, const std::string& value)

@@ -44,7 +44,10 @@ class Rng {
     double gauss() { return normal_(engine_); }
 
     /** Normal draw with given mean and standard deviation. */
-    double gauss(double mean, double stddev) { return mean + stddev * gauss(); }
+    double gauss(double mean, double stddev)
+    {
+        return mean + stddev * gauss();
+    }
 
     /** Bernoulli draw with probability p of true. */
     bool bernoulli(double p) { return uniform() < p; }

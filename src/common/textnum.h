@@ -1,0 +1,40 @@
+#ifndef MAGMA_COMMON_TEXTNUM_H_
+#define MAGMA_COMMON_TEXTNUM_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace magma::common {
+
+/**
+ * The repo-wide bitwise text discipline for doubles, shared by every
+ * persistent artifact (Mapping, specs/reports in api/textio.h, the
+ * serve-layer MappingStore, mo::ParetoArchive): print with "%.17g" —
+ * the shortest form strtod parses back to the identical bit pattern —
+ * and validate on parse. One definition so a precision or locale fix
+ * lands everywhere at once.
+ */
+inline std::string
+formatDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Parse a formatDouble() token; `what` names the field in errors. */
+inline double
+parseDouble(const std::string& what, const std::string& value)
+{
+    char* end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        throw std::invalid_argument(what + ": bad number '" + value + "'");
+    return v;
+}
+
+}  // namespace magma::common
+
+#endif  // MAGMA_COMMON_TEXTNUM_H_

@@ -8,13 +8,13 @@ std::string
 layerTypeName(LayerType t)
 {
     switch (t) {
-      case LayerType::Conv2d:
+    case LayerType::Conv2d:
         return "CONV";
-      case LayerType::DepthwiseConv2d:
+    case LayerType::DepthwiseConv2d:
         return "DWCONV";
-      case LayerType::PointwiseConv2d:
+    case LayerType::PointwiseConv2d:
         return "PWCONV";
-      case LayerType::FullyConnected:
+    case LayerType::FullyConnected:
         return "FC";
     }
     return "?";

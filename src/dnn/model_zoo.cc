@@ -8,13 +8,13 @@ std::string
 taskTypeName(TaskType t)
 {
     switch (t) {
-      case TaskType::Vision:
+    case TaskType::Vision:
         return "Vision";
-      case TaskType::Language:
+    case TaskType::Language:
         return "Lang";
-      case TaskType::Recommendation:
+    case TaskType::Recommendation:
         return "Recom";
-      case TaskType::Mix:
+    case TaskType::Mix:
         return "Mix";
     }
     return "?";
@@ -46,13 +46,13 @@ std::vector<Model>
 modelsForTask(TaskType t)
 {
     switch (t) {
-      case TaskType::Vision:
+    case TaskType::Vision:
         return visionModels();
-      case TaskType::Language:
+    case TaskType::Language:
         return languageModels();
-      case TaskType::Recommendation:
+    case TaskType::Recommendation:
         return recomModels();
-      case TaskType::Mix:
+    case TaskType::Mix:
         return allModels();
     }
     return {};

@@ -17,13 +17,13 @@ int
 defaultBatch(TaskType t)
 {
     switch (t) {
-      case TaskType::Vision:
+    case TaskType::Vision:
         return 4;    // images per mini-batch
-      case TaskType::Language:
+    case TaskType::Language:
         return 128;  // tokens per chunk
-      case TaskType::Recommendation:
+    case TaskType::Recommendation:
         return 4;    // request mini-batch
-      case TaskType::Mix:
+    case TaskType::Mix:
         return 4;
     }
     return 1;

@@ -27,6 +27,36 @@ EvalEngine::evaluateBatch(const sched::Mapping* batch, size_t count) const
     return fitness;
 }
 
+std::vector<sched::SimPoint>
+EvalEngine::simulateBatch(const sched::Mapping* batch, size_t count) const
+{
+    std::vector<sched::SimPoint> out(count);
+    if (flat_) {
+        auto one = [this](const sched::Mapping& m, sched::EvalScratch& s) {
+            eval_->countSample();
+            flat_->simulate(m, s, false);
+            return sched::SimPoint{s.makespanSeconds(),
+                                   flat_->totalJoules(m)};
+        };
+        if (pool_->numThreads() == 1) {
+            sched::EvalScratch& s = scratch_[0];
+            for (size_t i = 0; i < count; ++i)
+                out[i] = one(batch[i], s);
+        } else {
+            pool_->parallelForLane(
+                static_cast<int64_t>(count), [&](int lane, int64_t i) {
+                    out[i] = one(batch[i], scratch_[lane]);
+                });
+        }
+    } else {
+        pool_->parallelFor(static_cast<int64_t>(count), [&](int64_t i) {
+            sched::ScheduleResult r = eval_->evaluate(batch[i]);
+            out[i] = {r.makespanSeconds, eval_->totalJoules(batch[i])};
+        });
+    }
+    return out;
+}
+
 double
 EvalEngine::fitnessOne(const sched::Mapping& m) const
 {

@@ -89,6 +89,25 @@ class EvalEngine {
     }
 
     /**
+     * Makespan + total energy of `batch[first..first+count)` from ONE
+     * schedule simulation per candidate, in submission order — the
+     * substrate of mo::VectorFitness: every Section IV-C objective is a
+     * closed-form function of the (makespan, joules) pair
+     * (sched::objectiveFromSimulation), so a whole objective vector
+     * costs a single simulation instead of one per objective. Counts one
+     * sample per candidate, exactly like evaluateBatch; the makespans
+     * are bitwise identical across kernels and thread counts.
+     */
+    std::vector<sched::SimPoint> simulateBatch(const sched::Mapping* batch,
+                                               size_t count) const;
+
+    std::vector<sched::SimPoint> simulateBatch(
+        const std::vector<sched::Mapping>& batch) const
+    {
+        return simulateBatch(batch.data(), batch.size());
+    }
+
+    /**
      * Score a single candidate through the engine's kernel on the
      * calling thread (lane 0) — the serial path of SearchRecorder when a
      * flat engine exists. Counts one sample. Must not be called while a

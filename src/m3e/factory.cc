@@ -26,17 +26,17 @@ std::string
 methodName(Method m)
 {
     switch (m) {
-      case Method::HeraldLike: return "Herald-like";
-      case Method::AiMtLike:   return "AI-MT-like";
-      case Method::Pso:        return "PSO";
-      case Method::Cma:        return "CMA";
-      case Method::De:         return "DE";
-      case Method::Tbpsa:      return "TBPSA";
-      case Method::StdGa:      return "stdGA";
-      case Method::RlA2c:      return "RL A2C";
-      case Method::RlPpo2:     return "RL PPO2";
-      case Method::Magma:      return "MAGMA";
-      case Method::Random:     return "Random";
+    case Method::HeraldLike: return "Herald-like";
+    case Method::AiMtLike:   return "AI-MT-like";
+    case Method::Pso:        return "PSO";
+    case Method::Cma:        return "CMA";
+    case Method::De:         return "DE";
+    case Method::Tbpsa:      return "TBPSA";
+    case Method::StdGa:      return "stdGA";
+    case Method::RlA2c:      return "RL A2C";
+    case Method::RlPpo2:     return "RL PPO2";
+    case Method::Magma:      return "MAGMA";
+    case Method::Random:     return "Random";
     }
     return "?";
 }

@@ -1,0 +1,141 @@
+#ifndef MAGMA_MO_PARETO_H_
+#define MAGMA_MO_PARETO_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sched/evaluator.h"
+#include "sched/mapping.h"
+
+namespace magma::mo {
+
+/**
+ * Objective values of one candidate, in the run's requested objective
+ * order. Every objective is a maximization quantity (the Section IV-C
+ * convention all scalar optimizers already follow), so Pareto dominance
+ * is uniformly ">= everywhere, > somewhere".
+ */
+using ObjectiveVector = std::vector<double>;
+
+/**
+ * One candidate on (or competing for) a Pareto front: the encoded
+ * mapping plus its objective vector.
+ *
+ * Text form: "%.17g"-printed objective values, " ; ", then the
+ * Mapping::toText line — so fromText(toText(p)) == p bitwise, the same
+ * discipline every persistent artifact in the repo follows.
+ */
+struct MoPoint {
+    sched::Mapping m;
+    ObjectiveVector objs;
+
+    std::string toText() const;
+    /** Exact inverse of toText(); throws std::invalid_argument. */
+    static MoPoint fromText(const std::string& line);
+
+    bool operator==(const MoPoint&) const = default;
+};
+
+/** a Pareto-dominates b: >= in every objective, > in at least one. */
+bool dominates(const ObjectiveVector& a, const ObjectiveVector& b);
+
+/** a weakly dominates b: >= in every objective (equality included). */
+bool weaklyDominates(const ObjectiveVector& a, const ObjectiveVector& b);
+
+/**
+ * Fast non-dominated sort (Deb et al. 2002): returns rank[i] per point,
+ * 0 for the first (non-dominated) front, 1 for the front after removing
+ * rank 0, and so on. Deterministic — ranks depend only on the values.
+ */
+std::vector<int> nonDominatedRanks(const std::vector<ObjectiveVector>& objs);
+
+/**
+ * NSGA-II crowding distance of the points `front` (indices into `objs`)
+ * within their front. Boundary points per objective get +infinity; ties
+ * in the per-objective sorts break stably on index, so the result is
+ * deterministic at any thread count.
+ */
+std::vector<double> crowdingDistances(
+    const std::vector<ObjectiveVector>& objs, const std::vector<int>& front);
+
+/**
+ * Bounded non-dominated archive — the persistent product of a
+ * multi-objective search. Maintains the invariant that members are
+ * mutually non-dominated: an offered point is rejected when a member
+ * weakly dominates it (duplicates included), and on acceptance evicts
+ * every member it dominates. When `capacity > 0` and the archive
+ * overflows, the member with the smallest crowding distance is dropped
+ * (ties: the youngest, i.e. highest index), preserving front spread.
+ *
+ * Text form ("magma-pareto-front v1" header, objectives/capacity keys,
+ * one point= line per member in insertion order) round-trips bitwise,
+ * so fronts persist across runs the way RunReports and the serve-layer
+ * MappingStore do — and seedMappings() turns a reloaded front into
+ * SearchOptions::seeds / serve warm starts.
+ */
+class ParetoArchive {
+  public:
+    ParetoArchive() = default;
+    explicit ParetoArchive(std::vector<sched::Objective> objectives,
+                           size_t capacity = 0)
+        : objectives_(std::move(objectives)), capacity_(capacity)
+    {}
+
+    const std::vector<sched::Objective>& objectives() const
+    {
+        return objectives_;
+    }
+    /** 0 means unbounded. */
+    size_t capacity() const { return capacity_; }
+    const std::vector<MoPoint>& points() const { return points_; }
+    size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+    /**
+     * Offer a candidate; returns true when it joined the archive. The
+     * objective vector's arity must match objectives() (checked).
+     */
+    bool insert(MoPoint p);
+
+    /** Member mappings, insertion order — warm-start seed material. */
+    std::vector<sched::Mapping> seedMappings() const;
+
+    /**
+     * Hypervolume (maximization): Lebesgue measure of the union of boxes
+     * [ref, p] over members p, computed exactly by recursive slicing on
+     * the last objective. Members not strictly better than `ref` in
+     * every objective contribute nothing. `ref` must have the archive's
+     * arity.
+     */
+    double hypervolume(const ObjectiveVector& ref) const;
+
+    /**
+     * Additive epsilon indicator I_eps(A, B) for maximization: the
+     * smallest eps such that every point of B is weakly dominated by
+     * some point of A after adding eps to all of A's objectives. <= 0
+     * means A already covers B; symmetric calls compare two fronts.
+     */
+    static double epsilonIndicator(const std::vector<ObjectiveVector>& a,
+                                   const std::vector<ObjectiveVector>& b);
+
+    std::string toText() const;
+    /** Exact inverse of toText(); throws std::invalid_argument. */
+    static ParetoArchive fromText(const std::string& text);
+
+    /** Write toText() to `path`; throws std::runtime_error on failure. */
+    void save(const std::string& path) const;
+    /** Parse a save()d file; throws std::runtime_error if unreadable. */
+    static ParetoArchive load(const std::string& path);
+
+    bool operator==(const ParetoArchive&) const = default;
+
+  private:
+    std::vector<sched::Objective> objectives_;
+    size_t capacity_ = 0;
+    std::vector<MoPoint> points_;
+};
+
+}  // namespace magma::mo
+
+#endif  // MAGMA_MO_PARETO_H_

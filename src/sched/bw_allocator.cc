@@ -12,9 +12,9 @@ std::string
 bwPolicyName(BwPolicy p)
 {
     switch (p) {
-      case BwPolicy::Proportional:
+    case BwPolicy::Proportional:
         return "proportional";
-      case BwPolicy::EvenSplit:
+    case BwPolicy::EvenSplit:
         return "even-split";
     }
     return "?";

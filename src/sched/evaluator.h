@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "accel/platform.h"
 #include "cost/cost_model.h"
@@ -40,6 +41,47 @@ std::string objectiveName(Objective o);
  * CLI spellings "edp" and "perf-per-watt"; throws std::invalid_argument.
  */
 Objective objectiveFromName(const std::string& name);
+
+/**
+ * Comma-joined objectiveName() list ("throughput,energy"), the value
+ * form of the api::SearchSpec `objectives` key and the mo:: front
+ * artifacts. Empty list -> empty string.
+ */
+std::string objectiveListName(const std::vector<Objective>& objectives);
+
+/**
+ * Parse an objectiveListName() (short spellings allowed per element);
+ * empty/blank input yields an empty list. Throws std::invalid_argument
+ * on any bad element.
+ */
+std::vector<Objective> objectiveListFromName(const std::string& names);
+
+/**
+ * Makespan + total energy of one simulated schedule — the pair every
+ * Section IV-C objective is a closed-form function of. Produced in bulk
+ * by exec::EvalEngine::simulateBatch so the multi-objective layer
+ * (src/mo/) extracts a whole vector of objectives from a single
+ * simulation instead of re-simulating per objective.
+ */
+struct SimPoint {
+    double makespanSeconds = 0.0;
+    double joules = 0.0;
+};
+
+/**
+ * Objective value from one simulated schedule's makespan and energy —
+ * the single formula switch shared by MappingEvaluator::objectiveValue,
+ * FlatEvaluator::objectiveValue and mo::VectorFitness, so the three
+ * paths cannot drift: extracting objective `o` from a SimPoint is
+ * bitwise equal to the scalar fitness of an evaluator fixed on `o`.
+ * `joules` is only read by the energy-bearing objectives, so scalar hot
+ * paths pass 0.0 for Throughput/Latency and skip the energy sum.
+ */
+double objectiveFromSimulation(Objective o, double makespan_seconds,
+                               double joules, int64_t total_flops);
+
+/** Whether `o`'s formula reads the energy term (joules). */
+bool objectiveNeedsEnergy(Objective o);
 
 /**
  * The M3E evaluation phase in one object (Fig. 3): decoder -> BW allocator

@@ -12,9 +12,9 @@ std::string
 evalModeName(EvalMode m)
 {
     switch (m) {
-      case EvalMode::Flat:
+    case EvalMode::Flat:
         return "flat";
-      case EvalMode::Reference:
+    case EvalMode::Reference:
         return "reference";
     }
     return "?";
@@ -279,25 +279,10 @@ FlatEvaluator::totalJoules(const Mapping& m) const
 double
 FlatEvaluator::objectiveValue(const Mapping& m, const EvalScratch& s) const
 {
-    double seconds = s.makespan_;
-    if (seconds <= 0.0)
-        return 0.0;
-    switch (objective_) {
-      case Objective::Throughput:
-        return static_cast<double>(total_flops_) / seconds / 1e9;
-      case Objective::Latency:
-        return 1.0 / seconds;
-      case Objective::Energy:
-        return 1.0 / std::max(totalJoules(m), 1e-30);
-      case Objective::EnergyDelay:
-        return 1.0 / std::max(totalJoules(m) * seconds, 1e-40);
-      case Objective::PerfPerWatt: {
-        double watts = totalJoules(m) / seconds;
-        return (static_cast<double>(total_flops_) / seconds / 1e9) /
-               std::max(watts, 1e-30);
-      }
-    }
-    return 0.0;
+    double joules =
+        objectiveNeedsEnergy(objective_) ? totalJoules(m) : 0.0;
+    return objectiveFromSimulation(objective_, s.makespan_, joules,
+                                   total_flops_);
 }
 
 double

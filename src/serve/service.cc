@@ -237,6 +237,15 @@ MappingService::workerLoop()
 MapResponse
 MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
 {
+    // Multi-objective specs are an offline (api::Runner) feature for
+    // now: the serve response carries a single mapping, not a front.
+    // Failing the request's future beats silently discarding the
+    // objectives list and answering with a scalar search.
+    if (!req.search.objectives.empty())
+        throw std::invalid_argument(
+            "MappingService: SearchSpec objectives= (multi-objective) is "
+            "not served; use api::Runner for Pareto-front searches");
+
     // 1. Materialize the workload and platform from the request's
     // declarative specs.
     dnn::JobGroup group = req.group;

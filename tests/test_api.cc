@@ -49,10 +49,10 @@ randomProblemSpec(common::Rng& rng)
     s.flexible = rng.uniformInt(2) == 1;
     // Non-representable sums and tiny/huge magnitudes must survive.
     switch (rng.uniformInt(4)) {
-      case 0: s.systemBwGbps = 0.1 + 0.2; break;
-      case 1: s.systemBwGbps = 1.0 / 3.0; break;
-      case 2: s.systemBwGbps = 1e-17; break;
-      default: s.systemBwGbps = 16.0 * (1 + rng.uniformInt(64)); break;
+    case 0: s.systemBwGbps = 0.1 + 0.2; break;
+    case 1: s.systemBwGbps = 1.0 / 3.0; break;
+    case 2: s.systemBwGbps = 1e-17; break;
+    default: s.systemBwGbps = 16.0 * (1 + rng.uniformInt(64)); break;
     }
     s.groupSize = 1 + rng.uniformInt(200);
     s.bwPolicy = rng.uniformInt(2) ? sched::BwPolicy::EvenSplit
@@ -72,6 +72,10 @@ randomSearchSpec(common::Rng& rng)
     SearchSpec s;
     s.method = names[rng.uniformInt(static_cast<int>(names.size()))];
     s.objective = kObjectives[rng.uniformInt(5)];
+    // 0..3 multi-objective entries (duplicates allowed by the format).
+    int n_multi = rng.uniformInt(4);
+    for (int k = 0; k < n_multi; ++k)
+        s.objectives.push_back(kObjectives[rng.uniformInt(5)]);
     s.sampleBudget = 1 + rng.uniformInt(100000);
     s.seed = rng.engine()();
     s.threads = rng.uniformInt(8);
@@ -164,6 +168,8 @@ TEST(SpecText, RejectsUnknownKeysAndBadValues)
     EXPECT_THROW(SearchSpec::fromText("objective=speed\n"),
                  std::invalid_argument);
     EXPECT_THROW(SearchSpec::fromText("warm_start=maybe\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(SearchSpec::fromText("objectives=throughput,speed\n"),
                  std::invalid_argument);
     EXPECT_THROW(SearchSpec::fromText("eval=turbo\n"),
                  std::invalid_argument);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/runner.h"
 #include "baselines/ai_mt_like.h"
 #include "baselines/herald_like.h"
 #include "m3e/problem.h"
@@ -107,6 +108,55 @@ TEST(Baselines, AiMtCompetitiveOnHomogeneousVision)
         AiMtLike::buildMapping(p->evaluator()));
     EXPECT_GT(aimt, 0.4 * herald);
     EXPECT_LT(aimt, 2.5 * herald);
+}
+
+TEST(Baselines, ReachableThroughRunnerByRegistryName)
+{
+    // The manual mappers are first-class registry methods: a declarative
+    // spec naming them (canonical name or alias) must run end-to-end
+    // through api::Runner and resolve to the canonical plot label.
+    api::ProblemSpec ps;
+    ps.groupSize = 20;
+    api::SearchSpec ss;
+    ss.sampleBudget = 10;  // deterministic one-shot heuristics
+
+    api::Runner runner;
+    for (auto [key, canonical] :
+         {std::pair<const char*, const char*>{"herald", "Herald-like"},
+          {"Herald-like", "Herald-like"},
+          {"ai-mt", "AI-MT-like"},
+          {"AI-MT-like", "AI-MT-like"}}) {
+        ss.method = key;
+        api::RunReport rep = runner.run(ps, ss);
+        EXPECT_EQ(rep.method, canonical) << key;
+        EXPECT_EQ(rep.samplesUsed, 1) << key;  // one build, one sample
+        EXPECT_GT(rep.bestFitness, 0.0) << key;
+    }
+}
+
+TEST(Baselines, RunnerRunsAreFixedSeedDeterministic)
+{
+    // Same spec, fresh Runner each time: the mapping, fitness and all
+    // derived report fields must be bitwise identical (wall time aside).
+    api::ProblemSpec ps;
+    ps.task = dnn::TaskType::Language;
+    ps.groupSize = 24;
+    ps.workloadSeed = 9;
+    api::SearchSpec ss;
+    ss.sampleBudget = 10;
+    ss.seed = 9;
+
+    for (const char* method : {"Herald-like", "AI-MT-like"}) {
+        ss.method = method;
+        api::Runner r1, r2;
+        api::RunReport a = r1.run(ps, ss);
+        api::RunReport b = r2.run(ps, ss);
+        EXPECT_EQ(a.best, b.best) << method;
+        EXPECT_EQ(a.bestFitness, b.bestFitness) << method;
+        EXPECT_EQ(a.makespanSeconds, b.makespanSeconds) << method;
+        EXPECT_EQ(a.energyJoules, b.energyJoules) << method;
+        EXPECT_EQ(a.samplesUsed, b.samplesUsed) << method;
+    }
 }
 
 TEST(Baselines, HeraldBalancesLoadOnHomogeneousPlatform)

@@ -242,13 +242,25 @@ expectSerialBatchParity(m3e::Method method)
 
 }  // namespace
 
-TEST(OptimizerBatchParity, Magma) { expectSerialBatchParity(m3e::Method::Magma); }
-TEST(OptimizerBatchParity, StdGa) { expectSerialBatchParity(m3e::Method::StdGa); }
+TEST(OptimizerBatchParity, Magma)
+{
+    expectSerialBatchParity(m3e::Method::Magma);
+}
+TEST(OptimizerBatchParity, StdGa)
+{
+    expectSerialBatchParity(m3e::Method::StdGa);
+}
 TEST(OptimizerBatchParity, Pso) { expectSerialBatchParity(m3e::Method::Pso); }
 TEST(OptimizerBatchParity, De) { expectSerialBatchParity(m3e::Method::De); }
 TEST(OptimizerBatchParity, Cma) { expectSerialBatchParity(m3e::Method::Cma); }
-TEST(OptimizerBatchParity, Tbpsa) { expectSerialBatchParity(m3e::Method::Tbpsa); }
-TEST(OptimizerBatchParity, Random) { expectSerialBatchParity(m3e::Method::Random); }
+TEST(OptimizerBatchParity, Tbpsa)
+{
+    expectSerialBatchParity(m3e::Method::Tbpsa);
+}
+TEST(OptimizerBatchParity, Random)
+{
+    expectSerialBatchParity(m3e::Method::Random);
+}
 
 // ---------------------------------------------------------- CostCache ---
 

@@ -619,6 +619,26 @@ TEST(MappingService, UnknownMethodFailsTheRequestFuture)
     service.stop();
 }
 
+TEST(MappingService, MultiObjectiveSpecFailsTheRequestFuture)
+{
+    // objectives= is an offline (api::Runner) feature: the serve
+    // response carries one mapping, not a front, so the request must
+    // fail loudly rather than silently run a scalar search.
+    MapRequest r = baseRequest(1);
+    r.search.method = "nsga2";
+    r.search.objectives = {sched::Objective::Throughput,
+                           sched::Objective::Energy};
+
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    MappingService service(cfg);
+    auto future = service.submit(std::move(r));
+    EXPECT_THROW(future.get(), std::invalid_argument);
+    serve::ServiceStats s = service.stats();
+    EXPECT_EQ(s.failed, 1);
+    service.stop();
+}
+
 TEST(MapRequestDefaults, ColdBudgetStaysAtServeDefault)
 {
     // The serve-side default must not silently inherit SearchSpec's
