@@ -35,6 +35,7 @@
 #include "exec/cost_cache.h"
 #include "exec/eval_engine.h"
 #include "m3e/problem.h"
+#include "obs/snapshot.h"
 #include "opt/magma_ga.h"
 #include "sched/flat_eval.h"
 #include "sched/job_analyzer.h"
@@ -212,14 +213,11 @@ main(int argc, char** argv)
             sched::Mapping::random(w.group, ev.numAccels(), rng));
 
     bench::JsonWriter json;
-    json.beginTelemetry("micro_speed");
-    json.beginObject("config");
-    json.field("full", args.full);
-    json.field("seed", args.seed);
-    json.field("task", dnn::taskTypeName(w.task));
-    json.field("setting", accel::settingName(w.setting));
-    json.field("system_bw_gbps", w.bwGbps);
-    json.field("group_size", w.group);
+    obs::SnapshotWriter::beginBenchConfig(json, "micro_speed", args.full,
+                                          args.seed,
+                                          dnn::taskTypeName(w.task),
+                                          accel::settingName(w.setting),
+                                          w.bwGbps, w.group);
     json.field("batch_size", batch_size);
     json.field("parity_candidates", static_cast<int64_t>(parity_n));
     json.endObject();

@@ -34,6 +34,7 @@
 #include "m3e/problem.h"
 #include "mo/nsga2.h"
 #include "mo/vector_fitness.h"
+#include "obs/snapshot.h"
 #include "opt/magma_ga.h"
 
 using namespace magma;
@@ -184,14 +185,9 @@ main(int argc, char** argv)
     std::string json_path = args.jsonOutPath();
     if (!json_path.empty()) {
         bench::JsonWriter json;
-        json.beginTelemetry("pareto_front");
-        json.beginObject("config");
-        json.field("full", args.full);
-        json.field("seed", args.seed);
-        json.field("task", "Mix");
-        json.field("setting", "S2");
-        json.field("system_bw_gbps", bw_gbps);
-        json.field("group_size", group);
+        obs::SnapshotWriter::beginBenchConfig(json, "pareto_front",
+                                              args.full, args.seed, "Mix",
+                                              "S2", bw_gbps, group);
         json.field("budget", budget);
         json.field("objectives",
                    sched::objectiveListName(objectives));

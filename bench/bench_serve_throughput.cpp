@@ -1,13 +1,17 @@
 /**
  * @file
  * Serving-layer throughput harness: requests/sec of the online mapping
- * service at 1/2/4 worker lanes, and the search cost the warm-start
- * store amortizes away versus a cold-only service (the Table V effect,
- * measured end-to-end through src/serve/).
+ * service at 1/2/4 worker lanes, the search cost the warm-start store
+ * amortizes away versus a cold-only service (the Table V effect,
+ * measured end-to-end through src/serve/), and the request-latency
+ * distribution — queue-wait and service-time p50/p99 read back from the
+ * serve layer's obs:: histograms.
  *
  * Protocol: one fixed multi-tenant trace (3 tenants, independently drawn
  * Mix groups) is replayed per configuration. "cold" disables the store;
  * "warm" lets every fingerprint hit run on a quarter of the cold budget.
+ * Each replay records into its own obs::MetricsRegistry, so the latency
+ * quantiles of one configuration never bleed into the next.
  */
 
 #include <chrono>
@@ -17,6 +21,7 @@
 
 #include "bench/bench_common.h"
 #include "common/csv.h"
+#include "obs/snapshot.h"
 #include "serve/service.h"
 
 using namespace magma;
@@ -28,14 +33,22 @@ struct TraceResult {
     int64_t samplesSpent = 0;
     int64_t samplesSaved = 0;
     int64_t warmServed = 0;
+    /** Queue-wait / service-time quantiles (seconds), from the serve
+     * histograms of this replay's private registry. */
+    double waitP50 = 0.0;
+    double waitP99 = 0.0;
+    double serviceP50 = 0.0;
+    double serviceP99 = 0.0;
 };
 
 TraceResult
 replayTrace(int workers, bool warm, int requests, int group,
             int64_t budget, uint64_t seed)
 {
+    obs::MetricsRegistry registry;  // per-replay isolation
     serve::ServiceConfig cfg;
     cfg.workers = workers;
+    cfg.registry = &registry;
     serve::MappingService service(cfg);
 
     auto t0 = std::chrono::steady_clock::now();
@@ -65,6 +78,16 @@ replayTrace(int workers, bool warm, int requests, int group,
     r.samplesSpent = s.samplesSpent;
     r.samplesSaved = s.samplesSaved;
     r.warmServed = s.warmServed;
+    if (const obs::Histogram* h =
+            registry.findHistogram("serve.wait_seconds")) {
+        r.waitP50 = h->quantile(0.50);
+        r.waitP99 = h->quantile(0.99);
+    }
+    if (const obs::Histogram* h =
+            registry.findHistogram("serve.service_seconds")) {
+        r.serviceP50 = h->quantile(0.50);
+        r.serviceP99 = h->quantile(0.99);
+    }
     service.stop();
     return r;
 }
@@ -75,12 +98,13 @@ int
 main(int argc, char** argv)
 {
     bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-    bench::printHeader("Serving throughput: requests/sec and samples "
-                       "saved, 1/2/4 worker lanes");
+    bench::printHeader("Serving throughput: requests/sec, samples saved "
+                       "and latency quantiles, 1/2/4 worker lanes");
     common::CsvWriter csv(args.outPath("serve_throughput.csv"),
                           {"workers", "mode", "wall_s", "req_per_s",
-                           "samples_spent", "samples_saved",
-                           "warm_served"});
+                           "samples_spent", "samples_saved", "warm_served",
+                           "wait_p50_ms", "wait_p99_ms", "serve_p50_ms",
+                           "serve_p99_ms"});
 
     const int requests = args.full ? 24 : 12;
     const int group = args.full ? 40 : 16;
@@ -88,9 +112,21 @@ main(int argc, char** argv)
 
     std::printf("\n%d requests, group %d, cold budget %lld\n\n", requests,
                 group, static_cast<long long>(budget));
-    std::printf("%8s %6s %9s %9s %14s %14s %6s\n", "workers", "mode",
-                "wall-s", "req/s", "samples-spent", "samples-saved",
-                "warm");
+    std::printf("%8s %6s %9s %9s %14s %14s %6s %9s %9s %9s %9s\n",
+                "workers", "mode", "wall-s", "req/s", "samples-spent",
+                "samples-saved", "warm", "wait-p50", "wait-p99",
+                "serve-p50", "serve-p99");
+
+    bench::JsonWriter json;
+    obs::SnapshotWriter::beginBenchConfig(json, "serve_throughput",
+                                          args.full, args.seed, "Mix",
+                                          "S2", 4.0, group);
+    json.field("requests", requests);
+    json.field("budget", budget);
+    json.endObject();
+    json.beginObject("metrics");
+    json.endObject();
+    json.beginArray("samples");
 
     double cold_1lane = 0.0;
     for (int workers : {1, 2, 4}) {
@@ -100,11 +136,14 @@ main(int argc, char** argv)
             double rps = requests / std::max(r.wallSeconds, 1e-9);
             if (workers == 1 && !warm)
                 cold_1lane = r.wallSeconds;
-            std::printf("%8d %6s %9.2f %9.1f %14lld %14lld %6lld", workers,
-                        warm ? "warm" : "cold", r.wallSeconds, rps,
-                        static_cast<long long>(r.samplesSpent),
+            std::printf("%8d %6s %9.2f %9.1f %14lld %14lld %6lld %9.1f "
+                        "%9.1f %9.1f %9.1f",
+                        workers, warm ? "warm" : "cold", r.wallSeconds,
+                        rps, static_cast<long long>(r.samplesSpent),
                         static_cast<long long>(r.samplesSaved),
-                        static_cast<long long>(r.warmServed));
+                        static_cast<long long>(r.warmServed),
+                        r.waitP50 * 1e3, r.waitP99 * 1e3,
+                        r.serviceP50 * 1e3, r.serviceP99 * 1e3);
             if (cold_1lane > 0.0)
                 std::printf("   (%.2fx vs cold 1-lane)",
                             cold_1lane / std::max(r.wallSeconds, 1e-9));
@@ -114,10 +153,33 @@ main(int argc, char** argv)
                      common::CsvWriter::num(rps),
                      std::to_string(r.samplesSpent),
                      std::to_string(r.samplesSaved),
-                     std::to_string(r.warmServed)});
+                     std::to_string(r.warmServed),
+                     common::CsvWriter::num(r.waitP50 * 1e3),
+                     common::CsvWriter::num(r.waitP99 * 1e3),
+                     common::CsvWriter::num(r.serviceP50 * 1e3),
+                     common::CsvWriter::num(r.serviceP99 * 1e3)});
+            json.beginObject();
+            json.field("workers", workers);
+            json.field("mode", warm ? "warm" : "cold");
+            json.field("wall_s", r.wallSeconds);
+            json.field("req_per_s", rps);
+            json.field("samples_spent", r.samplesSpent);
+            json.field("samples_saved", r.samplesSaved);
+            json.field("warm_served", r.warmServed);
+            json.field("wait_p50_ms", r.waitP50 * 1e3);
+            json.field("wait_p99_ms", r.waitP99 * 1e3);
+            json.field("serve_p50_ms", r.serviceP50 * 1e3);
+            json.field("serve_p99_ms", r.serviceP99 * 1e3);
+            json.endObject();
         }
     }
+    json.endArray();
+    json.endObject();
     std::printf("\nSeries written to %s\n",
                 args.outPath("serve_throughput.csv").c_str());
+    if (!args.jsonOutPath().empty() &&
+        json.writeFile(args.jsonOutPath()))
+        std::printf("Telemetry written to %s\n",
+                    args.jsonOutPath().c_str());
     return 0;
 }

@@ -11,7 +11,7 @@
  *           [--method NAME | --all] [--objective NAME]
  *           [--objectives LIST] [--front-out FILE] [--flexible]
  *           [--timeline] [--threads N] [--eval flat|reference] [--stats]
- *           [--report FILE] [--list-methods]
+ *           [--report FILE] [--metrics-out FILE] [--list-methods]
  *
  * --spec FILE loads a key=value experiment spec (see api::ExperimentSpec;
  * '#' comments allowed); flags AFTER --spec override its fields. --report
@@ -31,7 +31,16 @@
  * misbehaves on new hardware.
  *
  * --stats prints the process-wide exec::CostCache counters (hits, misses,
- * entries) after the run — how much cost-model work memoization skipped.
+ * entries) after the run — how much cost-model work memoization skipped —
+ * read back through the obs::MetricsRegistry gauges, plus the eval-engine
+ * counters when the observability level recorded them.
+ *
+ * --metrics-out FILE writes the whole process metrics registry (and, at
+ * MAGMA_METRICS=trace, the drained span trace) as a schema-1
+ * obs::SnapshotWriter JSON artifact, round-trip-verified like --report.
+ * The MAGMA_METRICS env var (off|counters|trace, default counters)
+ * selects how much is recorded; search results are bitwise identical at
+ * every level.
  *
  * --objectives LIST (comma-separated, e.g. "throughput,energy") switches
  * to multi-objective mode: the method (which must implement
@@ -59,6 +68,7 @@
 #include "exec/cost_cache.h"
 #include "m3e/factory.h"
 #include "mo/pareto.h"
+#include "obs/snapshot.h"
 
 using namespace magma;
 
@@ -71,6 +81,7 @@ struct CliArgs {
     bool stats = false;
     std::string reportPath;
     std::string frontPath;
+    std::string metricsPath;
 };
 
 /** Parse via fn, mapping std::invalid_argument to a usage error. */
@@ -163,6 +174,8 @@ parse(int argc, char** argv)
                 parseOrDie(sched::evalModeFromName, need(i++));
         else if (flag == "--report")
             a.reportPath = need(i++);
+        else if (flag == "--metrics-out")
+            a.metricsPath = need(i++);
         else if (flag == "--list-methods") {
             listMethods();
             std::exit(0);
@@ -331,13 +344,47 @@ main(int argc, char** argv)
     }
 
     if (args.stats) {
-        exec::CostCacheStats cc = exec::CostCache::global().stats();
+        // Touch the global cache so its gauge provider is registered,
+        // then read everything back through the registry — the same
+        // numbers --metrics-out snapshots.
+        exec::CostCache::global();
+        obs::MetricsSnapshot snap = obs::SnapshotWriter::capture(
+            "m3e_cli", obs::MetricsRegistry::global());
+        auto gauge = [&](const char* name) {
+            const obs::GaugeSnap* g = snap.findGauge(name);
+            return static_cast<long long>(g ? g->value : 0.0);
+        };
+        const obs::GaugeSnap* rate =
+            snap.findGauge("exec.cost_cache.hit_rate");
         std::printf("\ncost cache: %lld hits / %lld misses (%.1f%% hit "
                     "rate), %lld entries\n",
-                    static_cast<long long>(cc.hits),
-                    static_cast<long long>(cc.misses),
-                    100.0 * cc.hitRate(),
-                    static_cast<long long>(cc.entries));
+                    gauge("exec.cost_cache.hits"),
+                    gauge("exec.cost_cache.misses"),
+                    100.0 * (rate ? rate->value : 0.0),
+                    gauge("exec.cost_cache.entries"));
+        const obs::CounterSnap* cand =
+            snap.findCounter("exec.eval.candidates");
+        if (cand) {
+            auto counter = [&](const char* name) {
+                const obs::CounterSnap* c = snap.findCounter(name);
+                return static_cast<long long>(c ? c->value : 0);
+            };
+            std::printf("eval engine: %lld candidates in %lld batches "
+                        "(%lld flat / %lld reference), %lld singles\n",
+                        static_cast<long long>(cand->value),
+                        counter("exec.eval.batches"),
+                        counter("sched.flat.candidates"),
+                        counter("sched.reference.candidates"),
+                        counter("exec.eval.singles"));
+        }
+    }
+    if (!args.metricsPath.empty()) {
+        obs::MetricsSnapshot snap =
+            obs::SnapshotWriter::captureGlobal("m3e_cli");
+        if (!obs::SnapshotWriter::write(snap, args.metricsPath))
+            return 1;
+        std::printf("metrics round-trip OK: %s\n",
+                    args.metricsPath.c_str());
     }
     return 0;
 }

@@ -14,6 +14,7 @@
  *             [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
  *             [--bw GBPS] [--group N] [--budget N] [--seed N]
  *             [--objective NAME] [--store PATH] [--no-warm] [--quiet]
+ *             [--metrics-out FILE]
  *
  * The flags populate the api::ProblemSpec/api::SearchSpec embedded in
  * every serve::MapRequest — the same declarative artifacts `m3e_cli
@@ -21,6 +22,12 @@
  * (0 = auto via MAGMA_THREADS / hardware concurrency). --store PATH
  * loads the warm-start store at startup and saves it at shutdown, so a
  * second run starts warm. --no-warm disables the store (cold baseline).
+ *
+ * --metrics-out FILE writes the process metrics registry — per-tenant
+ * serve.wait_seconds/.service_seconds histograms, request counters,
+ * EvalEngine/CostCache gauges, and at MAGMA_METRICS=trace the drained
+ * span trace — as a schema-1 obs::SnapshotWriter JSON artifact,
+ * round-trip-verified.
  */
 
 #include <algorithm>
@@ -34,6 +41,7 @@
 #include <chrono>
 
 #include "exec/cost_cache.h"
+#include "obs/snapshot.h"
 #include "serve/service.h"
 
 using namespace magma;
@@ -52,6 +60,7 @@ struct ServeArgs {
     std::string storePath;
     bool warm = true;
     bool quiet = false;
+    std::string metricsPath;
 };
 
 /** Parse via fn, mapping std::invalid_argument to a usage error. */
@@ -110,6 +119,8 @@ parse(int argc, char** argv)
             a.warm = false;
         else if (flag == "--quiet")
             a.quiet = true;
+        else if (flag == "--metrics-out")
+            a.metricsPath = need(i++);
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             std::exit(2);
@@ -217,5 +228,14 @@ main(int argc, char** argv)
                 static_cast<long long>(cc.entries));
 
     service.stop();
+
+    if (!args.metricsPath.empty()) {
+        obs::MetricsSnapshot snap =
+            obs::SnapshotWriter::captureGlobal("m3e_serve");
+        if (!obs::SnapshotWriter::write(snap, args.metricsPath))
+            return 1;
+        std::printf("metrics round-trip OK: %s\n",
+                    args.metricsPath.c_str());
+    }
     return 0;
 }

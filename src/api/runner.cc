@@ -7,6 +7,7 @@
 #include "api/registry.h"
 #include "api/textio.h"
 #include "mo/nsga2.h"
+#include "obs/snapshot.h"
 
 namespace magma::api {
 
@@ -17,6 +18,22 @@ using namespace textio;
 namespace {
 
 constexpr const char* kReportHeader = "magma-run-report v1";
+
+/**
+ * Metrics attachment for a report: counters/gauges/histograms of the
+ * process registry, captured non-destructively (the trace rings are NOT
+ * drained — they stay available for a later --metrics-out snapshot).
+ * Empty at level Off.
+ */
+std::string
+captureMetricsJson()
+{
+    if (obs::metricsLevel() == obs::MetricsLevel::Off)
+        return "";
+    return obs::SnapshotWriter::capture("runner",
+                                        obs::MetricsRegistry::global())
+        .toJson();
+}
 
 std::string
 joinDoubles(const std::vector<double>& vs)
@@ -57,6 +74,9 @@ RunReport::toText() const
        << "wall_seconds=" << formatDouble(wallSeconds) << '\n'
        << "mapping=" << best.toText() << '\n'
        << "convergence=" << joinDoubles(convergence) << '\n';
+    // Omitted when empty so pre-observability reports stay byte-stable.
+    if (!metricsJson.empty())
+        os << "metrics_json=" << metricsJson << '\n';
     for (const mo::MoPoint& p : front)
         os << "front_point=" << p.toText() << '\n';
     return os.str();
@@ -95,6 +115,8 @@ RunReport::fromText(const std::string& text)
                 r.best = sched::Mapping::fromText(v);
             else if (k == "convergence")
                 r.convergence = splitDoubles(k, v);
+            else if (k == "metrics_json")
+                r.metricsJson = v;
             else if (k == "front_point")
                 r.front.push_back(mo::MoPoint::fromText(v));
             else
@@ -273,6 +295,7 @@ Runner::run(const ProblemSpec& ps, const SearchSpec& ss,
                 eval.throughputGflops(sim.makespanSeconds);
             rep.energyJoules = eval.totalJoules(rep.best);
         }
+        rep.metricsJson = captureMetricsJson();
         if (raw)
             *raw = opt::SearchResult{};
         return rep;
@@ -294,6 +317,7 @@ Runner::run(const ProblemSpec& ps, const SearchSpec& ss,
     rep.samplesUsed = res.samplesUsed;
     rep.wallSeconds = wall;
     rep.convergence = res.convergence;
+    rep.metricsJson = captureMetricsJson();
     if (raw)
         *raw = std::move(res);
     return rep;

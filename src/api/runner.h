@@ -46,6 +46,15 @@ struct RunReport {
      * line per member; round-trips bitwise like every other field.
      */
     std::vector<mo::MoPoint> front;
+    /**
+     * Metrics snapshot attached by Runner::run when the observability
+     * level is not Off: the obs::SnapshotWriter schema-1 JSON of the
+     * process registry captured right after the search (single line —
+     * the JSON writer emits no newlines — so it rides the text format
+     * as an ordinary metrics_json= key; omitted when empty).
+     * obs::MetricsSnapshot::fromJson parses it back.
+     */
+    std::string metricsJson;
 
     std::string toText() const;
     /** Exact inverse of toText(); throws std::invalid_argument. */

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "cost/dataflow.h"
+#include "obs/metrics.h"
 
 namespace magma::exec {
 namespace {
@@ -124,6 +125,24 @@ CostCache&
 CostCache::global()
 {
     static CostCache cache(16);
+    // Pull-model gauges: the cache keeps its own atomics and mirrors
+    // them into the registry only when a snapshot is taken, so the
+    // analyze() hot path pays nothing for observability.
+    static bool registered = [] {
+        obs::MetricsRegistry::global().addGaugeProvider(
+            [](obs::MetricsRegistry& reg) {
+                CostCacheStats s = CostCache::global().stats();
+                reg.gauge("exec.cost_cache.hits")
+                    .set(static_cast<double>(s.hits));
+                reg.gauge("exec.cost_cache.misses")
+                    .set(static_cast<double>(s.misses));
+                reg.gauge("exec.cost_cache.entries")
+                    .set(static_cast<double>(s.entries));
+                reg.gauge("exec.cost_cache.hit_rate").set(s.hitRate());
+            });
+        return true;
+    }();
+    (void)registered;
     return cache;
 }
 

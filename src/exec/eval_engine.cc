@@ -1,10 +1,54 @@
 #include "exec/eval_engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace magma::exec {
+namespace {
+
+/** Engine-wide metrics, resolved once; per-batch cost is atomics. */
+struct EngineMetrics {
+    obs::Counter& batches;
+    obs::Counter& candidates;
+    obs::Counter& singles;
+    obs::Counter& flatCandidates;
+    obs::Counter& referenceCandidates;
+    obs::Histogram& batchSize;
+};
+
+EngineMetrics&
+engineMetrics()
+{
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    static EngineMetrics m{reg.counter("exec.eval.batches"),
+                           reg.counter("exec.eval.candidates"),
+                           reg.counter("exec.eval.singles"),
+                           reg.counter("sched.flat.candidates"),
+                           reg.counter("sched.reference.candidates"),
+                           reg.histogram("exec.eval.batch_size")};
+    return m;
+}
+
+void
+countBatch(size_t count, bool flat)
+{
+    if (!obs::countersOn())
+        return;
+    EngineMetrics& m = engineMetrics();
+    m.batches.add();
+    m.candidates.add(static_cast<int64_t>(count));
+    (flat ? m.flatCandidates : m.referenceCandidates)
+        .add(static_cast<int64_t>(count));
+    m.batchSize.record(static_cast<double>(count));
+}
+
+}  // namespace
 
 std::vector<double>
 EvalEngine::evaluateBatch(const sched::Mapping* batch, size_t count) const
 {
+    countBatch(count, flat_ != nullptr);
+    obs::Span span("exec.eval.batch", static_cast<int64_t>(count));
     std::vector<double> fitness(count);
     if (flat_) {
         if (pool_->numThreads() == 1) {
@@ -30,6 +74,8 @@ EvalEngine::evaluateBatch(const sched::Mapping* batch, size_t count) const
 std::vector<sched::SimPoint>
 EvalEngine::simulateBatch(const sched::Mapping* batch, size_t count) const
 {
+    countBatch(count, flat_ != nullptr);
+    obs::Span span("exec.eval.sim_batch", static_cast<int64_t>(count));
     std::vector<sched::SimPoint> out(count);
     if (flat_) {
         auto one = [this](const sched::Mapping& m, sched::EvalScratch& s) {
@@ -60,6 +106,8 @@ EvalEngine::simulateBatch(const sched::Mapping* batch, size_t count) const
 double
 EvalEngine::fitnessOne(const sched::Mapping& m) const
 {
+    if (obs::countersOn())
+        engineMetrics().singles.add();
     if (flat_)
         return flat_->fitness(m, scratch_[0]);
     return eval_->fitness(m);

@@ -1,13 +1,40 @@
 #include "mo/nsga2.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "mo/vector_fitness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace magma::mo {
 namespace {
+
+/**
+ * Per-generation mo.generation trace instant: i = generation, a = front
+ * size, b = front hypervolume (origin ref). Exact hypervolume is
+ * exponential in arity, so the payload is NaN beyond the cheap regime
+ * (arity <= 3, front <= 64) — observability must never dominate the
+ * search it watches.
+ */
+void
+traceMoGeneration(int64_t gen, const ParetoArchive& archive)
+{
+    if (obs::countersOn())
+        obs::MetricsRegistry::global().counter("mo.generations").add();
+    if (!obs::traceOn())
+        return;
+    double hv = std::numeric_limits<double>::quiet_NaN();
+    size_t arity = archive.objectives().size();
+    if (!archive.empty() && arity <= 3 && archive.size() <= 64) {
+        ObjectiveVector origin(arity, 0.0);
+        hv = archive.hypervolume(origin);
+    }
+    obs::traceInstant("mo.generation", gen,
+                      static_cast<double>(archive.size()), hv);
+}
 
 struct Ind {
     sched::Mapping m;
@@ -125,6 +152,8 @@ Nsga2::evolve(int group_size, int num_accels,
 
     if (!score_into(pop))
         return;  // budget exhausted mid-initialization
+    int64_t gen = 0;
+    traceMoGeneration(gen, archive);
 
     while (true) {
         std::vector<ObjectiveVector> rows = objectiveRows(pop);
@@ -185,6 +214,7 @@ Nsga2::evolve(int group_size, int num_accels,
             if (!c.objs.empty())
                 pool.push_back(std::move(c));
         pop = selectByRankAndCrowding(std::move(pool), pop_size);
+        traceMoGeneration(++gen, archive);
 
         if (!complete)
             return;  // budget exhausted

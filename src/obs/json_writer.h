@@ -1,0 +1,218 @@
+#ifndef MAGMA_OBS_JSON_WRITER_H_
+#define MAGMA_OBS_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace magma::obs {
+
+/**
+ * Version of the shared telemetry schema emitted as the "schema" field
+ * by beginTelemetry(), so CI tooling consuming the perf-smoke artifacts
+ * and metrics snapshots can detect layout changes instead of
+ * mis-parsing them. Bump when the top-level shape
+ * ({bench, config, metrics, samples}) changes.
+ */
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/**
+ * Minimal JSON emitter for the shared telemetry schema
+ *   { "schema": 1, "bench": ..., "config": {...}, "metrics": {...},
+ *     "samples": [...] }
+ * so every bench harness's --json output and every obs::SnapshotWriter
+ * metrics snapshot is consumed by the same CI tooling. Promoted from
+ * bench/bench_common.h so src/ can emit telemetry too (the bench alias
+ * remains). Purely append-only: call the key/value helpers between
+ * begin/end pairs; commas are managed automatically. Strings are escaped
+ * (quotes, backslashes, control characters) and non-finite doubles are
+ * emitted as null, so the output is always valid JSON regardless of
+ * payload.
+ */
+class JsonWriter {
+  public:
+    JsonWriter() { out_.reserve(1024); }
+
+    /** Open the telemetry root: '{' + schema/bench fields. */
+    void beginTelemetry(const std::string& bench)
+    {
+        beginObject();
+        field("schema", kTelemetrySchemaVersion);
+        field("bench", bench);
+    }
+
+    void beginObject()
+    {
+        comma();
+        out_ += '{';
+        first_ = true;
+    }
+    void endObject()
+    {
+        out_ += '}';
+        first_ = false;
+    }
+    void beginArray(const std::string& k)
+    {
+        key(k);
+        out_ += '[';
+        first_ = true;
+    }
+    void beginArray()
+    {
+        comma();
+        out_ += '[';
+        first_ = true;
+    }
+    void endArray()
+    {
+        out_ += ']';
+        first_ = false;
+    }
+    void beginObject(const std::string& k)
+    {
+        key(k);
+        out_ += '{';
+        first_ = true;
+    }
+
+    void field(const std::string& k, const std::string& v)
+    {
+        key(k);
+        appendString(v);
+    }
+    void field(const std::string& k, const char* v)
+    {
+        field(k, std::string(v));
+    }
+    void field(const std::string& k, double v)
+    {
+        key(k);
+        appendDouble(v);
+    }
+    void field(const std::string& k, int64_t v)
+    {
+        key(k);
+        out_ += std::to_string(v);
+    }
+    void field(const std::string& k, int v)
+    {
+        field(k, static_cast<int64_t>(v));
+    }
+    void field(const std::string& k, uint64_t v)
+    {
+        key(k);
+        out_ += std::to_string(v);
+    }
+    void field(const std::string& k, bool v)
+    {
+        key(k);
+        out_ += v ? "true" : "false";
+    }
+
+    /** Bare array element (between beginArray()/endArray()). */
+    void element(int64_t v)
+    {
+        comma();
+        out_ += std::to_string(v);
+    }
+    void element(uint64_t v)
+    {
+        comma();
+        out_ += std::to_string(v);
+    }
+    void element(double v)
+    {
+        comma();
+        appendDouble(v);
+    }
+
+    const std::string& str() const { return out_; }
+
+    /** Write to `path`; returns false (with a stderr note) on failure. */
+    bool writeFile(const std::string& path) const
+    {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write JSON '%s'\n", path.c_str());
+            return false;
+        }
+        std::fwrite(out_.data(), 1, out_.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    void comma()
+    {
+        if (!first_ && !out_.empty() && out_.back() != '{' &&
+            out_.back() != '[')
+            out_ += ',';
+        first_ = false;
+    }
+    void key(const std::string& k)
+    {
+        comma();
+        appendString(k);
+        out_ += ':';
+    }
+    void appendDouble(double v)
+    {
+        if (!std::isfinite(v)) {
+            // JSON has no inf/nan literals; "%.17g" would emit them and
+            // corrupt the artifact.
+            out_ += "null";
+            return;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out_ += buf;
+    }
+    void appendString(const std::string& s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+            case '"':
+                out_ += "\\\"";
+                break;
+            case '\\':
+                out_ += "\\\\";
+                break;
+            case '\n':
+                out_ += "\\n";
+                break;
+            case '\t':
+                out_ += "\\t";
+                break;
+            case '\r':
+                out_ += "\\r";
+                break;
+            case '\b':
+                out_ += "\\b";
+                break;
+            case '\f':
+                out_ += "\\f";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    bool first_ = true;
+};
+
+}  // namespace magma::obs
+
+#endif  // MAGMA_OBS_JSON_WRITER_H_

@@ -1,0 +1,572 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace magma::obs {
+
+namespace {
+
+/**
+ * Double equality for round-trip checks: bit-identical, except all NaNs
+ * compare equal (non-finite values serialize as JSON null and parse
+ * back as quiet NaN).
+ */
+bool
+numEq(double a, double b)
+{
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+bool
+spanEq(const TraceEvent& a, const TraceEvent& b)
+{
+    return a.name == b.name && numEq(a.startSeconds, b.startSeconds) &&
+           numEq(a.durSeconds, b.durSeconds) && a.thread == b.thread &&
+           a.i == b.i && numEq(a.a, b.a) && numEq(a.b, b.b);
+}
+
+/**
+ * Minimal recursive-descent parser for the JSON subset JsonWriter
+ * emits (objects, arrays, strings with escapes, %.17g numbers, bools,
+ * null). Structure-driven: MetricsSnapshot::fromJson walks the exact
+ * schema-1 snapshot shape through it and throws std::invalid_argument
+ * on anything else.
+ */
+class JsonCursor {
+  public:
+    explicit JsonCursor(const std::string& text) : s_(text) {}
+
+    void ws()
+    {
+        while (p_ < s_.size() &&
+               (s_[p_] == ' ' || s_[p_] == '\t' || s_[p_] == '\n' ||
+                s_[p_] == '\r'))
+            ++p_;
+    }
+
+    bool tryConsume(char c)
+    {
+        ws();
+        if (p_ < s_.size() && s_[p_] == c) {
+            ++p_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c)
+    {
+        if (!tryConsume(c))
+            fail(std::string("expected '") + c + "'");
+    }
+
+    char peek()
+    {
+        ws();
+        return p_ < s_.size() ? s_[p_] : '\0';
+    }
+
+    bool atEnd()
+    {
+        ws();
+        return p_ >= s_.size();
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (p_ < s_.size() && s_[p_] != '"') {
+            char c = s_[p_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p_ >= s_.size())
+                fail("unterminated escape");
+            char e = s_[p_++];
+            switch (e) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'u': {
+                if (p_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = s_[p_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // JsonWriter only emits \u00XX for control bytes; wider
+                // code points would need UTF-8 encoding we never produce.
+                if (code > 0xFF)
+                    fail("unsupported \\u escape > 0xFF");
+                out += static_cast<char>(code);
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    /** Number or null (null -> quiet NaN, JsonWriter's non-finite form). */
+    double parseNumber()
+    {
+        ws();
+        if (s_.compare(p_, 4, "null") == 0) {
+            p_ += 4;
+            return std::numeric_limits<double>::quiet_NaN();
+        }
+        const char* begin = s_.c_str() + p_;
+        char* end = nullptr;
+        double v = std::strtod(begin, &end);
+        if (end == begin)
+            fail("expected number");
+        p_ += static_cast<size_t>(end - begin);
+        return v;
+    }
+
+    int64_t parseInt()
+    {
+        ws();
+        const char* begin = s_.c_str() + p_;
+        char* end = nullptr;
+        long long v = std::strtoll(begin, &end, 10);
+        if (end == begin)
+            fail("expected integer");
+        p_ += static_cast<size_t>(end - begin);
+        return v;
+    }
+
+    bool parseBool()
+    {
+        ws();
+        if (s_.compare(p_, 4, "true") == 0) {
+            p_ += 4;
+            return true;
+        }
+        if (s_.compare(p_, 5, "false") == 0) {
+            p_ += 5;
+            return false;
+        }
+        fail("expected bool");
+        return false;
+    }
+
+    [[noreturn]] void fail(const std::string& why)
+    {
+        throw std::invalid_argument(
+            "MetricsSnapshot::fromJson: " + why + " at offset " +
+            std::to_string(p_));
+    }
+
+  private:
+    const std::string& s_;
+    size_t p_ = 0;
+};
+
+/**
+ * Iterate "key": value pairs of the object whose '{' is already
+ * consumed; fn(key) must consume the value. Consumes the closing '}'.
+ */
+template <typename Fn>
+void
+forEachKey(JsonCursor& c, Fn&& fn)
+{
+    if (c.tryConsume('}'))
+        return;
+    do {
+        std::string key = c.parseString();
+        c.expect(':');
+        fn(key);
+    } while (c.tryConsume(','));
+    c.expect('}');
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- equality ---
+
+bool
+GaugeSnap::operator==(const GaugeSnap& o) const
+{
+    return name == o.name && numEq(value, o.value);
+}
+
+bool
+HistogramSnap::operator==(const HistogramSnap& o) const
+{
+    return name == o.name && count == o.count && numEq(sum, o.sum) &&
+           numEq(min, o.min) && numEq(max, o.max) && buckets == o.buckets;
+}
+
+bool
+MetricsSnapshot::operator==(const MetricsSnapshot& o) const
+{
+    if (source != o.source || level != o.level ||
+        counters != o.counters || gauges != o.gauges ||
+        histograms != o.histograms || spansDropped != o.spansDropped ||
+        spans.size() != o.spans.size())
+        return false;
+    for (size_t i = 0; i < spans.size(); ++i)
+        if (!spanEq(spans[i], o.spans[i]))
+            return false;
+    return true;
+}
+
+// ------------------------------------------------------------- lookup ---
+
+const CounterSnap*
+MetricsSnapshot::findCounter(const std::string& name) const
+{
+    for (const CounterSnap& c : counters)
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+const GaugeSnap*
+MetricsSnapshot::findGauge(const std::string& name) const
+{
+    for (const GaugeSnap& g : gauges)
+        if (g.name == name)
+            return &g;
+    return nullptr;
+}
+
+const HistogramSnap*
+MetricsSnapshot::findHistogram(const std::string& name) const
+{
+    for (const HistogramSnap& h : histograms)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+// -------------------------------------------------------------- toJson ---
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    JsonWriter w;
+    w.beginTelemetry("metrics_snapshot");
+    w.beginObject("config");
+    w.field("source", source);
+    w.field("level", metricsLevelName(level));
+    w.endObject();
+    w.beginObject("metrics");
+    w.field("counters", static_cast<int64_t>(counters.size()));
+    w.field("gauges", static_cast<int64_t>(gauges.size()));
+    w.field("histograms", static_cast<int64_t>(histograms.size()));
+    w.field("spans", static_cast<int64_t>(spans.size()));
+    w.field("spans_dropped", spansDropped);
+    w.endObject();
+    w.beginArray("samples");
+    for (const CounterSnap& c : counters) {
+        w.beginObject();
+        w.field("kind", "counter");
+        w.field("name", c.name);
+        w.field("value", c.value);
+        w.endObject();
+    }
+    for (const GaugeSnap& g : gauges) {
+        w.beginObject();
+        w.field("kind", "gauge");
+        w.field("name", g.name);
+        w.field("value", g.value);
+        w.endObject();
+    }
+    for (const HistogramSnap& h : histograms) {
+        w.beginObject();
+        w.field("kind", "histogram");
+        w.field("name", h.name);
+        w.field("count", h.count);
+        w.field("sum", h.sum);
+        w.field("min", h.min);
+        w.field("max", h.max);
+        w.field("p50", h.quantile(0.50));
+        w.field("p90", h.quantile(0.90));
+        w.field("p99", h.quantile(0.99));
+        w.beginArray("buckets");
+        for (const auto& [index, count] : h.buckets) {
+            w.beginArray();
+            w.element(static_cast<int64_t>(index));
+            w.element(count);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    for (const TraceEvent& e : spans) {
+        w.beginObject();
+        w.field("kind", "span");
+        w.field("name", e.name);
+        w.field("thread", e.thread);
+        w.field("start_seconds", e.startSeconds);
+        w.field("dur_seconds", e.durSeconds);
+        w.field("i", e.i);
+        w.field("a", e.a);
+        w.field("b", e.b);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+// ------------------------------------------------------------ fromJson ---
+
+MetricsSnapshot
+MetricsSnapshot::fromJson(const std::string& text)
+{
+    JsonCursor c(text);
+    MetricsSnapshot s;
+    bool sawSchema = false, sawSamples = false;
+
+    c.expect('{');
+    forEachKey(c, [&](const std::string& key) {
+        if (key == "schema") {
+            if (c.parseInt() != kTelemetrySchemaVersion)
+                c.fail("unsupported schema version");
+            sawSchema = true;
+        } else if (key == "bench") {
+            if (c.parseString() != "metrics_snapshot")
+                c.fail("not a metrics_snapshot artifact");
+        } else if (key == "config") {
+            c.expect('{');
+            forEachKey(c, [&](const std::string& k) {
+                if (k == "source")
+                    s.source = c.parseString();
+                else if (k == "level")
+                    s.level = metricsLevelFromName(c.parseString());
+                else
+                    c.fail("unknown config key '" + k + "'");
+            });
+        } else if (key == "metrics") {
+            // Redundant size echoes for CI tooling; validated against
+            // the samples below only loosely (parse + discard).
+            c.expect('{');
+            forEachKey(c, [&](const std::string& k) {
+                if (k == "spans_dropped")
+                    s.spansDropped = c.parseInt();
+                else
+                    c.parseInt();
+            });
+        } else if (key == "samples") {
+            sawSamples = true;
+            c.expect('[');
+            if (!c.tryConsume(']')) {
+                do {
+                    c.expect('{');
+                    std::string kind, name;
+                    CounterSnap cs;
+                    GaugeSnap gs;
+                    HistogramSnap hs;
+                    TraceEvent ev;
+                    forEachKey(c, [&](const std::string& k) {
+                        if (k == "kind")
+                            kind = c.parseString();
+                        else if (k == "name")
+                            name = c.parseString();
+                        else if (k == "value" && kind == "counter")
+                            cs.value = c.parseInt();
+                        else if (k == "value")
+                            gs.value = c.parseNumber();
+                        else if (k == "count")
+                            hs.count = c.parseInt();
+                        else if (k == "sum")
+                            hs.sum = c.parseNumber();
+                        else if (k == "min")
+                            hs.min = c.parseNumber();
+                        else if (k == "max")
+                            hs.max = c.parseNumber();
+                        else if (k == "p50" || k == "p90" || k == "p99")
+                            c.parseNumber();  // derived; recomputed
+                        else if (k == "buckets") {
+                            c.expect('[');
+                            if (!c.tryConsume(']')) {
+                                do {
+                                    c.expect('[');
+                                    int64_t index = c.parseInt();
+                                    c.expect(',');
+                                    int64_t count = c.parseInt();
+                                    c.expect(']');
+                                    hs.buckets.emplace_back(
+                                        static_cast<int32_t>(index),
+                                        static_cast<uint64_t>(count));
+                                } while (c.tryConsume(','));
+                                c.expect(']');
+                            }
+                        } else if (k == "thread")
+                            ev.thread = static_cast<int>(c.parseInt());
+                        else if (k == "start_seconds")
+                            ev.startSeconds = c.parseNumber();
+                        else if (k == "dur_seconds")
+                            ev.durSeconds = c.parseNumber();
+                        else if (k == "i")
+                            ev.i = c.parseInt();
+                        else if (k == "a")
+                            ev.a = c.parseNumber();
+                        else if (k == "b")
+                            ev.b = c.parseNumber();
+                        else
+                            c.fail("unknown sample key '" + k + "'");
+                    });
+                    if (kind == "counter") {
+                        cs.name = name;
+                        s.counters.push_back(std::move(cs));
+                    } else if (kind == "gauge") {
+                        gs.name = name;
+                        s.gauges.push_back(std::move(gs));
+                    } else if (kind == "histogram") {
+                        hs.name = name;
+                        s.histograms.push_back(std::move(hs));
+                    } else if (kind == "span") {
+                        ev.name = name;
+                        s.spans.push_back(std::move(ev));
+                    } else {
+                        c.fail("unknown sample kind '" + kind + "'");
+                    }
+                } while (c.tryConsume(','));
+                c.expect(']');
+            }
+        } else {
+            c.fail("unknown top-level key '" + key + "'");
+        }
+    });
+    if (!c.atEnd())
+        c.fail("trailing content");
+    if (!sawSchema || !sawSamples)
+        c.fail("missing schema/samples");
+    return s;
+}
+
+// ------------------------------------------------------ SnapshotWriter ---
+
+MetricsSnapshot
+SnapshotWriter::capture(const std::string& source, MetricsRegistry& reg,
+                        Tracer* tracer)
+{
+    MetricsSnapshot s;
+    s.source = source;
+    s.level = metricsLevel();
+    reg.visit(
+        [&](const std::string& name, const Counter& c) {
+            s.counters.push_back({name, c.value()});
+        },
+        [&](const std::string& name, const Gauge& g) {
+            s.gauges.push_back({name, g.value()});
+        },
+        [&](const std::string& name, const Histogram& h) {
+            HistogramSnap snap;
+            snap.name = name;
+            snap.count = h.count();
+            snap.sum = h.sum();
+            snap.min = h.min();
+            snap.max = h.max();
+            snap.buckets = h.buckets();
+            s.histograms.push_back(std::move(snap));
+        });
+    if (tracer && s.level == MetricsLevel::Trace)
+        s.spans = tracer->drain(&s.spansDropped);
+    return s;
+}
+
+MetricsSnapshot
+SnapshotWriter::captureGlobal(const std::string& source)
+{
+    return capture(source, MetricsRegistry::global(), &Tracer::global());
+}
+
+bool
+SnapshotWriter::write(const MetricsSnapshot& snap, const std::string& path)
+{
+    std::string text = snap.toJson();
+    {
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write metrics snapshot '%s'\n",
+                         path.c_str());
+            return false;
+        }
+        out << text << '\n';
+    }
+    std::ifstream in(path);
+    std::string back((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    while (!back.empty() && back.back() == '\n')
+        back.pop_back();
+    try {
+        if (!(MetricsSnapshot::fromJson(back) == snap)) {
+            std::fprintf(stderr,
+                         "metrics snapshot round-trip mismatch: %s\n",
+                         path.c_str());
+            return false;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "metrics snapshot re-parse failed: %s\n",
+                     e.what());
+        return false;
+    }
+    return true;
+}
+
+void
+SnapshotWriter::beginBenchConfig(JsonWriter& w, const std::string& bench,
+                                 bool full, uint64_t seed,
+                                 const std::string& task,
+                                 const std::string& setting,
+                                 double systemBwGbps, int groupSize)
+{
+    w.beginTelemetry(bench);
+    w.beginObject("config");
+    w.field("full", full);
+    w.field("seed", seed);
+    w.field("task", task);
+    w.field("setting", setting);
+    w.field("system_bw_gbps", systemBwGbps);
+    w.field("group_size", groupSize);
+    // Caller appends its bench-specific config fields, then endObject().
+}
+
+}  // namespace magma::obs

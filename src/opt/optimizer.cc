@@ -4,13 +4,37 @@
 #include <cassert>
 
 #include "exec/eval_engine.h"
+#include "obs/trace.h"
 
 namespace magma::opt {
+namespace {
+
+/** Search-level counters, resolved once. */
+struct OptMetrics {
+    obs::Counter& samples;
+    obs::Counter& generations;
+    obs::Counter& searches;
+};
+
+OptMetrics&
+optMetrics()
+{
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    static OptMetrics m{reg.counter("opt.samples"),
+                        reg.counter("opt.generations"),
+                        reg.counter("opt.searches")};
+    return m;
+}
+
+}  // namespace
 
 SearchRecorder::SearchRecorder(const sched::MappingEvaluator& eval,
                                const SearchOptions& opts)
     : eval_(&eval), opts_(opts)
 {
+    obs::MetricsLevel level = obs::effectiveLevel(opts_.metrics);
+    obs_counters_ = level != obs::MetricsLevel::Off;
+    obs_trace_ = level == obs::MetricsLevel::Trace;
     if (opts_.recordConvergence)
         result_.convergence.reserve(opts_.sampleBudget);
     if (opts_.engine) {
@@ -53,6 +77,8 @@ SearchRecorder::evaluate(const sched::Mapping& m)
     assert(!exhausted());
     double f = engine_ ? engine_->fitnessOne(m) : eval_->fitness(m);
     record(m, f);
+    if (obs_counters_)
+        optMetrics().samples.add();
     return f;
 }
 
@@ -77,6 +103,26 @@ SearchRecorder::evaluateBatch(const std::vector<sched::Mapping>& ms)
     // and convergence curves identical to the serial path.
     for (size_t i = 0; i < n; ++i)
         record(ms[i], fitness[i]);
+    // One evaluateBatch call per generation in every population method —
+    // this is the per-generation choke point the search trace hangs off.
+    if (obs_counters_) {
+        OptMetrics& m = optMetrics();
+        m.samples.add(static_cast<int64_t>(n));
+        m.generations.add();
+    }
+    if (obs_trace_) {
+        // Recorded directly (not via traceInstant) so a per-search Trace
+        // override takes effect even when the process level is lower.
+        obs::Tracer& t = obs::Tracer::global();
+        obs::TraceEvent e;
+        e.name = "opt.generation";
+        e.startSeconds = t.nowSeconds();
+        e.i = generation_;
+        e.a = result_.bestFitness;
+        e.b = static_cast<double>(used_);
+        t.record(std::move(e));
+    }
+    ++generation_;
     return fitness;
 }
 
@@ -91,10 +137,27 @@ SearchResult
 Optimizer::search(const sched::MappingEvaluator& eval,
                   const SearchOptions& opts)
 {
+    obs::MetricsLevel level = obs::effectiveLevel(opts.metrics);
+    double t0 = level == obs::MetricsLevel::Trace
+                    ? obs::Tracer::global().nowSeconds()
+                    : 0.0;
     SearchRecorder rec(eval, opts);
     if (!rec.exhausted())
         run(eval, opts, rec);
-    return rec.finish();
+    SearchResult result = rec.finish();
+    if (level != obs::MetricsLevel::Off)
+        optMetrics().searches.add();
+    if (level == obs::MetricsLevel::Trace) {
+        obs::Tracer& t = obs::Tracer::global();
+        obs::TraceEvent e;
+        e.name = "opt.search";
+        e.startSeconds = t0;
+        e.durSeconds = t.nowSeconds() - t0;
+        e.i = result.samplesUsed;
+        e.a = result.bestFitness;
+        t.record(std::move(e));
+    }
+    return result;
 }
 
 }  // namespace magma::opt

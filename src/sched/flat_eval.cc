@@ -6,6 +6,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace magma::sched {
 
 std::string
@@ -61,6 +64,9 @@ FlatEvaluator::FlatEvaluator(const MappingEvaluator& ref)
     // the inner loop streams doubles instead of striding over JobProfile
     // records.
     size_t n = static_cast<size_t>(jobs_) * accels_;
+    obs::Span span("sched.flat.compile", static_cast<int64_t>(n));
+    if (obs::countersOn())
+        obs::MetricsRegistry::global().counter("sched.flat.compiles").add();
     no_stall_seconds_.resize(n);
     req_bw_gbps_.resize(n);
     energy_pj_.resize(n);

@@ -10,6 +10,7 @@
 #include "exec/eval_engine.h"
 #include "exec/thread_pool.h"
 #include "m3e/problem.h"
+#include "obs/trace.h"
 #include "opt/magma_ga.h"
 #include "opt/warm_start.h"
 #include "serve/fingerprint.h"
@@ -30,6 +31,7 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 
 MappingService::MappingService(ServiceConfig cfg)
     : cfg_(cfg),
+      reg_(cfg.registry ? cfg.registry : &obs::MetricsRegistry::global()),
       store_(cfg.storeCapacity, cfg.storeShards)
 {
     cfg_.workers = std::max(1, cfg_.workers);
@@ -107,6 +109,11 @@ MappingService::submit(MapRequest req)
     }
     ++queue_depth_;
     ++stats_.submitted;
+    if (obs::countersOn()) {
+        reg_->counter("serve.submitted").add();
+        reg_->gauge("serve.queue_depth")
+            .set(static_cast<double>(queue_depth_));
+    }
     work_cv_.notify_one();
     return future;
 }
@@ -200,13 +207,17 @@ MappingService::workerLoop()
         auto t0 = std::chrono::steady_clock::now();
         MapResponse resp;
         std::exception_ptr error;
-        try {
-            resp = serveOne(p.req, lane_pool.get());
-            resp.serveOrder = serve_order;
-            resp.waitSeconds = wait_seconds;
-            resp.serviceSeconds = secondsSince(t0);
-        } catch (...) {
-            error = std::current_exception();
+        {
+            obs::Span span("serve.request", serve_order);
+            try {
+                resp = serveOne(p.req, lane_pool.get());
+                resp.serveOrder = serve_order;
+                resp.waitSeconds = wait_seconds;
+                resp.serviceSeconds = secondsSince(t0);
+                span.payload(wait_seconds, resp.serviceSeconds);
+            } catch (...) {
+                error = std::current_exception();
+            }
         }
 
         // Commit the counters before fulfilling the future, so a caller
@@ -224,14 +235,43 @@ MappingService::workerLoop()
                     stats_.samplesSaved += std::max<int64_t>(
                         0, p.req.search.sampleBudget - resp.samplesUsed);
             }
+            if (obs::countersOn()) {
+                reg_->gauge("serve.queue_depth")
+                    .set(static_cast<double>(queue_depth_));
+                reg_->gauge("serve.in_flight")
+                    .set(static_cast<double>(in_flight_));
+            }
             if (queueEmpty() && in_flight_ == 0)
                 idle_cv_.notify_all();
         }
+        recordServed(p.req.tenant, error != nullptr, wait_seconds,
+                     resp.serviceSeconds);
         if (error)
             p.promise.set_exception(error);
         else
             p.promise.set_value(std::move(resp));
     }
+}
+
+void
+MappingService::recordServed(const std::string& tenant, bool failed,
+                             double wait_seconds, double service_seconds)
+{
+    if (!obs::countersOn())
+        return;
+    // One registry lookup per request is negligible next to the search
+    // the request just paid for; it also keeps the per-tenant names
+    // dynamic without a local cache to invalidate.
+    if (failed) {
+        reg_->counter("serve.failed").add();
+        return;
+    }
+    reg_->counter("serve.requests").add();
+    reg_->histogram("serve.wait_seconds").record(wait_seconds);
+    reg_->histogram("serve.service_seconds").record(service_seconds);
+    reg_->histogram("serve.wait_seconds." + tenant).record(wait_seconds);
+    reg_->histogram("serve.service_seconds." + tenant)
+        .record(service_seconds);
 }
 
 MapResponse

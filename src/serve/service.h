@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/mapping_store.h"
 #include "serve/request.h"
 
@@ -45,6 +46,14 @@ struct ServiceConfig {
     /** Start worker lanes immediately; false requires an explicit
      * start() (lets tests enqueue a whole trace before admission). */
     bool autoStart = true;
+    /**
+     * Registry the service records into: per-tenant wait/service
+     * histograms ("serve.wait_seconds.<tenant>"), request counters and
+     * queue-depth gauges. Null selects obs::MetricsRegistry::global();
+     * benches pass a local registry so back-to-back configurations
+     * don't bleed into one aggregate. Must outlive the service.
+     */
+    obs::MetricsRegistry* registry = nullptr;
 };
 
 /** Aggregate service counters. */
@@ -136,7 +145,12 @@ class MappingService {
     MapResponse serveOne(const MapRequest& req,
                          exec::ThreadPool* lane_pool);
 
+    /** Record one finished request into the registry (see cfg.registry). */
+    void recordServed(const std::string& tenant, bool failed,
+                      double wait_seconds, double service_seconds);
+
     ServiceConfig cfg_;
+    obs::MetricsRegistry* reg_ = nullptr;  ///< cfg.registry or global
     MappingStore store_;
 
     mutable std::mutex mu_;

@@ -1,0 +1,520 @@
+/**
+ * @file Tests for the observability subsystem (src/obs/): histogram
+ * quantile edge cases (empty, single sample, saturated top bucket,
+ * underflow bucket, shard merges), level parsing, registry identity and
+ * thread-safety, tracer drain ordering and ring-overflow accounting,
+ * snapshot JSON round-trips under randomized (escape-hostile) metric
+ * names, and the invariant the whole subsystem is built around:
+ * fixed-seed search results are bitwise identical whether observability
+ * is off or at full trace.
+ */
+
+#include <cmath>
+#include <future>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "m3e/problem.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+#include "opt/magma_ga.h"
+#include "serve/service.h"
+
+using namespace magma;
+using obs::Histogram;
+using obs::MetricsLevel;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::SnapshotWriter;
+using obs::TraceEvent;
+using obs::Tracer;
+
+namespace {
+
+/** Restore the process metrics level on scope exit. */
+class LevelGuard {
+  public:
+    LevelGuard() : saved_(obs::metricsLevel()) {}
+    ~LevelGuard() { obs::setMetricsLevel(saved_); }
+
+  private:
+    MetricsLevel saved_;
+};
+
+}  // namespace
+
+// -------------------------------------------------- level names ---
+
+TEST(MetricsLevel, NamesRoundTrip)
+{
+    for (MetricsLevel l : {MetricsLevel::Off, MetricsLevel::Counters,
+                           MetricsLevel::Trace}) {
+        EXPECT_EQ(obs::metricsLevelFromName(obs::metricsLevelName(l)), l);
+    }
+    EXPECT_THROW(obs::metricsLevelFromName("verbose"),
+                 std::invalid_argument);
+    EXPECT_THROW(obs::metricsLevelFromName(""), std::invalid_argument);
+}
+
+TEST(MetricsLevel, EffectiveLevelResolvesInherit)
+{
+    LevelGuard guard;
+    obs::setMetricsLevel(MetricsLevel::Trace);
+    EXPECT_EQ(obs::effectiveLevel(MetricsLevel::Inherit),
+              MetricsLevel::Trace);
+    EXPECT_EQ(obs::effectiveLevel(MetricsLevel::Off), MetricsLevel::Off);
+    obs::setMetricsLevel(MetricsLevel::Off);
+    EXPECT_FALSE(obs::countersOn());
+    EXPECT_FALSE(obs::traceOn());
+    obs::setMetricsLevel(MetricsLevel::Counters);
+    EXPECT_TRUE(obs::countersOn());
+    EXPECT_FALSE(obs::traceOn());
+}
+
+// ---------------------------------------------- histogram edges ---
+
+TEST(Histogram, EmptyAnswersZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.min(), 0.0);
+    EXPECT_EQ(h.max(), 0.0);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    EXPECT_EQ(h.quantile(0.5), 0.0);
+    EXPECT_EQ(h.quantile(1.0), 0.0);
+    EXPECT_TRUE(h.buckets().empty());
+}
+
+TEST(Histogram, SingleSampleIsExactEverywhere)
+{
+    Histogram h;
+    h.record(0.0375);
+    EXPECT_EQ(h.count(), 1);
+    EXPECT_EQ(h.min(), 0.0375);
+    EXPECT_EQ(h.max(), 0.0375);
+    // One sample: every quantile must return the sample exactly, not a
+    // bucket midpoint.
+    for (double q : {0.0, 0.01, 0.5, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 0.0375);
+}
+
+TEST(Histogram, SaturatedTopBucketNeverFabricates)
+{
+    Histogram h;
+    // Beyond the 2^64 octave range: both saturate into the top bucket.
+    h.record(1e300);
+    h.record(5e299);
+    EXPECT_EQ(h.count(), 2);
+    EXPECT_EQ(h.max(), 1e300);
+    EXPECT_EQ(h.min(), 5e299);
+    // The top bucket's midpoint is ~2^64; answering it would fabricate a
+    // value 236 orders of magnitude off. The walk must fall back to the
+    // exact extremes instead.
+    EXPECT_EQ(h.quantile(1.0), 1e300);
+    EXPECT_LE(h.quantile(0.9), 1e300);
+    EXPECT_GE(h.quantile(0.1), 5e299);
+}
+
+TEST(Histogram, NonPositiveAndNonFiniteLandInUnderflowBucket)
+{
+    Histogram h;
+    h.record(0.0);
+    h.record(-3.5);
+    h.record(std::numeric_limits<double>::quiet_NaN());
+    h.record(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.count(), 4);
+    obs::HistogramBuckets b = h.buckets();
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b[0].first, 0);  // the dedicated underflow bucket
+    EXPECT_EQ(b[0].second, 4u);
+}
+
+TEST(Histogram, ShardMergeEqualsCombinedRecording)
+{
+    Histogram shard_a, shard_b, combined;
+    common::Rng rng(11);
+    for (int i = 0; i < 4000; ++i) {
+        double v = std::exp(rng.uniform() * 20.0 - 10.0);
+        (i % 2 ? shard_a : shard_b).record(v);
+        combined.record(v);
+    }
+    shard_a.merge(shard_b);
+    EXPECT_EQ(shard_a.count(), combined.count());
+    // Sums accumulate in different orders; only bucket placement and the
+    // exact extremes are order-independent.
+    EXPECT_NEAR(shard_a.sum(), combined.sum(),
+                std::abs(combined.sum()) * 1e-12);
+    EXPECT_EQ(shard_a.min(), combined.min());
+    EXPECT_EQ(shard_a.max(), combined.max());
+    EXPECT_EQ(shard_a.buckets(), combined.buckets());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(shard_a.quantile(q), combined.quantile(q));
+}
+
+TEST(Histogram, QuantileRelativeAccuracy)
+{
+    // Uniform grid: the exact quantile is known, the histogram answer
+    // must be within the documented ~1/kSubBuckets relative error.
+    Histogram h;
+    const int n = 10000;
+    std::vector<double> values;
+    for (int i = 1; i <= n; ++i) {
+        double v = 1e-3 * i;
+        h.record(v);
+        values.push_back(v);
+    }
+    for (double q : {0.10, 0.50, 0.90, 0.99}) {
+        double exact = values[static_cast<size_t>(q * (n - 1))];
+        double got = h.quantile(q);
+        EXPECT_NEAR(got, exact, exact * 0.04)
+            << "q=" << q << " exact=" << exact << " got=" << got;
+    }
+    EXPECT_EQ(h.quantile(0.0), 1e-3);      // exact min
+    EXPECT_EQ(h.quantile(1.0), 1e-3 * n);  // exact max
+}
+
+TEST(Histogram, BucketIndexCoversDynamicRange)
+{
+    for (double v : {1e-18, 1e-6, 0.5, 1.0, 3.0, 1e6, 1e18}) {
+        int idx = Histogram::bucketIndex(v);
+        ASSERT_GT(idx, 0);
+        ASSERT_LT(idx, Histogram::kNumBuckets);
+        // The representative midpoint stays within one sub-bucket width.
+        EXPECT_NEAR(Histogram::bucketValue(idx), v, v / Histogram::kSubBuckets)
+            << "v=" << v;
+    }
+    EXPECT_EQ(Histogram::bucketIndex(-1.0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(0.0), 0);
+}
+
+// ----------------------------------------------------- registry ---
+
+TEST(MetricsRegistry, SameNameSameObject)
+{
+    MetricsRegistry reg;
+    EXPECT_EQ(&reg.counter("a.b"), &reg.counter("a.b"));
+    EXPECT_EQ(&reg.gauge("a.b"), &reg.gauge("a.b"));
+    EXPECT_EQ(&reg.histogram("a.b"), &reg.histogram("a.b"));
+    // Kinds have independent namespaces.
+    EXPECT_NE(static_cast<void*>(&reg.counter("a.b")),
+              static_cast<void*>(&reg.gauge("a.b")));
+    EXPECT_EQ(reg.findCounter("missing"), nullptr);
+    EXPECT_EQ(reg.findGauge("missing"), nullptr);
+    EXPECT_EQ(reg.findHistogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingLosesNothing)
+{
+    MetricsRegistry reg;
+    obs::Counter& c = reg.counter("t.count");
+    obs::Histogram& h = reg.histogram("t.hist");
+    const int threads = 4, per_thread = 20000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([&, t] {
+            for (int i = 0; i < per_thread; ++i) {
+                c.add(1);
+                h.record(1.0 + t);
+            }
+        });
+    for (auto& th : pool)
+        th.join();
+    EXPECT_EQ(c.value(), int64_t{threads} * per_thread);
+    EXPECT_EQ(h.count(), int64_t{threads} * per_thread);
+    EXPECT_EQ(h.min(), 1.0);
+    EXPECT_EQ(h.max(), 4.0);
+}
+
+TEST(MetricsRegistry, GaugeProvidersRunBeforeVisit)
+{
+    MetricsRegistry reg;
+    int runs = 0;
+    reg.addGaugeProvider([&runs](MetricsRegistry& r) {
+        r.gauge("pull.value").set(++runs);
+    });
+    MetricsSnapshot snap = SnapshotWriter::capture("test", reg);
+    const obs::GaugeSnap* g = snap.findGauge("pull.value");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->value, 1.0);
+    snap = SnapshotWriter::capture("test", reg);
+    EXPECT_EQ(snap.findGauge("pull.value")->value, 2.0);
+}
+
+// ------------------------------------------------------- tracer ---
+
+TEST(Tracer, DrainMergesInStartOrderAndCountsDrops)
+{
+    LevelGuard guard;
+    obs::setMetricsLevel(MetricsLevel::Trace);
+    Tracer& tracer = Tracer::global();
+    tracer.drain();  // clear anything earlier tests traced
+
+    // Overflow one thread's ring: capacity + extra events.
+    const size_t extra = 100;
+    for (size_t i = 0; i < Tracer::kRingCapacity + extra; ++i)
+        obs::traceInstant("t.overflow", static_cast<int64_t>(i));
+    // A second thread contributes its own ring.
+    std::thread([] {
+        for (int i = 0; i < 10; ++i)
+            obs::traceInstant("t.other", i);
+    }).join();
+
+    int64_t dropped = -1;
+    std::vector<TraceEvent> events = tracer.drain(&dropped);
+    EXPECT_EQ(dropped, static_cast<int64_t>(extra));
+    EXPECT_EQ(events.size(), Tracer::kRingCapacity + 10);
+    for (size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].startSeconds, events[i].startSeconds);
+    // The oldest `extra` events were overwritten: the survivors on the
+    // overflowed ring start at index `extra`.
+    int64_t min_overflow_i = std::numeric_limits<int64_t>::max();
+    for (const TraceEvent& e : events)
+        if (e.name == "t.overflow")
+            min_overflow_i = std::min(min_overflow_i, e.i);
+    EXPECT_EQ(min_overflow_i, static_cast<int64_t>(extra));
+
+    // Drain clears: a second drain is empty with zero drops.
+    dropped = -1;
+    EXPECT_TRUE(tracer.drain(&dropped).empty());
+    EXPECT_EQ(dropped, 0);
+}
+
+TEST(Tracer, SpanIsNoOpWhenTracingOff)
+{
+    LevelGuard guard;
+    obs::setMetricsLevel(MetricsLevel::Counters);
+    Tracer::global().drain();
+    {
+        obs::Span span("t.silent", 7);
+        span.payload(1.0, 2.0);
+    }
+    obs::traceInstant("t.silent2", 1);
+    EXPECT_TRUE(Tracer::global().drain().empty());
+}
+
+// --------------------------------------------- snapshot round-trip ---
+
+namespace {
+
+/** A name that stresses JSON escaping: quotes, backslashes, newlines,
+ * control chars, and high-bit bytes. */
+std::string
+hostileName(common::Rng& rng, int salt)
+{
+    static const char kAlphabet[] =
+        "abcXYZ019._-\"\\\n\t\r\x01\x1f{}[]:,/ \xc3\xa9";
+    std::string name = "m" + std::to_string(salt) + ".";
+    int len = 1 + rng.uniformInt(12);
+    for (int i = 0; i < len; ++i)
+        name += kAlphabet[rng.uniformInt(sizeof(kAlphabet) - 1)];
+    return name;
+}
+
+double
+hostileDouble(common::Rng& rng)
+{
+    switch (rng.uniformInt(6)) {
+    case 0: return 0.1 + 0.2;
+    case 1: return 1e-317;  // subnormal
+    case 2: return -1.0 / 3.0;
+    // NaN is the one non-finite that round-trips (null <-> NaN); +/-inf
+    // collapses to NaN by design, so it lives in its own test below.
+    case 3: return std::numeric_limits<double>::quiet_NaN();
+    case 4: return 1.7e308;
+    default: return rng.uniform() * 1e6 - 5e5;
+    }
+}
+
+}  // namespace
+
+TEST(MetricsSnapshot, RoundTripsUnderRandomizedHostileNames)
+{
+    common::Rng rng(2026);
+    for (int trial = 0; trial < 25; ++trial) {
+        MetricsSnapshot snap;
+        snap.source = hostileName(rng, trial);
+        snap.level = trial % 2 ? MetricsLevel::Trace : MetricsLevel::Off;
+        int salt = 0;
+        for (int i = 0; i < 1 + rng.uniformInt(4); ++i)
+            snap.counters.push_back(
+                {hostileName(rng, ++salt),
+                 static_cast<int64_t>(rng.engine()())});
+        for (int i = 0; i < 1 + rng.uniformInt(4); ++i)
+            snap.gauges.push_back(
+                {hostileName(rng, ++salt), hostileDouble(rng)});
+        for (int i = 0; i < 1 + rng.uniformInt(3); ++i) {
+            obs::HistogramSnap h;
+            h.name = hostileName(rng, ++salt);
+            h.count = 3;
+            h.sum = hostileDouble(rng);
+            h.min = 0.5;
+            h.max = 2.0;
+            h.buckets = {{0, 1},
+                         {Histogram::bucketIndex(1.0), 2}};
+            snap.histograms.push_back(std::move(h));
+        }
+        for (int i = 0; i < rng.uniformInt(5); ++i) {
+            TraceEvent e;
+            e.name = hostileName(rng, ++salt);
+            e.startSeconds = rng.uniform();
+            e.durSeconds = hostileDouble(rng);
+            e.thread = rng.uniformInt(8);
+            e.i = static_cast<int64_t>(rng.engine()());
+            e.a = hostileDouble(rng);
+            e.b = rng.uniform();
+            snap.spans.push_back(std::move(e));
+        }
+        snap.spansDropped = rng.uniformInt(10);
+
+        std::string text = snap.toJson();
+        MetricsSnapshot back = MetricsSnapshot::fromJson(text);
+        EXPECT_EQ(back, snap) << "trial " << trial << "\n" << text;
+        // And the text itself is a fixed point.
+        EXPECT_EQ(back.toJson(), text);
+    }
+}
+
+TEST(MetricsSnapshot, NonFiniteDoublesCollapseToNaN)
+{
+    MetricsSnapshot snap;
+    snap.source = "nonfinite";
+    snap.gauges.push_back(
+        {"g.inf", std::numeric_limits<double>::infinity()});
+    snap.gauges.push_back(
+        {"g.ninf", -std::numeric_limits<double>::infinity()});
+    snap.gauges.push_back(
+        {"g.nan", std::numeric_limits<double>::quiet_NaN()});
+    MetricsSnapshot back = MetricsSnapshot::fromJson(snap.toJson());
+    ASSERT_EQ(back.gauges.size(), 3u);
+    for (const obs::GaugeSnap& g : back.gauges)
+        EXPECT_TRUE(std::isnan(g.value)) << g.name;
+    // A second trip is lossless: null <-> NaN is the fixed point.
+    EXPECT_EQ(MetricsSnapshot::fromJson(back.toJson()), back);
+}
+
+TEST(MetricsSnapshot, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(MetricsSnapshot::fromJson(""), std::invalid_argument);
+    EXPECT_THROW(MetricsSnapshot::fromJson("{}"), std::invalid_argument);
+    EXPECT_THROW(MetricsSnapshot::fromJson("{\"schema\": 99}"),
+                 std::invalid_argument);
+    MetricsSnapshot snap;
+    snap.source = "x";
+    std::string good = snap.toJson();
+    EXPECT_THROW(
+        MetricsSnapshot::fromJson(good.substr(0, good.size() - 2)),
+        std::invalid_argument);
+}
+
+TEST(MetricsSnapshot, CapturedQuantilesSurviveRoundTrip)
+{
+    MetricsRegistry reg;
+    obs::Histogram& h = reg.histogram("rt.latency");
+    common::Rng rng(5);
+    for (int i = 0; i < 5000; ++i)
+        h.record(std::exp(rng.uniform() * 10.0 - 5.0));
+    MetricsSnapshot snap = SnapshotWriter::capture("test", reg);
+    MetricsSnapshot back = MetricsSnapshot::fromJson(snap.toJson());
+    const obs::HistogramSnap* live = snap.findHistogram("rt.latency");
+    const obs::HistogramSnap* parsed = back.findHistogram("rt.latency");
+    ASSERT_NE(live, nullptr);
+    ASSERT_NE(parsed, nullptr);
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(parsed->quantile(q), live->quantile(q)) << "q=" << q;
+    EXPECT_EQ(parsed->quantile(0.5), h.quantile(0.5));
+}
+
+// ----------------------------------- the determinism invariant ---
+
+TEST(Observability, FixedSeedSearchBitwiseIdenticalOffVsTrace)
+{
+    LevelGuard guard;
+    auto run = [](MetricsLevel level) {
+        obs::setMetricsLevel(level);
+        auto problem = m3e::makeProblem(dnn::TaskType::Mix,
+                                        accel::Setting::S2, 4.0, 12, 9);
+        opt::MagmaGa ga(9);
+        opt::SearchOptions opts;
+        opts.sampleBudget = 400;
+        opt::SearchResult r = ga.search(problem->evaluator(), opts);
+        Tracer::global().drain();  // don't leak spans into later tests
+        return r;
+    };
+    opt::SearchResult off = run(MetricsLevel::Off);
+    opt::SearchResult trace = run(MetricsLevel::Trace);
+    EXPECT_EQ(off.bestFitness, trace.bestFitness);  // bitwise
+    EXPECT_EQ(off.best, trace.best);
+    EXPECT_EQ(off.samplesUsed, trace.samplesUsed);
+}
+
+TEST(Observability, SearchOptionsOverrideTracesBelowProcessLevel)
+{
+    LevelGuard guard;
+    obs::setMetricsLevel(MetricsLevel::Counters);
+    Tracer::global().drain();
+    auto problem = m3e::makeProblem(dnn::TaskType::Mix, accel::Setting::S2,
+                                    4.0, 12, 3);
+    opt::MagmaGa ga(3);
+    opt::SearchOptions opts;
+    opts.sampleBudget = 300;
+    opts.metrics = MetricsLevel::Trace;  // per-search escalation
+    ga.search(problem->evaluator(), opts);
+    std::vector<TraceEvent> events = Tracer::global().drain();
+    int generations = 0;
+    for (const TraceEvent& e : events)
+        generations += e.name == "opt.generation";
+    EXPECT_GT(generations, 0);
+}
+
+// ------------------------------------------- serve integration ---
+
+TEST(Observability, ServeRecordsPerTenantHistograms)
+{
+    LevelGuard guard;
+    obs::setMetricsLevel(MetricsLevel::Counters);
+    MetricsRegistry reg;
+    serve::ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.registry = &reg;
+    serve::MappingService service(cfg);
+    std::vector<std::future<serve::MapResponse>> futures;
+    for (int i = 0; i < 4; ++i) {
+        serve::MapRequest req;
+        req.tenant = "tenant-" + std::to_string(i % 2);
+        req.problem.task = dnn::TaskType::Mix;
+        req.problem.groupSize = 10;
+        req.problem.workloadSeed = 40 + i;
+        req.problem.setting = accel::Setting::S2;
+        req.problem.systemBwGbps = 4.0;
+        req.search.sampleBudget = 200;
+        req.search.seed = 40 + i;
+        futures.push_back(service.submit(std::move(req)));
+    }
+    for (auto& f : futures)
+        f.get();
+    service.stop();
+
+    const obs::Counter* served = reg.findCounter("serve.requests");
+    ASSERT_NE(served, nullptr);
+    EXPECT_EQ(served->value(), 4);
+    for (const char* name :
+         {"serve.wait_seconds", "serve.service_seconds",
+          "serve.wait_seconds.tenant-0", "serve.wait_seconds.tenant-1",
+          "serve.service_seconds.tenant-0",
+          "serve.service_seconds.tenant-1"}) {
+        const obs::Histogram* h = reg.findHistogram(name);
+        ASSERT_NE(h, nullptr) << name;
+        EXPECT_GT(h->count(), 0) << name;
+    }
+    // Aggregate = sum of the tenant shards.
+    EXPECT_EQ(reg.findHistogram("serve.wait_seconds")->count(),
+              reg.findHistogram("serve.wait_seconds.tenant-0")->count() +
+                  reg.findHistogram("serve.wait_seconds.tenant-1")->count());
+}
