@@ -1,0 +1,307 @@
+#include "dyn/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "api/registry.h"
+#include "dnn/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "opt/magma_ga.h"
+#include "opt/warm_start.h"
+#include "sched/evaluator.h"
+#include "serve/fingerprint.h"
+
+namespace magma::dyn {
+
+namespace {
+
+/** Per-event deterministic seed: replays depend on (trace, config)
+ * only, never on wall clock or thread interleaving. */
+uint64_t
+eventSeed(uint64_t base_seed, int64_t event_index)
+{
+    return base_seed +
+           0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(event_index + 1);
+}
+
+}  // namespace
+
+std::string
+remapSourceName(RemapSource s)
+{
+    switch (s) {
+    case RemapSource::Cold:
+        return "cold";
+    case RemapSource::Previous:
+        return "previous";
+    case RemapSource::Store:
+        return "store";
+    case RemapSource::Archive:
+        return "archive";
+    }
+    return "?";
+}
+
+EventEngine::EventEngine(DynConfig cfg) : cfg_(std::move(cfg)) {}
+
+void
+EventEngine::reset(const api::ProblemSpec& base)
+{
+    base_ = base;
+    platform_ = api::buildPlatform(base);
+    ready_ = true;
+    eventIndex_ = 0;
+    bundles_.clear();
+    mapping_ = sched::Mapping{};
+    group_ = dnn::JobGroup{};
+    ids_.clear();
+    placement_.clear();
+}
+
+int
+EventEngine::activeJobs() const
+{
+    int total = 0;
+    for (const Bundle& b : bundles_)
+        total += static_cast<int>(b.jobs.size());
+    return total;
+}
+
+dnn::JobGroup
+EventEngine::buildGroup(std::vector<std::string>* ids) const
+{
+    dnn::JobGroup group;
+    group.task = base_.task;
+    ids->clear();
+    for (const Bundle& b : bundles_) {
+        for (size_t i = 0; i < b.jobs.size(); ++i) {
+            group.jobs.push_back(b.jobs[i]);
+            // Job ids are genome positions everywhere downstream
+            // (decode's tie-break, the analysis table), so re-number the
+            // concatenation; the bundle identity carries continuity.
+            group.jobs.back().id = static_cast<int>(group.jobs.size()) - 1;
+            ids->push_back(b.name + '@' + std::to_string(b.gen) + '#' +
+                           std::to_string(i));
+        }
+    }
+    return group;
+}
+
+EventRecord
+EventEngine::step(const WorkloadEvent& ev)
+{
+    if (!ready_)
+        throw std::logic_error("EventEngine::step before reset()");
+
+    EventRecord rec;
+    rec.event = ev;
+
+    // 1. Rebuild the active set. Swap keeps the bundle's slot (and thus
+    // the group order) but regenerates its jobs, so swapped jobs look
+    // new to the reconfig bill while every other bundle's jobs keep
+    // their identities.
+    auto found = std::find_if(
+        bundles_.begin(), bundles_.end(),
+        [&](const Bundle& b) { return b.name == ev.bundle; });
+    switch (ev.kind) {
+    case EventKind::Arrive: {
+        if (found != bundles_.end())
+            throw std::invalid_argument(
+                "EventEngine: arrive of active bundle '" + ev.bundle +
+                "'");
+        dnn::WorkloadGenerator gen(ev.seed);
+        bundles_.push_back(
+            Bundle{ev.bundle, 0, gen.makeGroup(ev.task, ev.jobs).jobs});
+        break;
+    }
+    case EventKind::Depart:
+        if (found == bundles_.end())
+            throw std::invalid_argument(
+                "EventEngine: depart of inactive bundle '" + ev.bundle +
+                "'");
+        bundles_.erase(found);
+        break;
+    case EventKind::Swap: {
+        if (found == bundles_.end())
+            throw std::invalid_argument(
+                "EventEngine: swap of inactive bundle '" + ev.bundle +
+                "'");
+        dnn::WorkloadGenerator gen(ev.seed ^ 0x5a5a5a5aULL);
+        found->jobs = gen.makeGroup(ev.task, ev.jobs).jobs;
+        // New generation: the regenerated jobs must not inherit the old
+        // bundle's identities (they are different jobs — the reconfig
+        // bill and the matched transfer both treat them as new).
+        ++found->gen;
+        break;
+    }
+    }
+
+    const int64_t event_index = eventIndex_++;
+    bool counters = obs::countersOn();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    if (counters)
+        reg.counter("dyn.events").add();
+
+    std::vector<std::string> ids;
+    dnn::JobGroup group = buildGroup(&ids);
+    rec.activeJobs = group.size();
+    if (group.jobs.empty()) {
+        // The platform drained; nothing to map until the next arrival.
+        mapping_ = sched::Mapping{};
+        group_ = std::move(group);
+        ids_.clear();
+        placement_.clear();
+        return rec;
+    }
+
+    sched::MappingEvaluator eval(group, platform_, model_, base_.bwPolicy,
+                                 nullptr, cfg_.search.objective);
+    const int pop = std::clamp(eval.groupSize(), 8, 100);
+    const int64_t warm_budget =
+        cfg_.remapBudget > 0
+            ? cfg_.remapBudget
+            : std::max<int64_t>(pop, cfg_.search.sampleBudget / 4);
+    const uint64_t seed = eventSeed(cfg_.search.seed, event_index);
+    common::Rng adapt_rng(seed ^ 0xad4f7ULL);
+
+    // 2. Seed the re-map, best knowledge first: the running mapping
+    // (exact identity match), then the serve store's fingerprint tiers,
+    // then Pareto-archive members, then cold.
+    opt::SearchOptions opts;
+    opts.sampleBudget = cfg_.search.sampleBudget;
+    opts.threads = cfg_.search.threads;
+    opts.evalMode = cfg_.search.eval;
+    serve::Fingerprint fp =
+        serve::fingerprintOf(group, platform_, cfg_.search.objective);
+    std::optional<serve::MappingStore::Hit> hit;
+    if (cfg_.warmRemap && mapping_.size() > 0) {
+        std::map<std::string, int> prev_index;
+        for (size_t i = 0; i < ids_.size(); ++i)
+            prev_index[ids_[i]] = static_cast<int>(i);
+        std::vector<int> match(ids.size(), -1);
+        for (size_t i = 0; i < ids.size(); ++i)
+            if (auto it = prev_index.find(ids[i]); it != prev_index.end())
+                match[i] = it->second;
+        sched::Mapping base = opt::transfer::adaptMatched(
+            mapping_, group_, group, match, eval.numAccels(), adapt_rng);
+        opts.seeds = opt::transfer::seedsAround(base, pop,
+                                                eval.numAccels(),
+                                                adapt_rng);
+        opts.sampleBudget = warm_budget;
+        rec.source = RemapSource::Previous;
+    } else if (cfg_.warmRemap && cfg_.store &&
+               (hit = cfg_.store->lookup(fp))) {
+        sched::Mapping base =
+            hit->entry.group.jobs.empty()
+                ? opt::transfer::adaptPositional(hit->entry.mapping,
+                                                 eval.groupSize(),
+                                                 eval.numAccels())
+                : opt::transfer::adaptJobMatched(
+                      hit->entry.mapping, hit->entry.group, group,
+                      eval.numAccels(), adapt_rng);
+        opts.seeds = opt::transfer::seedsAround(base, pop,
+                                                eval.numAccels(),
+                                                adapt_rng);
+        opts.sampleBudget = warm_budget;
+        rec.source = RemapSource::Store;
+    } else if (cfg_.warmRemap && cfg_.archive && !cfg_.archive->empty()) {
+        // Archive members are generic knowledge, so this tier keeps the
+        // FULL cold budget (a quality head start, not a cost cut) — the
+        // same policy as serve::MappingService's third tier.
+        std::vector<sched::Mapping> adapted;
+        for (const sched::Mapping& m : cfg_.archive->seedMappings()) {
+            if (static_cast<int>(adapted.size()) >= pop)
+                break;
+            adapted.push_back(opt::transfer::adaptPositional(
+                m, eval.groupSize(), eval.numAccels()));
+        }
+        opts.seeds = adapted;
+        for (size_t k = 0; static_cast<int>(opts.seeds.size()) < pop;
+             ++k) {
+            sched::Mapping m = adapted[k % adapted.size()];
+            opt::MagmaGa::mutate(m, 0.05, eval.numAccels(), adapt_rng);
+            opts.seeds.push_back(std::move(m));
+        }
+        rec.source = RemapSource::Archive;
+    }
+    rec.budget = opts.sampleBudget;
+
+    // 3. Search. MAGMA keeps the paper's population-tracks-group-size
+    // rule (the registry factory uses a fixed default).
+    std::string method =
+        api::OptimizerRegistry::global().resolve(cfg_.search.method);
+    std::unique_ptr<opt::Optimizer> optimizer;
+    if (method == "MAGMA") {
+        opt::MagmaConfig ga;
+        ga.population = pop;
+        optimizer = std::make_unique<opt::MagmaGa>(seed, ga);
+    } else {
+        optimizer = api::OptimizerRegistry::global().make(method, seed);
+    }
+    opt::SearchResult res;
+    {
+        obs::Span span("dyn.remap", event_index);
+        res = optimizer->search(eval, opts);
+        span.payload(res.bestFitness,
+                     static_cast<double>(res.samplesUsed));
+    }
+    if (counters) {
+        reg.counter("dyn.remaps").add();
+        reg.histogram("dyn.remap_samples")
+            .record(static_cast<double>(res.samplesUsed));
+    }
+
+    // 4. Bill the transition and simulate the schedule with the stalls
+    // inside it.
+    rec.charge = computeReconfig(placement_, ids, group, res.best,
+                                 base_.systemBwGbps, cfg_.reconfig);
+    sched::ScheduleResult with_setup =
+        eval.evaluateWithSetup(res.best, rec.charge.setupSeconds);
+    sched::ScheduleResult steady = eval.evaluate(res.best);
+    rec.samplesUsed = res.samplesUsed;
+    rec.fitness = res.bestFitness;
+    rec.makespanSeconds = with_setup.makespanSeconds;
+    rec.steadyMakespanSeconds = steady.makespanSeconds;
+    rec.mapping = res.best;
+    if (counters && rec.charge.totalStallSeconds > 0.0)
+        reg.histogram("dyn.stall_seconds")
+            .record(rec.charge.totalStallSeconds);
+
+    if (cfg_.store)
+        cfg_.store->update(fp, group.task, res.best, group,
+                           res.bestFitness, res.samplesUsed);
+
+    // 5. Commit the running solution.
+    mapping_ = res.best;
+    group_ = std::move(group);
+    ids_ = std::move(ids);
+    placement_.clear();
+    for (size_t i = 0; i < ids_.size(); ++i)
+        placement_.emplace_back(ids_[i], mapping_.accelSel[i]);
+    return rec;
+}
+
+DynResult
+EventEngine::replay(const WorkloadTrace& trace)
+{
+    trace.validate();
+    reset(trace.base);
+    DynResult result;
+    result.records.reserve(trace.events.size());
+    for (const WorkloadEvent& ev : trace.events) {
+        EventRecord rec = step(ev);
+        result.totalSamples += rec.samplesUsed;
+        result.totalStallSeconds += rec.charge.totalStallSeconds;
+        result.totalReloadBytes += rec.charge.reloadBytes;
+        result.finalMakespanSeconds = rec.steadyMakespanSeconds;
+        result.finalFitness = rec.fitness;
+        result.records.push_back(std::move(rec));
+    }
+    return result;
+}
+
+}  // namespace magma::dyn

@@ -1,0 +1,153 @@
+#ifndef MAGMA_DYN_ENGINE_H_
+#define MAGMA_DYN_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/platform.h"
+#include "api/spec.h"
+#include "cost/cost_model.h"
+#include "dyn/reconfig.h"
+#include "dyn/trace.h"
+#include "mo/pareto.h"
+#include "sched/mapping.h"
+#include "serve/mapping_store.h"
+
+namespace magma::dyn {
+
+/**
+ * Knobs of one dynamic replay. `search` supplies the method, objective,
+ * seed, thread count, eval kernel and — as `sampleBudget` — the COLD
+ * search budget (what an event pays when no previous knowledge applies).
+ * `remapBudget` is the incremental per-event budget once knowledge
+ * exists (<= 0 selects sampleBudget / 4, the Table V warm regime);
+ * `warmRemap = false` ablates transfer entirely, making every event a
+ * cold full-budget search — the baseline bench_dyn_churn compares
+ * against.
+ *
+ * `store`/`archive` wire in the serve-layer warm tiers: when the running
+ * mapping cannot seed an event (the first one), the engine falls back to
+ * a fingerprint MappingStore lookup, then to Pareto-archive seeds, then
+ * to a cold search — the same tier order serve::MappingService uses.
+ * Both are optional and read (the store is also written back) only
+ * between searches, never concurrently.
+ */
+struct DynConfig {
+    api::SearchSpec search;
+    int64_t remapBudget = 0;  ///< <= 0: search.sampleBudget / 4
+    bool warmRemap = true;
+    ReconfigSpec reconfig;
+    serve::MappingStore* store = nullptr;
+    const mo::ParetoArchive* archive = nullptr;
+};
+
+/** How an event's search was seeded (EventRecord::source). */
+enum class RemapSource { Cold, Previous, Store, Archive };
+
+/** Source name ("cold", "previous", "store", "archive"). */
+std::string remapSourceName(RemapSource s);
+
+/**
+ * Outcome of one replayed event: the trace event echoed back, the
+ * re-mapping search's provenance and cost, and the schedule quality of
+ * the new mapping — `makespanSeconds` WITH the reconfiguration stalls
+ * charged inside the simulation (what this transition really costs) and
+ * `steadyMakespanSeconds` without them (what the active set sustains
+ * once reconfiguration amortizes; the quality bench_dyn_churn compares).
+ */
+struct EventRecord {
+    WorkloadEvent event;
+    int activeJobs = 0;
+    RemapSource source = RemapSource::Cold;
+    int64_t budget = 0;       ///< sample budget granted to this search
+    int64_t samplesUsed = 0;  ///< samples actually spent
+    double fitness = 0.0;     ///< search objective value (steady state)
+    double makespanSeconds = 0.0;
+    double steadyMakespanSeconds = 0.0;
+    ReconfigCharge charge;
+    sched::Mapping mapping;
+};
+
+/** Outcome of a whole trace replay. */
+struct DynResult {
+    std::vector<EventRecord> records;
+    int64_t totalSamples = 0;
+    double totalStallSeconds = 0.0;
+    double totalReloadBytes = 0.0;
+    /** Steady-state makespan after the last event (0 when it empties
+     * the platform). */
+    double finalMakespanSeconds = 0.0;
+    double finalFitness = 0.0;
+};
+
+/**
+ * The dynamic-workload engine (tentpole of src/dyn/): advances virtual
+ * time through a WorkloadTrace, rebuilds the active job set at each
+ * Arrive/Depart/Swap, and re-maps it incrementally — warm-started from
+ * the running mapping via opt::transfer::adaptMatched (the engine knows
+ * every job's bundle identity, so survivors keep their genes verbatim),
+ * falling back to the MappingStore and ParetoArchive tiers, then cold.
+ * Each event's ReconfigCost (re-tiling stalls + weight reloads for
+ * moved/new jobs) is charged inside the schedule simulation via
+ * MappingEvaluator::evaluateWithSetup, so churn shows up in makespan
+ * rather than a side ledger.
+ *
+ * Determinism: for a fixed trace and DynConfig the replay is bitwise
+ * reproducible at any `search.threads` count — every RNG is seeded from
+ * (search.seed, event index), wall-clock never feeds back into results,
+ * and the search layer's batch bookkeeping is submission-ordered.
+ *
+ * Use replay() for a whole trace, or reset() + step() to drive events
+ * one at a time (the m3e_dyn CLI streams records as it steps).
+ */
+class EventEngine {
+  public:
+    explicit EventEngine(DynConfig cfg);
+
+    /** Start over on a trace's base problem (platform, policy, BW). */
+    void reset(const api::ProblemSpec& base);
+
+    /** Apply one event: update the active set, re-map, charge reconfig.
+     * Events must arrive in trace order (validate() invariants). */
+    EventRecord step(const WorkloadEvent& ev);
+
+    /** reset(trace.base), then step() every event. */
+    DynResult replay(const WorkloadTrace& trace);
+
+    /** Jobs currently active (sum over live bundles). */
+    int activeJobs() const;
+    /** The running mapping (empty before the first non-empty remap). */
+    const sched::Mapping& mapping() const { return mapping_; }
+
+  private:
+    struct Bundle {
+        std::string name;
+        int gen = 0;  ///< bumped by Swap: swapped-in jobs are NEW jobs
+        std::vector<dnn::Job> jobs;
+    };
+
+    /** Concatenate live bundles (insertion order) into a JobGroup and
+     * the parallel per-job identity list ("bundle@gen#index"). */
+    dnn::JobGroup buildGroup(std::vector<std::string>* ids) const;
+
+    DynConfig cfg_;
+    api::ProblemSpec base_;
+    accel::Platform platform_;
+    cost::CostModel model_;
+    bool ready_ = false;
+    int64_t eventIndex_ = 0;
+
+    std::vector<Bundle> bundles_;  // live, insertion order
+    // Running solution: the mapping over group_/ids_ plus each job's
+    // placement keyed by identity (what computeReconfig bills against).
+    sched::Mapping mapping_;
+    dnn::JobGroup group_;
+    std::vector<std::string> ids_;
+    std::vector<std::pair<std::string, int>> placement_;
+};
+
+}  // namespace magma::dyn
+
+#endif  // MAGMA_DYN_ENGINE_H_

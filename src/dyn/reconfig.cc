@@ -1,0 +1,48 @@
+#include "dyn/reconfig.h"
+
+#include <cassert>
+#include <map>
+
+namespace magma::dyn {
+
+ReconfigCharge
+computeReconfig(
+    const std::vector<std::pair<std::string, int>>& prev_accel_of,
+    const std::vector<std::string>& ids, const dnn::JobGroup& group,
+    const sched::Mapping& next, double system_bw_gbps,
+    const ReconfigSpec& spec)
+{
+    assert(static_cast<int>(ids.size()) == group.size());
+    assert(next.size() == group.size());
+    std::map<std::string, int> prev(prev_accel_of.begin(),
+                                    prev_accel_of.end());
+
+    ReconfigCharge charge;
+    charge.setupSeconds.assign(ids.size(), 0.0);
+    for (size_t i = 0; i < ids.size(); ++i) {
+        auto it = prev.find(ids[i]);
+        bool is_new = it == prev.end();
+        bool moved = !is_new && it->second != next.accelSel[i];
+        if (is_new)
+            ++charge.newJobs;
+        else if (moved)
+            ++charge.movedJobs;
+        else
+            ++charge.keptJobs;
+        if (!(moved || (is_new && spec.chargeArrivals)))
+            continue;
+        double setup = spec.retileStallSeconds;
+        if (spec.chargeWeightReload) {
+            double bytes =
+                static_cast<double>(group.jobs[i].layer.weightElems()) *
+                spec.bytesPerElem;
+            charge.reloadBytes += bytes;
+            setup += bytes / (system_bw_gbps * 1e9);
+        }
+        charge.setupSeconds[i] = setup;
+        charge.totalStallSeconds += setup;
+    }
+    return charge;
+}
+
+}  // namespace magma::dyn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
@@ -17,7 +18,10 @@ jobKey(const dnn::Job& job, bool with_size)
 {
     // Appended piecewise: `+= "/" + std::to_string(...)` trips GCC 12's
     // -Wrestrict false positive (PR 105651) under -O2.
-    std::string key = dnn::taskTypeName(job.task);
+    std::string key = "f:";
+    if (!with_size)
+        key = "c:";
+    key += dnn::taskTypeName(job.task);
     key += '/';
     key += dnn::layerTypeName(job.layer.type);
     if (with_size) {
@@ -29,6 +33,56 @@ jobKey(const dnn::Job& job, bool with_size)
     }
     return key;
 }
+
+/** Exact identity bucket: model + full layer signature + batch — the
+ * tier a job surviving across events lands in, so it inherits its own
+ * gene (duplicates round-robin over the duplicate pool in order). */
+std::string
+exactKey(const dnn::Job& job)
+{
+    std::string key = "e:";
+    key += job.model;
+    key += '/';
+    key += dnn::taskTypeName(job.task);
+    key += '/';
+    key += job.layer.toString();
+    key += '/';
+    key += std::to_string(job.batch);
+    return key;
+}
+
+/**
+ * Similarity index over a stored group: exact -> fine -> coarse bucket
+ * pools with per-bucket round-robin cursors, shared by adaptJobMatched
+ * and adaptMatched so the two paths cannot drift.
+ */
+struct MatchIndex {
+    std::unordered_map<std::string, std::vector<int>> pools;
+    std::unordered_map<std::string, int> cursor;
+
+    explicit MatchIndex(const dnn::JobGroup& stored_group)
+    {
+        for (int j = 0; j < stored_group.size(); ++j) {
+            const dnn::Job& job = stored_group.jobs[j];
+            pools[exactKey(job)].push_back(j);
+            pools[jobKey(job, true)].push_back(j);
+            pools[jobKey(job, false)].push_back(j);
+        }
+    }
+
+    /** Stored-job index for `job`, or -1 when no tier matches. */
+    int matchFor(const dnn::Job& job)
+    {
+        for (const std::string& key :
+             {exactKey(job), jobKey(job, true), jobKey(job, false)}) {
+            auto it = pools.find(key);
+            if (it != pools.end())
+                return it->second[cursor[key]++ %
+                                  static_cast<int>(it->second.size())];
+        }
+        return -1;
+    }
+};
 
 }  // namespace
 
@@ -65,32 +119,45 @@ adaptJobMatched(const sched::Mapping& stored,
                 const dnn::JobGroup& target, int num_accels,
                 common::Rng& rng)
 {
-    // Index the stored jobs by similarity bucket (fine and coarse).
-    std::unordered_map<std::string, std::vector<int>> fine, coarse;
-    for (int j = 0; j < stored_group.size(); ++j) {
-        fine[jobKey(stored_group.jobs[j], true)].push_back(j);
-        coarse[jobKey(stored_group.jobs[j], false)].push_back(j);
-    }
-
+    MatchIndex index(stored_group);
     sched::Mapping base;
     base.accelSel.resize(target.size());
     base.priority.resize(target.size());
-    std::unordered_map<std::string, int> cursor;  // round-robin per bucket
     for (int i = 0; i < target.size(); ++i) {
-        const dnn::Job& job = target.jobs[i];
-        const std::vector<int>* pool = nullptr;
-        std::string key = jobKey(job, true);
-        auto fit = fine.find(key);
-        if (fit != fine.end()) {
-            pool = &fit->second;
+        int src = index.matchFor(target.jobs[i]);
+        if (src >= 0) {
+            base.accelSel[i] = std::min(stored.accelSel[src],
+                                        num_accels - 1);
+            base.priority[i] = stored.priority[src];
         } else {
-            key = jobKey(job, false);
-            auto cit = coarse.find(key);
-            if (cit != coarse.end())
-                pool = &cit->second;
+            base.accelSel[i] = rng.uniformInt(num_accels);
+            base.priority[i] = rng.uniform();
         }
-        if (pool) {
-            int src = (*pool)[cursor[key]++ % pool->size()];
+    }
+    return base;
+}
+
+sched::Mapping
+adaptMatched(const sched::Mapping& stored,
+             const dnn::JobGroup& stored_group, const dnn::JobGroup& target,
+             const std::vector<int>& match, int num_accels,
+             common::Rng& rng)
+{
+    if (static_cast<int>(match.size()) != target.size())
+        throw std::invalid_argument(
+            "adaptMatched: match vector size != target group size");
+    MatchIndex index(stored_group);
+    sched::Mapping base;
+    base.accelSel.resize(target.size());
+    base.priority.resize(target.size());
+    for (int i = 0; i < target.size(); ++i) {
+        int src = match[i];
+        if (src >= stored.size())
+            throw std::invalid_argument(
+                "adaptMatched: match index out of range");
+        if (src < 0)
+            src = index.matchFor(target.jobs[i]);
+        if (src >= 0) {
             base.accelSel[i] = std::min(stored.accelSel[src],
                                         num_accels - 1);
             base.priority[i] = stored.priority[src];

@@ -28,14 +28,35 @@ sched::Mapping adaptPositional(const sched::Mapping& stored, int group_size,
 
 /**
  * Job-matched adaptation: each job of `target` inherits the gene of a
- * stored job in the same similarity bucket (task + layer type + log-size
- * class, with a coarser task + layer type fallback); unmatched jobs draw
- * random genes from `rng`.
+ * stored job in the same similarity bucket — an exact tier first (model
+ * + full layer signature + batch, so a job surviving from the stored
+ * group keeps its own gene; this is what makes departure-shrunk groups
+ * adapt explicitly instead of falling back to fuzzy matching), then
+ * task + layer type + log-size class, then a coarser task + layer type
+ * fallback; unmatched jobs draw random genes from `rng`. Shrinking job
+ * counts (target smaller than stored) are first-class: surviving jobs
+ * hit the exact tier and departed jobs' genes are simply dropped.
  */
 sched::Mapping adaptJobMatched(const sched::Mapping& stored,
                                const dnn::JobGroup& stored_group,
                                const dnn::JobGroup& target, int num_accels,
                                common::Rng& rng);
+
+/**
+ * Identity-preserving adaptation for callers that KNOW the job
+ * correspondence (the src/dyn/ event engine tracks every job's bundle
+ * identity across Arrive/Depart/Swap events): target job i inherits the
+ * gene of stored job `match[i]` verbatim; `match[i] < 0` marks a new
+ * job, which draws its gene from the job-matched similarity buckets of
+ * `stored_group` (random when nothing matches). Accel genes are clamped
+ * into the new platform's range. `match` must have one entry per target
+ * job, each < stored.size() (checked).
+ */
+sched::Mapping adaptMatched(const sched::Mapping& stored,
+                            const dnn::JobGroup& stored_group,
+                            const dnn::JobGroup& target,
+                            const std::vector<int>& match, int num_accels,
+                            common::Rng& rng);
 
 /** `base` verbatim plus `count - 1` lightly mutated copies. */
 std::vector<sched::Mapping> seedsAround(const sched::Mapping& base,

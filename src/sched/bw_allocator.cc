@@ -32,15 +32,21 @@ bwPolicyFromName(const std::string& name)
 
 ScheduleResult
 BwAllocator::run(const DecodedMapping& decoded, const JobAnalysisTable& table,
-                 bool record_timeline) const
+                 bool record_timeline,
+                 const std::vector<double>* setup_seconds) const
 {
     int num_accels = static_cast<int>(decoded.queues.size());
     ScheduleResult result;
     result.finishTime.assign(table.numJobs(), 0.0);
 
-    // Per-accelerator cursor into its queue and live-job state.
+    // Per-accelerator cursor into its queue and live-job state. A live
+    // job first burns `setup_left` (reconfiguration stall: wall-clock
+    // rate, zero BW demand), then executes its profile as before; with
+    // no setup vector every setup_left is 0.0 and the arithmetic below
+    // is bit-for-bit the pre-setup simulation.
     std::vector<size_t> cursor(num_accels, 0);
     std::vector<double> remaining(num_accels, 0.0);  // no-stall secs left
+    std::vector<double> setup_left(num_accels, 0.0);
     std::vector<double> req_bw(num_accels, 0.0);
     std::vector<int> live_job(num_accels, -1);
 
@@ -51,10 +57,14 @@ BwAllocator::run(const DecodedMapping& decoded, const JobAnalysisTable& table,
             const JobProfile& p = table.lookup(j, a);
             live_job[a] = j;
             remaining[a] = p.noStallSeconds;
+            setup_left[a] =
+                setup_seconds ? (*setup_seconds)[static_cast<size_t>(j)]
+                              : 0.0;
             req_bw[a] = p.reqBwGbps;
         } else {
             live_job[a] = -1;
             remaining[a] = 0.0;
+            setup_left[a] = 0.0;
             req_bw[a] = 0.0;
         }
     };
@@ -65,12 +75,14 @@ BwAllocator::run(const DecodedMapping& decoded, const JobAnalysisTable& table,
     double now = 0.0;
     const double eps = 1e-18;
     while (true) {
-        // Gather live demand.
+        // Gather live demand; an accelerator still in its setup phase
+        // demands no bandwidth yet.
         double total_req = 0.0;
         int live_count = 0;
         for (int a = 0; a < num_accels; ++a) {
             if (live_job[a] >= 0) {
-                total_req += req_bw[a];
+                if (setup_left[a] <= 0.0)
+                    total_req += req_bw[a];
                 ++live_count;
             }
         }
@@ -83,6 +95,11 @@ BwAllocator::run(const DecodedMapping& decoded, const JobAnalysisTable& table,
         for (int a = 0; a < num_accels; ++a) {
             if (live_job[a] < 0)
                 continue;
+            if (setup_left[a] > 0.0) {
+                // Setup progresses at wall-clock rate regardless of BW.
+                rate[a] = 1.0;
+                continue;
+            }
             double alloc;
             if (policy_ == BwPolicy::Proportional) {
                 alloc = (total_req <= system_bw_)
@@ -98,14 +115,20 @@ BwAllocator::run(const DecodedMapping& decoded, const JobAnalysisTable& table,
                                          : std::min(1.0, alloc / req_bw[a]);
         }
 
-        // Advance to the earliest completion under the current rates.
+        // Advance to the earliest completion — of a setup phase (a BW
+        // re-allocation boundary: the job's demand appears) or of a job
+        // — under the current rates.
         double dt = std::numeric_limits<double>::infinity();
         for (int a = 0; a < num_accels; ++a) {
             if (live_job[a] < 0)
                 continue;
-            double t = (rate[a] > eps)
-                           ? remaining[a] / rate[a]
-                           : std::numeric_limits<double>::infinity();
+            double t;
+            if (setup_left[a] > 0.0)
+                t = setup_left[a];
+            else
+                t = (rate[a] > eps)
+                        ? remaining[a] / rate[a]
+                        : std::numeric_limits<double>::infinity();
             dt = std::min(dt, t);
         }
         assert(std::isfinite(dt));
@@ -120,7 +143,9 @@ BwAllocator::run(const DecodedMapping& decoded, const JobAnalysisTable& table,
                 ev.end = now + dt;
                 ev.job = live_job[a];
                 ev.accel = a;
-                ev.allocBw = rate[a] * req_bw[a];
+                // Setup segments show the job stalled: 0 GB/s granted.
+                ev.allocBw =
+                    setup_left[a] > 0.0 ? 0.0 : rate[a] * req_bw[a];
                 result.events.push_back(ev);
             }
         }
@@ -129,6 +154,12 @@ BwAllocator::run(const DecodedMapping& decoded, const JobAnalysisTable& table,
         for (int a = 0; a < num_accels; ++a) {
             if (live_job[a] < 0)
                 continue;
+            if (setup_left[a] > 0.0) {
+                setup_left[a] -= dt;
+                if (setup_left[a] <= eps * std::max(1.0, now))
+                    setup_left[a] = 0.0;  // execution starts next round
+                continue;
+            }
             remaining[a] -= rate[a] * dt;
             if (remaining[a] <= eps * std::max(1.0, now)) {
                 result.finishTime[live_job[a]] = now;

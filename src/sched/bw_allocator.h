@@ -66,10 +66,20 @@ class BwAllocator {
     /**
      * Simulate `decoded` queues of `group` using profiles from `table`.
      * Set `record_timeline` to fill ScheduleResult::events.
+     *
+     * `setup_seconds`, when given, holds a per-job reconfiguration stall
+     * (indexed by job id, one entry per job): before a job starts
+     * executing, its sub-accelerator sits in a setup phase of that many
+     * seconds — progressing at wall-clock rate, demanding no bandwidth —
+     * which models re-tiling stalls and weight reloads (src/dyn/'s
+     * ReconfigCost). Null (the default) is bitwise-identical to the
+     * pre-existing no-setup simulation.
      */
     ScheduleResult run(const DecodedMapping& decoded,
                        const JobAnalysisTable& table,
-                       bool record_timeline = false) const;
+                       bool record_timeline = false,
+                       const std::vector<double>* setup_seconds =
+                           nullptr) const;
 
     double systemBw() const { return system_bw_; }
     BwPolicy policy() const { return policy_; }

@@ -146,6 +146,19 @@ MappingEvaluator::evaluate(const Mapping& m, bool record_timeline) const
     return allocator_.run(d, table_, record_timeline);
 }
 
+ScheduleResult
+MappingEvaluator::evaluateWithSetup(const Mapping& m,
+                                    const std::vector<double>&
+                                        setup_seconds,
+                                    bool record_timeline) const
+{
+    assert(m.size() == group_->size());
+    assert(static_cast<int>(setup_seconds.size()) == group_->size());
+    samples_.fetch_add(1, std::memory_order_relaxed);
+    DecodedMapping d = decode(m, numAccels());
+    return allocator_.run(d, table_, record_timeline, &setup_seconds);
+}
+
 double
 MappingEvaluator::totalJoules(const Mapping& m) const
 {

@@ -125,6 +125,19 @@ class MappingEvaluator {
     ScheduleResult evaluate(const Mapping& m,
                             bool record_timeline = false) const;
 
+    /**
+     * Full simulation with a per-job reconfiguration stall charged
+     * inside the schedule (see BwAllocator::run's `setup_seconds`):
+     * the src/dyn/ engine's accounting step, where re-tiled jobs pay
+     * their re-tiling stall and weight-reload time before executing.
+     * `setup_seconds` must have one entry per job of the group. With an
+     * all-zero vector the result equals evaluate(m) bitwise.
+     */
+    ScheduleResult evaluateWithSetup(const Mapping& m,
+                                     const std::vector<double>&
+                                         setup_seconds,
+                                     bool record_timeline = false) const;
+
     const JobAnalysisTable& table() const { return table_; }
     const dnn::JobGroup& group() const { return *group_; }
     const accel::Platform& platform() const { return *platform_; }

@@ -70,6 +70,9 @@ struct MapResponse {
 
     bool warmStart = false;  ///< store hit: search was seeded
     bool exactHit = false;   ///< hit on the full fingerprint (not coarse)
+    /** Store missed but the search was seeded from the service's
+     * Pareto archive (ServiceConfig::archive) at the full cold budget. */
+    bool archiveSeeded = false;
     std::string fingerprint; ///< fingerprint key of the served workload
     /** Best transferred-seed fitness before refinement (Trf-0-ep). */
     double trf0Fitness = 0.0;

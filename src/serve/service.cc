@@ -10,6 +10,7 @@
 #include "exec/eval_engine.h"
 #include "exec/thread_pool.h"
 #include "m3e/problem.h"
+#include "mo/pareto.h"
 #include "obs/trace.h"
 #include "opt/magma_ga.h"
 #include "opt/warm_start.h"
@@ -230,6 +231,8 @@ MappingService::workerLoop()
             } else {
                 ++stats_.served;
                 resp.warmStart ? ++stats_.warmServed : ++stats_.coldServed;
+                if (resp.archiveSeeded)
+                    ++stats_.archiveSeeded;
                 stats_.samplesSpent += resp.samplesUsed;
                 if (resp.warmStart)
                     stats_.samplesSaved += std::max<int64_t>(
@@ -337,6 +340,33 @@ MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
         opts.recordConvergence = true;
         resp.warmStart = true;
         resp.exactHit = hit->exact;
+    } else if (req.search.warmStart && cfg_.archive &&
+               !cfg_.archive->empty()) {
+        // Third tier: both store tiers missed, but a Pareto archive is
+        // wired in. Its member mappings are generic knowledge (other
+        // groups, possibly other objectives), so adapt each positionally
+        // onto this group and seed the search WITHOUT cutting the
+        // budget — a pure quality head start, deterministic because the
+        // archive is read-only to the service.
+        common::Rng seed_rng(req.search.seed ^ 0xa2c417eULL);
+        std::vector<sched::Mapping> adapted;
+        for (const sched::Mapping& m : cfg_.archive->seedMappings()) {
+            if (static_cast<int>(adapted.size()) >= pop)
+                break;
+            adapted.push_back(opt::transfer::adaptPositional(
+                m, eval.groupSize(), eval.numAccels()));
+        }
+        opts.seeds = adapted;
+        // Top up to a full population with lightly mutated copies so
+        // the head start keeps the archive's diversity (seedsAround
+        // would cluster everything around one member).
+        for (size_t k = 0; static_cast<int>(opts.seeds.size()) < pop;
+             ++k) {
+            sched::Mapping m = adapted[k % adapted.size()];
+            opt::MagmaGa::mutate(m, 0.05, eval.numAccels(), seed_rng);
+            opts.seeds.push_back(std::move(m));
+        }
+        resp.archiveSeeded = !opts.seeds.empty();
     }
 
     // 3. Search on this lane's engine with the method the spec names

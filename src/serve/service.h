@@ -21,6 +21,10 @@ namespace magma::exec {
 class ThreadPool;
 }  // namespace magma::exec
 
+namespace magma::mo {
+class ParetoArchive;
+}  // namespace magma::mo
+
 namespace magma::serve {
 
 /** MappingService knobs. */
@@ -54,6 +58,19 @@ struct ServiceConfig {
      * don't bleed into one aggregate. Must outlive the service.
      */
     obs::MetricsRegistry* registry = nullptr;
+    /**
+     * Third warm-start tier: when a request misses both MappingStore
+     * tiers (exact and coarse), the member mappings of this Pareto
+     * archive — typically a persisted multi-objective front over the
+     * same platform family (mo::ParetoArchive::load) — are adapted
+     * positionally onto the request's group and seed the search at the
+     * FULL cold budget (archive members are generic knowledge, not
+     * same-workload solutions, so the budget is not cut the way store
+     * hits cut it). Null disables the tier. Must outlive the service;
+     * the service never mutates it, so the tier keeps requests
+     * deterministic the way a frozen store does.
+     */
+    const mo::ParetoArchive* archive = nullptr;
 };
 
 /** Aggregate service counters. */
@@ -62,7 +79,8 @@ struct ServiceStats {
     int64_t served = 0;  ///< fulfilled successfully (excludes `failed`)
     int64_t failed = 0;  ///< futures resolved with an exception
     int64_t coldServed = 0;
-    int64_t warmServed = 0;  ///< served seeded from the store
+    int64_t warmServed = 0;     ///< served seeded from the store
+    int64_t archiveSeeded = 0;  ///< store misses seeded from cfg.archive
     int64_t queueDepth = 0;  ///< currently waiting
     int64_t inFlight = 0;    ///< currently being searched
     int64_t samplesSpent = 0;
@@ -88,11 +106,16 @@ struct ServiceStats {
  * a flood from one tenant cannot starve another — and a late joiner
  * cannot monopolize the lanes to "catch up" either.
  *
- * Warm starts: each request's workload is fingerprinted and looked up in
- * the MappingStore; on a hit the search is seeded with the transferred
- * solution (job-matched adaptation) and runs on the reduced warm budget.
- * Completed searches write improved solutions back, so concurrent
- * tenants of one workload type compound each other's knowledge.
+ * Warm starts, three tiers: each request's workload is fingerprinted
+ * and looked up in the MappingStore — exact fine-fingerprint hits
+ * first, then the best coarse (task + platform) entry; on a hit the
+ * search is seeded with the transferred solution (job-matched
+ * adaptation) and runs on the reduced warm budget. When BOTH store
+ * tiers miss and ServiceConfig::archive is set, the archive's member
+ * mappings seed the search at the full cold budget (the
+ * mo::ParetoArchive::seedMappings tier). Completed searches write
+ * improved solutions back to the store, so concurrent tenants of one
+ * workload type compound each other's knowledge.
  *
  * Determinism: a request's response mapping is a pure function of the
  * request fields and the store view it observed. With warm starts
