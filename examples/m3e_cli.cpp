@@ -201,10 +201,13 @@ printFront(const api::RunReport& rep)
     for (size_t i = 0; i < rep.front.size(); ++i) {
         std::printf("%5zu", i);
         for (double v : rep.front[i].objs)
+            // magma-lint: allow(double-format): console front table;
+            // the parsed artifact goes through --front-out at %.17g.
             std::printf("  %22.6g", v);
         std::printf("\n");
     }
     mo::ObjectiveVector origin(objectives.size(), 0.0);
+    // magma-lint: allow(double-format): console summary, never reparsed.
     std::printf("hypervolume (origin ref): %.6g\n",
                 rep.frontArchive().hypervolume(origin));
 }
@@ -295,6 +298,7 @@ main(int argc, char** argv)
                                 ? sched::objectiveName(ss.objective)
                                 : sched::objectiveListName(ss.objectives);
     m3e::Problem& problem = runner.problem(ps, header_obj);
+    // magma-lint: allow(double-format): console banner, never reparsed.
     std::printf("%s (%s), task %s, BW %g GB/s, group %d, budget %lld, "
                 "objective %s\n",
                 problem.platform().name.c_str(),
@@ -302,6 +306,7 @@ main(int argc, char** argv)
                 dnn::taskTypeName(ps.task).c_str(), ps.systemBwGbps,
                 ps.groupSize, static_cast<long long>(ss.sampleBudget),
                 obj_label.c_str());
+    // magma-lint: allow(double-format): console banner, never reparsed.
     std::printf("peak %.0f GFLOP/s, group total %.2f GFLOPs\n\n",
                 problem.platform().peakGflops(),
                 problem.group().totalFlops() / 1e9);
@@ -356,6 +361,8 @@ main(int argc, char** argv)
         };
         const obs::GaugeSnap* rate =
             snap.findGauge("exec.cost_cache.hit_rate");
+        // magma-lint: allow(double-format): console stats, never
+        // reparsed (the machine-readable path is --metrics-out).
         std::printf("\ncost cache: %lld hits / %lld misses (%.1f%% hit "
                     "rate), %lld entries\n",
                     gauge("exec.cost_cache.hits"),

@@ -195,6 +195,8 @@ RunReport::summaryLine() const
                                     ? search.objective
                                     : search.objectives[0];
     char buf[256];
+    // magma-lint: allow(double-format): console summary line; the
+    // round-trip RunReport serialization in toText() uses %.17g.
     std::snprintf(buf, sizeof(buf),
                   "%-14s fitness %12.3f (%s)   throughput %9.2f GFLOP/s   "
                   "makespan %.4g s   samples %lld",

@@ -46,6 +46,13 @@ struct CostCacheStats {
  * Thread-safe: lookups take a shard's shared lock, inserts its exclusive
  * lock; concurrent misses on the same key may both compute (results are
  * identical) and the first insert wins. Hit/miss counters are atomics.
+ *
+ * Memory order (audited; see docs/concurrency.md): the hit/miss
+ * counters are relaxed because they are pure statistics — all cached
+ * DATA moves under the shard shared_mutex, which provides every
+ * ordering a reader needs. A stats() read concurrent with analyze()
+ * calls may see hits+misses briefly disagree with per-shard sizes;
+ * exactness holds at quiescent points (tests join threads first).
  */
 class CostCache {
   public:
@@ -74,6 +81,8 @@ class CostCache {
   private:
     struct Shard {
         mutable std::shared_mutex mu;
+        // Determinism audit: keyed find/emplace only (plus size() for
+        // stats), never iterated — hash order cannot reach results.
         std::unordered_map<std::string, cost::CostResult> map;
     };
 

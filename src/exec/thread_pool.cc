@@ -32,6 +32,9 @@ poolMetrics()
 int
 ThreadPool::defaultThreads()
 {
+    // getenv is safe here: read before any pool thread starts, and
+    // nothing in this process calls setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("MAGMA_THREADS")) {
         int v = std::atoi(env);
         if (v > 0)
@@ -63,6 +66,14 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::drainBatch(int lane)
 {
+    // Memory order (audited; see docs/concurrency.md): the claim
+    // counter is relaxed because only its ATOMICITY matters — each
+    // index is handed to exactly one lane. All data ordering rides on
+    // mu_: the batch fields (job_, job_size_) and the caller's input
+    // buffers are written before the epoch bump under mu_, and workers
+    // read the epoch under mu_ before arriving here; results written by
+    // fn(i) are read by the caller only after the batch-done wait on
+    // the same mutex.
     while (true) {
         int64_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
         if (i >= job_size_)
@@ -74,7 +85,10 @@ ThreadPool::drainBatch(int lane)
             if (!error_)
                 error_ = std::current_exception();
             // Cancel the rest of the batch: iterations not yet claimed
-            // are abandoned, in-flight ones finish.
+            // are abandoned, in-flight ones finish. Relaxed is fine —
+            // a racing fetch_add can momentarily observe a smaller
+            // index, claim one more iteration, and stop on the next
+            // spin; the error itself travels under mu_.
             cursor_.store(job_size_, std::memory_order_relaxed);
         }
     }

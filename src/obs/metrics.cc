@@ -52,6 +52,9 @@ levelCell()
 int
 levelFromEnv()
 {
+    // getenv is safe here: called once from metricsLevel()'s static
+    // initializer, and nothing in this process calls setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* env = std::getenv("MAGMA_METRICS")) {
         try {
             return static_cast<int>(metricsLevelFromName(env));
@@ -68,10 +71,14 @@ levelFromEnv()
 MetricsLevel
 metricsLevel()
 {
+    // Memory order: relaxed is sufficient — the cell carries a small
+    // enum with no dependent data behind it, and racing first calls
+    // all compute the same value from the environment (either store
+    // wins, idempotently). setMetricsLevel() from tests runs while no
+    // search threads are live.
     int v = levelCell().load(std::memory_order_relaxed);
     if (v < 0) {
         v = levelFromEnv();
-        // Racing first calls compute the same value; either store wins.
         levelCell().store(v, std::memory_order_relaxed);
     }
     return static_cast<MetricsLevel>(v);

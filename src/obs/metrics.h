@@ -73,6 +73,12 @@ effectiveLevel(MetricsLevel override_level)
  * Monotonic event counter. Hot path is one relaxed atomic add; callers
  * hold the reference returned by MetricsRegistry::counter() so the
  * registry mutex is paid once per site, not per event.
+ *
+ * Memory order (see docs/concurrency.md): relaxed is correct because a
+ * Counter publishes nothing but its own value — no reader uses it to
+ * conclude that some other memory is initialized or some phase is over.
+ * Readers that need exactness (tests, end-of-run snapshots) already
+ * synchronize through thread join or the registry mutex.
  */
 class Counter {
   public:
@@ -84,7 +90,11 @@ class Counter {
     std::atomic<int64_t> v_{0};
 };
 
-/** Last-write-wins instantaneous value (queue depths, rates, sizes). */
+/**
+ * Last-write-wins instantaneous value (queue depths, rates, sizes).
+ * Memory order: relaxed for the same reason as Counter — the value is
+ * standalone telemetry; nothing is ordered against it.
+ */
 class Gauge {
   public:
     void set(double v) { v_.store(v, std::memory_order_relaxed); }
@@ -115,6 +125,16 @@ using HistogramBuckets = std::vector<std::pair<int32_t, uint64_t>>;
  * another histogram in (the per-thread-shard pattern); snapshots taken
  * while writers are active are internally consistent per-bucket but may
  * trail in-flight records, which is fine for telemetry.
+ *
+ * Memory order (audited; see docs/concurrency.md): every access is
+ * relaxed because each field is independently meaningful telemetry —
+ * the histogram publishes no pointer or flag another thread would
+ * dereference on the strength of these values, so no acquire/release
+ * edge is needed. A concurrent reader can observe count_ ahead of the
+ * matching bucket add (or vice versa); that skew is bounded by the
+ * number of in-flight record() calls and collapses to zero at every
+ * real read point (thread join or registry-mutex snapshot). reset() is
+ * the one non-concurrent-safe member and is documented as such.
  */
 class Histogram {
   public:

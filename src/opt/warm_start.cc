@@ -57,6 +57,9 @@ exactKey(const dnn::Job& job)
  * and adaptMatched so the two paths cannot drift.
  */
 struct MatchIndex {
+    // Determinism audit: both maps are keyed find/lookup only, never
+    // iterated — matchFor probes fixed key tiers in a fixed order, so
+    // hash order cannot influence which stored job is returned.
     std::unordered_map<std::string, std::vector<int>> pools;
     std::unordered_map<std::string, int> cursor;
 

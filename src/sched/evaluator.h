@@ -179,6 +179,14 @@ class MappingEvaluator {
     JobAnalysisTable table_;
     BwAllocator allocator_;
     Objective objective_ = Objective::Throughput;
+    /**
+     * Sample meter. Memory order: relaxed is correct — the meter is a
+     * standalone budget count with no data published through it; every
+     * exact read happens after the batch quiesces (EvalEngine's
+     * parallelFor returns only once all lanes finished, which orders
+     * the adds before the read via the pool's batch-done mutex). See
+     * docs/concurrency.md.
+     */
     mutable std::atomic<int64_t> samples_{0};
 };
 

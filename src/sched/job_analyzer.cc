@@ -27,6 +27,8 @@ JobAnalyzer::analyze(const dnn::JobGroup& group,
 
     for (int a = 0; a < accels; ++a) {
         const cost::SubAccelConfig& cfg = platform.subAccels[a];
+        // Determinism audit: keyed find/emplace only, never iterated —
+        // hash order cannot reach the table or any serialized output.
         std::unordered_map<std::string, JobProfile> memo;
         for (int j = 0; j < jobs; ++j) {
             const dnn::Job& job = group.jobs[j];

@@ -51,6 +51,10 @@ struct MappingStore::Shard {
         uint64_t lastUsed = 0;
     };
     mutable std::mutex mu;
+    // Determinism audit: the three iteration sites over this map (coarse
+    // scan, LRU victim scan, save collection) each carry an
+    // allow(unordered-iter) tag stating why their result is independent
+    // of hash order; everything else is keyed find/emplace/erase.
     std::unordered_map<std::string, Slot> map;
 };
 
@@ -98,6 +102,8 @@ MappingStore::lookup(const Fingerprint& fp)
     double best_fitness = 0.0;
     for (int s = 0; s < num_shards_; ++s) {
         std::lock_guard<std::mutex> lk(shards_[s].mu);
+        // magma-lint: allow(unordered-iter): max-by-(fitness, key) scan —
+        // the winner is the same whatever order the entries are visited.
         for (const auto& [key, slot] : shards_[s].map) {
             if (slot.entry.coarse != fp.coarse)
                 continue;
@@ -199,6 +205,8 @@ MappingStore::enforceCapacity()
         std::string victim_key;
         uint64_t oldest = 0;
         for (int s = 0; s < num_shards_; ++s) {
+            // magma-lint: allow(unordered-iter): min-by-(lastUsed, key)
+            // victim scan — order-independent for a fixed store content.
             for (const auto& [key, slot] : shards_[s].map) {
                 if (victim_shard < 0 || slot.lastUsed < oldest ||
                     (slot.lastUsed == oldest && key < victim_key)) {
@@ -268,6 +276,8 @@ MappingStore::save(std::ostream& os) const
         for (int s = 0; s < num_shards_; ++s)
             locks.emplace_back(shards_[s].mu);
         for (int s = 0; s < num_shards_; ++s)
+            // magma-lint: allow(unordered-iter): collection pass only;
+            // entries are key-sorted below before any byte is written.
             for (const auto& [key, slot] : shards_[s].map)
                 entries.push_back(slot.entry);
     }

@@ -138,7 +138,15 @@ class MappingStore {
     std::unique_ptr<Shard[]> shards_;
     mutable std::mutex stats_mu_;
     StoreStats stats_;
-    std::atomic<uint64_t> clock_{0};  ///< LRU tick source
+    /**
+     * LRU tick source. Memory order: relaxed fetch_add is correct —
+     * atomicity alone guarantees unique, monotonically increasing
+     * ticks, and every read/write of the `lastUsed` fields the ticks
+     * land in happens under a shard mutex (the eviction scan locks all
+     * shards), so no additional ordering is carried by the counter.
+     * See docs/concurrency.md.
+     */
+    std::atomic<uint64_t> clock_{0};
 };
 
 }  // namespace magma::serve

@@ -132,8 +132,8 @@ TEST(CostModel, DepthwiseUnderutilizesHb)
 TEST(CostModel, TrafficAtLeastWeightBytes)
 {
     CostModel model;
-    for (auto l : {conv(256, 256, 14, 14, 3, 3), fc(4096, 4096),
-                   pointwise(512, 128, 28, 28)}) {
+    for (const auto& l : {conv(256, 256, 14, 14, 3, 3), fc(4096, 4096),
+                          pointwise(512, 128, 28, 28)}) {
         CostResult r = model.analyze(l, 4, hb64());
         EXPECT_GE(r.dramBytes, static_cast<double>(l.weightElems()))
             << l.toString();
@@ -215,8 +215,9 @@ TEST(CostModel, FlexibleShapeAtLeastAsFastAsFixed)
     flex.flexibleShape = true;
     flex.sgBytes = 2.0 * 1024 * 1024;
     fixed.sgBytes = 2.0 * 1024 * 1024;
-    for (auto l : {conv(48, 48, 20, 20, 3, 3), fc(100, 100),
-                   depthwise(96, 28, 28, 3, 3), pointwise(24, 24, 7, 7)}) {
+    for (const auto& l : {conv(48, 48, 20, 20, 3, 3), fc(100, 100),
+                          depthwise(96, 28, 28, 3, 3),
+                          pointwise(24, 24, 7, 7)}) {
         CostResult rfix = model.analyze(l, 4, fixed);
         CostResult rflex = model.analyze(l, 4, flex);
         EXPECT_LE(rflex.noStallCycles, rfix.noStallCycles * 1.0001)

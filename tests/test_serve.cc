@@ -313,6 +313,73 @@ TEST(MappingStore, SaveLoadRoundTripsBitwise)
     EXPECT_EQ(buf2.str(), buf3.str());
 }
 
+TEST(MappingStore, HashOrderCannotReachOutputs)
+{
+    // Regression for the unordered-iteration audit: the store's three
+    // map-iteration sites (coarse scan, LRU victim scan, save) must be
+    // independent of hash/shard layout. Build the same content with
+    // different insertion orders AND different shard counts; every
+    // observable — saved text, coarse winner, eviction survivor set —
+    // must be identical.
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    std::vector<Fingerprint> fps;
+    std::vector<sched::Mapping> mappings;
+    std::vector<dnn::JobGroup> groups;
+    for (int i = 0; i < 8; ++i) {
+        dnn::JobGroup g = makeGroup(dnn::TaskType::Mix, 8, 70 + i);
+        fps.push_back(serve::fingerprintOf(g, s2));
+        mappings.push_back(randomMapping(8, s2.numSubAccels(), i));
+        groups.push_back(g);
+    }
+    // Same fitness for several keys so tie-breaks are exercised.
+    auto fitness = [](int i) { return 5.0 + (i % 3); };
+
+    MappingStore forward(/*capacity=*/64, /*shards=*/8);
+    for (int i = 0; i < 8; ++i)
+        forward.update(fps[i], groups[i].task, mappings[i], groups[i],
+                       fitness(i), 10);
+    MappingStore backward(/*capacity=*/64, /*shards=*/3);
+    for (int i = 7; i >= 0; --i)
+        backward.update(fps[i], groups[i].task, mappings[i], groups[i],
+                        fitness(i), 10);
+
+    std::stringstream a, b;
+    forward.save(a);
+    backward.save(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    // Coarse-tier winner: same fingerprint distribution -> same coarse
+    // key; the highest-fitness (tie: lowest key) entry must win in both
+    // stores regardless of shard layout.
+    dnn::JobGroup probe = makeGroup(dnn::TaskType::Mix, 8, 99);
+    Fingerprint pf = serve::fingerprintOf(probe, s2);
+    auto ha = forward.lookup(pf);
+    auto hb = backward.lookup(pf);
+    ASSERT_TRUE(ha.has_value());
+    ASSERT_TRUE(hb.has_value());
+    EXPECT_FALSE(ha->exact);
+    EXPECT_EQ(ha->entry.key, hb->entry.key);
+    EXPECT_EQ(ha->entry.mapping, hb->entry.mapping);
+
+    // Eviction: shrink both to the same capacity; the survivor sets
+    // (and so the saved text) must still agree — the victim scan's
+    // (lastUsed, key) order is shard-independent. Touch entries in the
+    // same sequence to give both stores identical LRU clocks.
+    MappingStore small_a(/*capacity=*/4, /*shards=*/8);
+    MappingStore small_b(/*capacity=*/4, /*shards=*/2);
+    for (int i = 0; i < 8; ++i) {
+        small_a.update(fps[i], groups[i].task, mappings[i], groups[i],
+                       fitness(i), 10);
+        small_b.update(fps[i], groups[i].task, mappings[i], groups[i],
+                       fitness(i), 10);
+    }
+    EXPECT_EQ(small_a.size(), 4);
+    std::stringstream sa, sb;
+    small_a.save(sa);
+    small_b.save(sb);
+    EXPECT_EQ(sa.str(), sb.str());
+}
+
 TEST(MappingStore, LoadRejectsGarbageAndLeavesContentUntouched)
 {
     accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);

@@ -1,0 +1,25 @@
+// magma_lint self-test fixture: this file participates in a round-trip
+// text format (it mentions fromText), so the lossy %f below must be
+// flagged by the `double-format` check — a reparsed %f value is not
+// bitwise equal to what was written.
+
+#include <cstdio>
+#include <string>
+
+struct Thing {
+    double value = 0.0;
+
+    std::string toText() const
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "thing %f", value);  // lossy!
+        return buf;
+    }
+
+    static Thing fromText(const std::string& text)
+    {
+        Thing t;
+        std::sscanf(text.c_str(), "thing %lf", &t.value);
+        return t;
+    }
+};

@@ -1,0 +1,19 @@
+// magma_lint self-test fixture: every RNG below is a nondeterminism
+// source and must be flagged by the `nondet` check. This file is never
+// compiled into anything — it exists to violate the rules.
+
+#include <cstdlib>
+#include <random>
+
+int
+nondeterministicSeed()
+{
+    std::random_device rd;  // hardware entropy: reruns diverge
+    return static_cast<int>(rd());
+}
+
+int
+cRuntimeRng()
+{
+    return std::rand();  // unseeded global C RNG
+}

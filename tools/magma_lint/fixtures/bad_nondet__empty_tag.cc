@@ -1,0 +1,11 @@
+// magma_lint self-test fixture: an allow tag WITHOUT a justification is
+// itself a `nondet` finding — the audit trail is the point of the tag.
+
+#include <random>
+
+int
+taggedButUnjustified()
+{
+    std::random_device rd;  // magma-lint: allow(nondet)
+    return static_cast<int>(rd());
+}

@@ -1,0 +1,29 @@
+// magma_lint self-test fixture: iterating an unordered container into
+// serialized output leaks hash order into the artifact — the
+// `unordered-iter` check must flag both loops below.
+
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void
+writeJson(const std::unordered_map<std::string, double>& unused)
+{
+    (void)unused;
+    std::unordered_map<std::string, double> stats;
+    stats["a"] = 1.0;
+    std::printf("{");
+    for (const auto& [key, value] : stats)
+        std::printf("\"%s\": %d,", key.c_str(), static_cast<int>(value));
+    std::printf("}\n");
+}
+
+double
+iteratorWalk()
+{
+    std::unordered_map<std::string, double> totals;
+    double sum = 0.0;
+    for (auto it = totals.begin(); it != totals.end(); ++it)
+        sum += it->second;
+    return sum;
+}

@@ -1,0 +1,70 @@
+// magma_lint self-test fixture: properly tagged or inherently
+// deterministic versions of every pattern the checks flag — this file
+// must scan clean.
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+int
+sanctionedEntropy()
+{
+    // magma-lint: allow(nondet): fixture demonstrating a justified tag;
+    // real sanctioned sites explain why entropy cannot reach results.
+    std::random_device rd;
+    return static_cast<int>(rd());
+}
+
+double
+orderIndependentFold()
+{
+    std::unordered_map<std::string, double> totals;
+    totals["a"] = 1.0;
+    double sum = 0.0;
+    // magma-lint: allow(unordered-iter): += fold is commutative over
+    // doubles only up to rounding, but this fixture just shows the tag
+    // covering a following multi-line statement.
+    for (const auto& [key, value] : totals)
+        sum += value;
+    return sum;
+}
+
+struct Thing {
+    double value = 0.0;
+
+    std::string toText() const
+    {
+        char buf[64];
+        // %.17g is the round-trip-exact conversion; no tag needed.
+        std::snprintf(buf, sizeof(buf), "thing %.17g", value);
+        return buf;
+    }
+
+    std::string display() const
+    {
+        char buf[64];
+        // magma-lint: allow(double-format): console display line, not
+        // part of the parsed round-trip format.
+        std::snprintf(buf, sizeof(buf), "thing ~%0.3f", value);
+        return buf;
+    }
+
+    static Thing fromText(const std::string& text)
+    {
+        Thing t;
+        std::sscanf(text.c_str(), "thing %lf", &t.value);
+        return t;
+    }
+};
+
+int
+keyedLookupsAreFine()
+{
+    // find/emplace/count on unordered containers never observe hash
+    // order — only iteration does — so none of this needs a tag.
+    std::unordered_map<std::string, int> memo;
+    memo.emplace("k", 1);
+    auto it = memo.find("k");
+    return it == memo.end() ? 0 : it->second + int(memo.count("k"));
+}
