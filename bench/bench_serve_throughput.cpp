@@ -1,26 +1,50 @@
 /**
  * @file
- * Serving-layer throughput harness: requests/sec of the online mapping
- * service at 1/2/4 worker lanes, the search cost the warm-start store
- * amortizes away versus a cold-only service (the Table V effect,
- * measured end-to-end through src/serve/), and the request-latency
- * distribution — queue-wait and service-time p50/p99 read back from the
- * serve layer's obs:: histograms.
+ * Serving-layer throughput harness, two sections:
  *
- * Protocol: one fixed multi-tenant trace (3 tenants, independently drawn
- * Mix groups) is replayed per configuration. "cold" disables the store;
- * "warm" lets every fingerprint hit run on a quarter of the cold budget.
- * Each replay records into its own obs::MetricsRegistry, so the latency
- * quantiles of one configuration never bleed into the next.
+ * 1. Lane scaling: requests/sec of the online mapping service at 1/2/4
+ *    worker lanes, the search cost the warm-start store amortizes away
+ *    versus a cold-only service (the Table V effect, measured end-to-end
+ *    through src/serve/), and the request-latency distribution — queue-
+ *    wait and service-time p50/p99 read back from the serve layer's
+ *    obs:: histograms.
+ *
+ * 2. SLO trace: a synthetic heavy trace — Zipf-distributed workload
+ *    fingerprints over a fixed universe, Poisson arrivals, all from a
+ *    seeded RNG (100K requests under --full) — replayed through three
+ *    service configurations: `baseline` (cold every request), `production`
+ *    (warm tiers + request coalescing), and `shed` (bounded queue with
+ *    per-priority limits). Reports samples spent, coalesced/shed counts,
+ *    store hit rate, wait/service p50/p99 and mean final quality per
+ *    distinct workload.
+ *
+ * Flags, on top of the shared bench_common.h set:
+ *   --check-slo   exit non-zero unless the production configuration
+ *                 meets the SLO gates vs baseline: >= 2x total-sample
+ *                 reduction at equal final quality (>= 0.98x), store
+ *                 hit rate >= 0.4, wait p99 <= 0.5x baseline, and the
+ *                 shed replay's accounting closes (served + shed ==
+ *                 submitted, shed > 0).
+ *
+ * Protocol: one fixed trace per section (seeded; 3 tenants) is replayed
+ * per configuration. Each replay records into its own private
+ * obs::MetricsRegistry, so the latency quantiles of one configuration
+ * never bleed into the next.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <map>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/csv.h"
+#include "common/rng.h"
 #include "obs/snapshot.h"
 #include "serve/service.h"
 
@@ -92,12 +116,199 @@ replayTrace(int workers, bool warm, int requests, int group,
     return r;
 }
 
+// ------------------------------------------------------ SLO trace -----
+
+struct SloParams {
+    int requests = 0;
+    int universe = 0;  ///< distinct workload fingerprints (Zipf ranks)
+    int group = 0;
+    int64_t budget = 0;
+    int workers = 4;
+    double ratePerSec = 0.0;  ///< Poisson arrival rate; 0 = burst submit
+    uint64_t seed = 1;
+};
+
+struct SloTrace {
+    std::vector<int> workload;    ///< request -> Zipf-drawn rank
+    std::vector<double> arrival;  ///< seconds from replay start
+};
+
+/** Zipf(s=1.1) fingerprint draw + Poisson arrivals, all from one seeded
+ * RNG — the trace is a pure function of the params. */
+SloTrace
+makeSloTrace(const SloParams& p)
+{
+    common::Rng rng(p.seed * 0x9e3779b97f4a7c15ull + 17);
+    std::vector<double> cdf(p.universe);
+    double sum = 0.0;
+    for (int r = 0; r < p.universe; ++r) {
+        sum += 1.0 / std::pow(static_cast<double>(r + 1), 1.1);
+        cdf[r] = sum;
+    }
+    for (double& c : cdf)
+        c /= sum;
+
+    SloTrace t;
+    t.workload.resize(p.requests);
+    t.arrival.resize(p.requests);
+    double now = 0.0;
+    for (int i = 0; i < p.requests; ++i) {
+        t.workload[i] = static_cast<int>(
+            std::lower_bound(cdf.begin(), cdf.end(), rng.uniform()) -
+            cdf.begin());
+        if (p.ratePerSec > 0.0)
+            now += -std::log(1.0 - rng.uniform()) / p.ratePerSec;
+        t.arrival[i] = now;
+    }
+    return t;
+}
+
+struct SloResult {
+    double wallSeconds = 0.0;
+    int64_t submitted = 0;
+    int64_t served = 0;
+    int64_t coalesced = 0;
+    int64_t shed = 0;
+    int64_t warmServed = 0;
+    int64_t samplesSpent = 0;
+    double hitRate = 0.0;
+    double waitP50 = 0.0, waitP99 = 0.0;
+    double serviceP50 = 0.0, serviceP99 = 0.0;
+    /** Mean over distinct workloads of the mean served fitness — the
+     * "equal final quality" probe (shed responses excluded). */
+    double meanQuality = 0.0;
+};
+
+SloResult
+replaySlo(const SloParams& p, const SloTrace& t, bool warm, bool coalesce,
+          int64_t max_queue, int64_t low_prio_limit, bool priorities)
+{
+    obs::MetricsRegistry registry;  // per-replay isolation
+    serve::ServiceConfig cfg;
+    cfg.workers = p.workers;
+    cfg.registry = &registry;
+    cfg.coalesce = coalesce;
+    cfg.maxQueueDepth = max_queue;
+    if (low_prio_limit > 0)
+        cfg.priorityDepthLimits[1] = low_prio_limit;
+    cfg.storeCapacity = p.universe * 2;  // hold the whole universe
+
+    serve::MappingService service(cfg);
+    auto start = std::chrono::steady_clock::now();
+    std::vector<std::future<serve::MapResponse>> futures;
+    futures.reserve(t.workload.size());
+    for (size_t i = 0; i < t.workload.size(); ++i) {
+        if (p.ratePerSec > 0.0)
+            std::this_thread::sleep_until(
+                start + std::chrono::duration<double>(t.arrival[i]));
+        serve::MapRequest req;
+        req.tenant = "tenant-" + std::to_string(i % 3);
+        if (priorities)
+            req.priority = static_cast<int>(i % 2);
+        req.problem.task = dnn::TaskType::Mix;
+        req.problem.groupSize = p.group;
+        // Zipf: requests of one rank share a fingerprint (and a group).
+        req.problem.workloadSeed =
+            p.seed + static_cast<uint64_t>(t.workload[i]);
+        req.problem.setting = accel::Setting::S2;
+        req.problem.systemBwGbps = 4.0;
+        req.search.sampleBudget = p.budget;
+        req.search.seed = p.seed + i;  // per-request seed (leader's wins)
+        req.search.warmStart = warm;
+        req.writeBack = warm;
+        futures.push_back(service.submit(std::move(req)));
+    }
+
+    std::map<int, std::pair<double, int64_t>> by_workload;  // sum, count
+    for (size_t i = 0; i < futures.size(); ++i) {
+        serve::MapResponse r = futures[i].get();
+        if (r.shed)
+            continue;
+        auto& [fitness_sum, count] = by_workload[t.workload[i]];
+        fitness_sum += r.bestFitness;
+        ++count;
+    }
+
+    SloResult out;
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    serve::ServiceStats s = service.stats();
+    out.submitted = s.submitted;
+    out.served = s.served;
+    out.coalesced = s.coalesced;
+    out.shed = s.shed;
+    out.warmServed = s.warmServed;
+    out.samplesSpent = s.samplesSpent;
+    out.hitRate = service.store().stats().hitRate();
+    if (const obs::Histogram* h =
+            registry.findHistogram("serve.wait_seconds")) {
+        out.waitP50 = h->quantile(0.50);
+        out.waitP99 = h->quantile(0.99);
+    }
+    if (const obs::Histogram* h =
+            registry.findHistogram("serve.service_seconds")) {
+        out.serviceP50 = h->quantile(0.50);
+        out.serviceP99 = h->quantile(0.99);
+    }
+    if (!by_workload.empty()) {
+        double acc = 0.0;
+        for (const auto& [rank, sum_count] : by_workload)
+            acc += sum_count.first /
+                   static_cast<double>(sum_count.second);
+        out.meanQuality = acc / static_cast<double>(by_workload.size());
+    }
+    service.stop();
+    return out;
+}
+
+void
+printSloRow(const char* mode, const SloResult& r)
+{
+    std::printf("%11s %8.2f %12lld %9lld %7lld %6lld %8.2f %9.1f %9.1f "
+                "%9.1f %9.1f %12.1f\n",
+                mode, r.wallSeconds,
+                static_cast<long long>(r.samplesSpent),
+                static_cast<long long>(r.coalesced),
+                static_cast<long long>(r.shed),
+                static_cast<long long>(r.warmServed), r.hitRate,
+                r.waitP50 * 1e3, r.waitP99 * 1e3, r.serviceP50 * 1e3,
+                r.serviceP99 * 1e3, r.meanQuality);
+}
+
+void
+sloJsonSample(bench::JsonWriter& json, const char* mode,
+              const SloParams& p, const SloResult& r)
+{
+    json.beginObject();
+    json.field("mode", mode);
+    json.field("requests", p.requests);
+    json.field("universe", p.universe);
+    json.field("wall_s", r.wallSeconds);
+    json.field("samples_spent", r.samplesSpent);
+    json.field("served", r.served);
+    json.field("coalesced", r.coalesced);
+    json.field("shed", r.shed);
+    json.field("warm_served", r.warmServed);
+    json.field("hit_rate", r.hitRate);
+    json.field("wait_p50_ms", r.waitP50 * 1e3);
+    json.field("wait_p99_ms", r.waitP99 * 1e3);
+    json.field("serve_p50_ms", r.serviceP50 * 1e3);
+    json.field("serve_p99_ms", r.serviceP99 * 1e3);
+    json.field("mean_quality", r.meanQuality);
+    json.endObject();
+}
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
     bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
+    bool check_slo = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--check-slo") == 0)
+            check_slo = true;
     bench::printHeader("Serving throughput: requests/sec, samples saved "
                        "and latency quantiles, 1/2/4 worker lanes");
     common::CsvWriter csv(args.outPath("serve_throughput.csv"),
@@ -173,7 +384,71 @@ main(int argc, char** argv)
             json.endObject();
         }
     }
+    // ---------------------------------------------- SLO heavy trace ---
+
+    SloParams sp;
+    sp.requests = args.full ? 100000 : 3000;
+    sp.universe = args.full ? 400 : 40;
+    sp.group = args.full ? 12 : 10;
+    sp.budget = args.full ? 300 : 240;
+    sp.workers = 4;
+    sp.ratePerSec = args.full ? 20000.0 : 2500.0;
+    sp.seed = args.seed;
+    SloTrace trace = makeSloTrace(sp);
+
+    std::printf("\nSLO trace: %d requests over %d Zipf(1.1) workloads, "
+                "Poisson %.0f req/s, group %d, cold budget %lld, %d "
+                "lanes\n\n",
+                sp.requests, sp.universe, sp.ratePerSec, sp.group,
+                static_cast<long long>(sp.budget), sp.workers);
+    std::printf("%11s %8s %12s %9s %7s %6s %8s %9s %9s %9s %9s %12s\n",
+                "mode", "wall-s", "samples", "coalesced", "shed", "warm",
+                "hit-rate", "wait-p50", "wait-p99", "serve-p50",
+                "serve-p99", "quality");
+
+    SloResult base = replaySlo(sp, trace, /*warm=*/false,
+                               /*coalesce=*/false, 0, 0, false);
+    printSloRow("baseline", base);
+    SloResult prod = replaySlo(sp, trace, /*warm=*/true, /*coalesce=*/true,
+                               0, 0, false);
+    printSloRow("production", prod);
+
+    // Shed replay: burst submission against a bounded queue with a
+    // per-priority limit — the admission-control path, end to end.
+    SloParams shed_p = sp;
+    shed_p.ratePerSec = 0.0;  // burst: force overflow
+    SloResult shed = replaySlo(shed_p, trace, /*warm=*/true,
+                               /*coalesce=*/false, /*max_queue=*/48,
+                               /*low_prio_limit=*/16, /*priorities=*/true);
+    printSloRow("shed", shed);
+
+    double sample_reduction =
+        prod.samplesSpent > 0
+            ? static_cast<double>(base.samplesSpent) /
+                  static_cast<double>(prod.samplesSpent)
+            : 0.0;
+    double quality_ratio =
+        base.meanQuality > 0.0 ? prod.meanQuality / base.meanQuality : 0.0;
+    std::printf("\nproduction vs baseline: %.1fx fewer samples, quality "
+                "%.4fx, hit rate %.2f, wait p99 %.1f ms vs %.1f ms\n",
+                sample_reduction, quality_ratio, prod.hitRate,
+                prod.waitP99 * 1e3, base.waitP99 * 1e3);
+    std::printf("shed replay: %lld served + %lld shed of %lld submitted\n",
+                static_cast<long long>(shed.served),
+                static_cast<long long>(shed.shed),
+                static_cast<long long>(shed.submitted));
+
+    sloJsonSample(json, "slo_baseline", sp, base);
+    sloJsonSample(json, "slo_production", sp, prod);
+    sloJsonSample(json, "slo_shed", shed_p, shed);
     json.endArray();
+    json.beginObject("slo");
+    json.field("sample_reduction", sample_reduction);
+    json.field("quality_ratio", quality_ratio);
+    json.field("hit_rate", prod.hitRate);
+    json.field("wait_p99_ratio",
+               base.waitP99 > 0.0 ? prod.waitP99 / base.waitP99 : 0.0);
+    json.endObject();
     json.endObject();
     std::printf("\nSeries written to %s\n",
                 args.outPath("serve_throughput.csv").c_str());
@@ -181,5 +456,28 @@ main(int argc, char** argv)
         json.writeFile(args.jsonOutPath()))
         std::printf("Telemetry written to %s\n",
                     args.jsonOutPath().c_str());
+
+    if (check_slo) {
+        bool ok = true;
+        auto gate = [&](bool pass, const char* what) {
+            std::printf("SLO gate: %-52s %s\n", what,
+                        pass ? "PASS" : "FAIL");
+            if (!pass)
+                ok = false;
+        };
+        gate(sample_reduction >= 2.0,
+             "coalescing+warm cut total samples >= 2x");
+        gate(quality_ratio >= 0.98, "final quality >= 0.98x baseline");
+        gate(prod.hitRate >= 0.4, "store hit rate >= 0.4");
+        gate(base.waitP99 > 0.0 && prod.waitP99 <= 0.5 * base.waitP99,
+             "wait p99 <= 0.5x baseline");
+        gate(shed.shed > 0 && shed.served > 0 &&
+                 shed.served + shed.shed == shed.submitted,
+             "shed accounting closes (served + shed == submitted)");
+        if (!ok) {
+            std::fprintf(stderr, "--check-slo: SLO gate violated\n");
+            return 1;
+        }
+    }
     return 0;
 }

@@ -14,14 +14,24 @@
  *             [--task Vision|Lang|Recom|Mix] [--setting S1..S6]
  *             [--bw GBPS] [--group N] [--budget N] [--seed N]
  *             [--objective NAME] [--store PATH] [--no-warm] [--quiet]
+ *             [--coalesce] [--max-queue N] [--deadline SEC]
  *             [--metrics-out FILE]
  *
  * The flags populate the api::ProblemSpec/api::SearchSpec embedded in
  * every serve::MapRequest — the same declarative artifacts `m3e_cli
  * --spec` runs offline. --threads N sets evaluation lanes per request
  * (0 = auto via MAGMA_THREADS / hardware concurrency). --store PATH
- * loads the warm-start store at startup and saves it at shutdown, so a
- * second run starts warm. --no-warm disables the store (cold baseline).
+ * names the store snapshot: startup runs crash recovery (snapshot +
+ * append-log replay), every write-back is then logged durably, and
+ * shutdown compacts — a second run starts warm even after kill -9.
+ * --no-warm disables the store (cold baseline).
+ *
+ * Production controls (docs/serving.md): --coalesce collapses identical
+ * in-flight requests into one search, --max-queue N bounds the waiting
+ * queue (overflow sheds the oldest lowest-priority request), --deadline
+ * SEC sheds requests that waited past SEC at dequeue. Shed/coalesced
+ * requests show in the per-request table and a summary line — emitted
+ * only when these flags are used, so default output is unchanged.
  *
  * --metrics-out FILE writes the process metrics registry — per-tenant
  * serve.wait_seconds/.service_seconds histograms, request counters,
@@ -60,6 +70,9 @@ struct ServeArgs {
     std::string storePath;
     bool warm = true;
     bool quiet = false;
+    bool coalesce = false;
+    int64_t maxQueue = 0;
+    double deadline = 0.0;
     std::string metricsPath;
 };
 
@@ -119,6 +132,12 @@ parse(int argc, char** argv)
             a.warm = false;
         else if (flag == "--quiet")
             a.quiet = true;
+        else if (flag == "--coalesce")
+            a.coalesce = true;
+        else if (flag == "--max-queue")
+            a.maxQueue = std::stoll(need(i++));
+        else if (flag == "--deadline")
+            a.deadline = std::stod(need(i++));
         else if (flag == "--metrics-out")
             a.metricsPath = need(i++);
         else {
@@ -144,7 +163,11 @@ main(int argc, char** argv)
     cfg.workers = args.workers;
     cfg.threadsPerRequest = args.threads;
     cfg.storePath = args.storePath;
+    cfg.coalesce = args.coalesce;
+    cfg.maxQueueDepth = args.maxQueue;
     serve::MappingService service(cfg);
+    const bool production_knobs =
+        args.coalesce || args.maxQueue > 0 || args.deadline > 0.0;
 
     std::printf("mapping service: %d workers x %d eval lane(s), task %s, "
                 "%s @ %g GB/s, group %d, cold budget %lld%s\n",
@@ -176,6 +199,7 @@ main(int argc, char** argv)
         req.search.sampleBudget = args.budget;
         req.search.seed = args.seed + i;
         req.search.warmStart = args.warm;
+        req.deadlineSeconds = args.deadline;
         futures.push_back(service.submit(std::move(req)));
     }
 
@@ -187,11 +211,16 @@ main(int argc, char** argv)
         serve::MapResponse r = futures[i].get();
         if (args.quiet)
             continue;
+        const char* path =
+            r.shed ? "shed"
+                   : (r.coalesced
+                          ? "coal"
+                          : (r.warmStart ? (r.exactHit ? "warm" : "warm~")
+                                         : "cold"));
         std::printf("%-4d %-10s %4d %-6s %12.2f %9lld %9.1f %9.1f\n", i,
                     ("tenant-" + std::to_string(i % args.tenants)).c_str(),
-                    (i % 5 == 0) ? 0 : 1,
-                    r.warmStart ? (r.exactHit ? "warm" : "warm~") : "cold",
-                    r.bestFitness, static_cast<long long>(r.samplesUsed),
+                    (i % 5 == 0) ? 0 : 1, path, r.bestFitness,
+                    static_cast<long long>(r.samplesUsed),
                     r.waitSeconds * 1e3, r.serviceSeconds * 1e3);
     }
     service.drain();
@@ -214,6 +243,10 @@ main(int argc, char** argv)
                 static_cast<long long>(s.samplesSaved),
                 100.0 * s.samplesSaved /
                     std::max<int64_t>(1, s.samplesSpent + s.samplesSaved));
+    if (production_knobs)
+        std::printf("production controls: %lld coalesced, %lld shed\n",
+                    static_cast<long long>(s.coalesced),
+                    static_cast<long long>(s.shed));
     std::printf("store: %lld entries, %lld exact + %lld coarse hits / %lld "
                 "lookups, mean transfer quality %.2f\n",
                 static_cast<long long>(service.store().size()),

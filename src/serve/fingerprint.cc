@@ -63,4 +63,17 @@ fingerprintOf(const dnn::JobGroup& group, const api::ProblemSpec& spec,
     return fingerprintOf(group, api::buildPlatform(spec), objective);
 }
 
+std::string
+coalesceKeyOf(const Fingerprint& fp, const api::SearchSpec& search,
+              bool write_back, int64_t warm_budget)
+{
+    std::ostringstream key;
+    key << fp.key << "|method=" << search.method
+        << "|budget=" << search.sampleBudget
+        << "|eval=" << static_cast<int>(search.eval)
+        << "|warm=" << (search.warmStart ? 1 : 0)
+        << "|wb=" << (write_back ? 1 : 0) << "|wbudget=" << warm_budget;
+    return key.str();
+}
+
 }  // namespace magma::serve

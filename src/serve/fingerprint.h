@@ -49,6 +49,20 @@ Fingerprint fingerprintOf(
     const dnn::JobGroup& group, const api::ProblemSpec& spec,
     sched::Objective objective = sched::Objective::Throughput);
 
+/**
+ * Coalescing key (ServiceConfig::coalesce): two in-flight requests with
+ * equal keys would run the SAME search apart from the optimizer seed, so
+ * the service collapses them into one. Extends the fine fingerprint with
+ * every SearchSpec/request field that reaches the result — method,
+ * budget, eval mode, warm-start gate, write-back and warm budget —
+ * EXCEPT the seed: the leader's seed is honored, followers adopt its
+ * result (marked MapResponse::coalesced). Tenant and priority are
+ * admission metadata, not search inputs, so they never split a key.
+ */
+std::string coalesceKeyOf(const Fingerprint& fp,
+                          const api::SearchSpec& search, bool write_back,
+                          int64_t warm_budget);
+
 }  // namespace magma::serve
 
 #endif  // MAGMA_SERVE_FINGERPRINT_H_

@@ -1,8 +1,12 @@
 #include "serve/mapping_store.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <optional>
 #include <functional>
 #include <sstream>
 #include <stdexcept>
@@ -43,6 +47,117 @@ fullPrecision(double v)
     return buf;
 }
 
+/** FNV-1a 64-bit — the log-record payload checksum. */
+uint64_t
+fnv1a64(const std::string& s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+fnv1a64Hex(const std::string& s)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a64(s)));
+    return buf;
+}
+
+/** Serialize one entry block ("entry" .. "end"), shared by the snapshot
+ * writer and the log's put records. */
+void
+writeEntry(std::ostream& os, const StoreEntry& e)
+{
+    os << "entry\n";
+    os << "key " << e.key << "\n";
+    os << "coarse " << e.coarse << "\n";
+    os << "task " << dnn::taskTypeName(e.task) << "\n";
+    os << "fitness " << fullPrecision(e.fitness) << "\n";
+    os << "samples " << e.samplesInvested << "\n";
+    os << "mapping " << e.mapping.toText() << "\n";
+    os << "jobs " << e.group.size() << "\n";
+    for (const dnn::Job& j : e.group.jobs) {
+        const dnn::LayerShape& l = j.layer;
+        os << "job " << j.id << " " << dnn::taskTypeName(j.task) << " "
+           << dnn::layerTypeName(l.type) << " " << l.k << " " << l.c << " "
+           << l.y << " " << l.x << " " << l.r << " " << l.s << " "
+           << l.stride << " " << j.batch << " " << j.model << "\n";
+    }
+    os << "end\n";
+}
+
+/** Parse one entry block ("entry" .. "end"); throws std::invalid_argument
+ * on any malformation. Shared by the snapshot loader and log replay. */
+StoreEntry
+parseEntry(std::istream& is)
+{
+    auto fail = [](const std::string& what) -> void {
+        throw std::invalid_argument("MappingStore: " + what);
+    };
+
+    std::string line;
+    if (!std::getline(is, line) || line != "entry")
+        fail("expected 'entry'");
+
+    StoreEntry e;
+    int64_t jobs = 0;
+    auto field = [&](const std::string& name) -> std::istringstream {
+        if (!std::getline(is, line))
+            fail("truncated entry");
+        std::istringstream line_is(line);
+        std::string tag;
+        if (!(line_is >> tag) || tag != name)
+            fail("expected '" + name + "' line, got '" + line + "'");
+        return line_is;
+    };
+
+    if (!(field("key") >> e.key) || e.key.empty())
+        fail("bad key");
+    if (!(field("coarse") >> e.coarse) || e.coarse.empty())
+        fail("bad coarse key");
+    std::string task_name;
+    if (!(field("task") >> task_name))
+        fail("bad task");
+    e.task = taskTypeFromName(task_name);
+    if (!(field("fitness") >> e.fitness))
+        fail("bad fitness");
+    if (!(field("samples") >> e.samplesInvested))
+        fail("bad samples");
+    {
+        auto line_is = field("mapping");
+        std::string rest;
+        std::getline(line_is, rest);
+        e.mapping = sched::Mapping::fromText(rest);
+    }
+    if (!(field("jobs") >> jobs) || jobs < 0)
+        fail("bad job count");
+    e.group.task = e.task;
+    e.group.jobs.reserve(jobs);
+    for (int64_t j = 0; j < jobs; ++j) {
+        auto line_is = field("job");
+        dnn::Job job;
+        std::string jtask, jtype;
+        dnn::LayerShape& l = job.layer;
+        if (!(line_is >> job.id >> jtask >> jtype >> l.k >> l.c >> l.y >>
+              l.x >> l.r >> l.s >> l.stride >> job.batch))
+            fail("bad job line '" + line + "'");
+        job.task = taskTypeFromName(jtask);
+        l.type = layerTypeFromName(jtype);
+        std::getline(line_is >> std::ws, job.model);
+        e.group.jobs.push_back(std::move(job));
+    }
+    if (!std::getline(is, line) || line != "end")
+        fail("expected 'end'");
+    return e;
+}
+
+constexpr const char* kLogHeader = "magma-store-log v1\n";
+
 }  // namespace
 
 struct MappingStore::Shard {
@@ -64,7 +179,7 @@ MappingStore::MappingStore(int capacity, int shards)
       shards_(new Shard[std::max(1, shards)])
 {}
 
-MappingStore::~MappingStore() = default;
+MappingStore::~MappingStore() { closeLog(); }
 
 MappingStore::Shard&
 MappingStore::shardFor(const std::string& key) const
@@ -179,6 +294,22 @@ MappingStore::update(const Fingerprint& fp, dnn::TaskType task,
             ++stats_.rejects;
         }
     }
+    {
+        // Log the put as submitted (not the winner): replay re-runs the
+        // same better-fitness-wins rule, so any interleaving of records
+        // converges to the same store content, and rejected write-backs
+        // still replay their samplesInvested accumulation.
+        std::lock_guard<std::mutex> lk(log_mu_);
+        if (log_) {
+            std::ostringstream payload;
+            writeEntry(payload, StoreEntry{fp.key, fp.coarse, task, best,
+                                           group, fitness,
+                                           samples_invested});
+            const std::string body = payload.str();
+            appendRecordLocked("put " + std::to_string(body.size()) + " " +
+                               fnv1a64Hex(body) + "\n" + body);
+        }
+    }
     if (inserted)
         enforceCapacity();
     return changed;
@@ -199,7 +330,7 @@ MappingStore::enforceCapacity()
     for (int s = 0; s < num_shards_; ++s)
         total += static_cast<int64_t>(shards_[s].map.size());
 
-    int64_t evicted = 0;
+    std::vector<std::string> evicted_keys;
     while (total > capacity_) {
         int victim_shard = -1;
         std::string victim_key;
@@ -217,13 +348,21 @@ MappingStore::enforceCapacity()
             }
         }
         shards_[victim_shard].map.erase(victim_key);
+        evicted_keys.push_back(std::move(victim_key));
         --total;
-        ++evicted;
     }
-    if (evicted) {
-        std::lock_guard<std::mutex> lk(stats_mu_);
-        stats_.evictions += evicted;
-        stats_.entries -= evicted;
+    locks.clear();  // release every shard before touching log_mu_
+
+    if (!evicted_keys.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(stats_mu_);
+            stats_.evictions += static_cast<int64_t>(evicted_keys.size());
+            stats_.entries -= static_cast<int64_t>(evicted_keys.size());
+        }
+        std::lock_guard<std::mutex> lk(log_mu_);
+        if (log_)
+            for (const std::string& key : evicted_keys)
+                appendRecordLocked("evict " + key + "\n");
     }
 }
 
@@ -286,26 +425,9 @@ MappingStore::save(std::ostream& os) const
                   return a.key < b.key;
               });
 
-    os << "magma-mapping-store v1 " << entries.size() << "\n";
-    for (const StoreEntry& e : entries) {
-        os << "entry\n";
-        os << "key " << e.key << "\n";
-        os << "coarse " << e.coarse << "\n";
-        os << "task " << dnn::taskTypeName(e.task) << "\n";
-        os << "fitness " << fullPrecision(e.fitness) << "\n";
-        os << "samples " << e.samplesInvested << "\n";
-        os << "mapping " << e.mapping.toText() << "\n";
-        os << "jobs " << e.group.size() << "\n";
-        for (const dnn::Job& j : e.group.jobs) {
-            const dnn::LayerShape& l = j.layer;
-            os << "job " << j.id << " " << dnn::taskTypeName(j.task) << " "
-               << dnn::layerTypeName(l.type) << " " << l.k << " " << l.c
-               << " " << l.y << " " << l.x << " " << l.r << " " << l.s
-               << " " << l.stride << " " << j.batch << " " << j.model
-               << "\n";
-        }
-        os << "end\n";
-    }
+    os << "magma-store-snapshot v1 " << entries.size() << "\n";
+    for (const StoreEntry& e : entries)
+        writeEntry(os, e);
 }
 
 bool
@@ -324,12 +446,6 @@ MappingStore::load(std::istream& is)
     auto fail = [](const std::string& what) -> void {
         throw std::invalid_argument("MappingStore::load: " + what);
     };
-    auto expectField = [&](std::istream& line_is, const std::string& line,
-                           const std::string& field) {
-        std::string tag;
-        if (!(line_is >> tag) || tag != field)
-            fail("expected '" + field + "' line, got '" + line + "'");
-    };
 
     std::string line;
     if (!std::getline(is, line))
@@ -338,66 +454,15 @@ MappingStore::load(std::istream& is)
     std::string magic, version;
     size_t count = 0;
     if (!(header >> magic >> version >> count) ||
-        magic != "magma-mapping-store" || version != "v1")
+        magic != "magma-store-snapshot" || version != "v1")
         fail("bad header '" + line + "'");
 
     // Parse the whole stream before touching the store, so a malformed
     // stream leaves the current content intact (atomic replace).
     std::vector<StoreEntry> parsed;
     parsed.reserve(count);
-    for (size_t n = 0; n < count; ++n) {
-        if (!std::getline(is, line) || line != "entry")
-            fail("expected 'entry'");
-
-        StoreEntry e;
-        int64_t jobs = 0;
-        auto field = [&](const std::string& name) -> std::istringstream {
-            if (!std::getline(is, line))
-                fail("truncated entry");
-            std::istringstream line_is(line);
-            expectField(line_is, line, name);
-            return line_is;
-        };
-
-        if (!(field("key") >> e.key) || e.key.empty())
-            fail("bad key");
-        if (!(field("coarse") >> e.coarse) || e.coarse.empty())
-            fail("bad coarse key");
-        std::string task_name;
-        if (!(field("task") >> task_name))
-            fail("bad task");
-        e.task = taskTypeFromName(task_name);
-        if (!(field("fitness") >> e.fitness))
-            fail("bad fitness");
-        if (!(field("samples") >> e.samplesInvested))
-            fail("bad samples");
-        {
-            auto line_is = field("mapping");
-            std::string rest;
-            std::getline(line_is, rest);
-            e.mapping = sched::Mapping::fromText(rest);
-        }
-        if (!(field("jobs") >> jobs) || jobs < 0)
-            fail("bad job count");
-        e.group.task = e.task;
-        e.group.jobs.reserve(jobs);
-        for (int64_t j = 0; j < jobs; ++j) {
-            auto line_is = field("job");
-            dnn::Job job;
-            std::string jtask, jtype;
-            dnn::LayerShape& l = job.layer;
-            if (!(line_is >> job.id >> jtask >> jtype >> l.k >> l.c >>
-                  l.y >> l.x >> l.r >> l.s >> l.stride >> job.batch))
-                fail("bad job line '" + line + "'");
-            job.task = taskTypeFromName(jtask);
-            l.type = layerTypeFromName(jtype);
-            std::getline(line_is >> std::ws, job.model);
-            e.group.jobs.push_back(std::move(job));
-        }
-        if (!std::getline(is, line) || line != "end")
-            fail("expected 'end'");
-        parsed.push_back(std::move(e));
-    }
+    for (size_t n = 0; n < count; ++n)
+        parsed.push_back(parseEntry(is));
 
     clear();
     for (StoreEntry& e : parsed) {
@@ -422,6 +487,208 @@ MappingStore::loadFile(const std::string& path)
         return false;
     load(is);
     return true;
+}
+
+// -------------------------------------------------------- append-log ---
+
+void
+MappingStore::appendRecordLocked(const std::string& record)
+{
+    if (std::fwrite(record.data(), 1, record.size(), log_) !=
+        record.size())
+        return;  // best effort: a full disk must not take serving down
+    std::fflush(log_);
+    ::fsync(::fileno(log_));
+    ++log_records_;
+}
+
+bool
+MappingStore::openLog(const std::string& path)
+{
+    std::lock_guard<std::mutex> lk(log_mu_);
+    if (log_) {
+        std::fclose(log_);
+        log_ = nullptr;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    if (!f)
+        return false;
+    log_ = f;
+    log_path_ = path;
+    log_records_ = 0;
+    if (std::ftell(log_) == 0) {
+        std::fwrite(kLogHeader, 1, std::strlen(kLogHeader), log_);
+        std::fflush(log_);
+        ::fsync(::fileno(log_));
+    }
+    return true;
+}
+
+void
+MappingStore::closeLog()
+{
+    std::lock_guard<std::mutex> lk(log_mu_);
+    if (log_) {
+        std::fclose(log_);
+        log_ = nullptr;
+    }
+    log_path_.clear();
+}
+
+int64_t
+MappingStore::logRecords() const
+{
+    std::lock_guard<std::mutex> lk(log_mu_);
+    return log_records_;
+}
+
+bool
+MappingStore::compact(const std::string& snapshot_path)
+{
+    // Holding log_mu_ across the snapshot blocks concurrent appends, so
+    // no put can slip between the fold and the truncation. Lock order
+    // log_mu_ -> shard mutexes matches the policy in the header.
+    std::lock_guard<std::mutex> lk(log_mu_);
+
+    std::ostringstream text;
+    save(text);
+    const std::string body = text.str();
+
+    const std::string tmp = snapshot_path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    ok = std::fflush(f) == 0 && ok;
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok || std::rename(tmp.c_str(), snapshot_path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+
+    if (log_) {
+        std::fclose(log_);
+        log_ = std::fopen(log_path_.c_str(), "wb");
+        if (!log_)
+            return false;
+        std::fwrite(kLogHeader, 1, std::strlen(kLogHeader), log_);
+        std::fflush(log_);
+        ::fsync(::fileno(log_));
+        log_records_ = 0;
+    }
+    return true;
+}
+
+int64_t
+MappingStore::replayLog(const std::string& text)
+{
+    size_t pos = 0;
+    // One framed record line; nullopt when no terminating newline is
+    // left — the torn-tail signal that ends the replay.
+    auto nextLine = [&]() -> std::optional<std::string> {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            return std::nullopt;
+        std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        return line;
+    };
+
+    if (text.empty())
+        return 0;
+    auto header = nextLine();
+    if (!header)
+        return 0;  // torn header: an empty log
+    {
+        std::istringstream hs(*header);
+        std::string magic, version;
+        if (!(hs >> magic >> version) || magic != "magma-store-log" ||
+            version != "v1")
+            throw std::invalid_argument(
+                "MappingStore: bad log header '" + *header + "'");
+    }
+
+    // The log is an append-only journal: replay applies complete, valid
+    // records in order and discards everything from the first torn or
+    // invalid record on (the kill -9 contract covers the torn case).
+    int64_t applied = 0;
+    while (pos < text.size()) {
+        auto rec = nextLine();
+        if (!rec)
+            break;
+        std::istringstream rs(*rec);
+        std::string kind;
+        rs >> kind;
+        if (kind == "put") {
+            long long nbytes = 0;
+            std::string checksum;
+            if (!(rs >> nbytes >> checksum) || nbytes <= 0)
+                break;
+            if (pos + static_cast<size_t>(nbytes) > text.size())
+                break;  // torn payload
+            std::string body = text.substr(pos, nbytes);
+            pos += static_cast<size_t>(nbytes);
+            if (fnv1a64Hex(body) != checksum)
+                break;
+            StoreEntry e;
+            try {
+                std::istringstream body_is(body);
+                e = parseEntry(body_is);
+            } catch (const std::invalid_argument&) {
+                break;
+            }
+            update(Fingerprint{e.key, e.coarse}, e.task, e.mapping,
+                   e.group, e.fitness, e.samplesInvested);
+            ++applied;
+        } else if (kind == "evict") {
+            std::string key;
+            if (!(rs >> key) || key.empty())
+                break;
+            eraseKey(key);
+            ++applied;
+        } else {
+            break;
+        }
+    }
+    return applied;
+}
+
+void
+MappingStore::eraseKey(const std::string& key)
+{
+    Shard& shard = shardFor(key);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.map.erase(key);
+}
+
+int64_t
+MappingStore::recover(const std::string& snapshot_path,
+                      const std::string& log_path)
+{
+    {
+        std::ifstream is(snapshot_path);
+        if (is)
+            load(is);
+        else
+            clear();
+    }
+
+    int64_t applied = 0;
+    std::ifstream lf(log_path, std::ios::binary);
+    if (lf) {
+        std::ostringstream buf;
+        buf << lf.rdbuf();
+        applied = replayLog(buf.str());
+    }
+
+    // Replay ran through the normal update/evict path, which perturbs
+    // the process counters; recovered knowledge starts them fresh.
+    int64_t entries = size();
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_ = StoreStats{};
+    stats_.entries = entries;
+    return applied;
 }
 
 }  // namespace magma::serve

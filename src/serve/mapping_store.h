@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -68,9 +69,14 @@ struct StoreStats {
  *  - bounded: at most `capacity` entries, least-recently-used evicted;
  *  - mutex-sharded: lookups and write-backs from concurrent worker lanes
  *    contend per shard, not store-wide;
- *  - persistent: save()/load() stream a line-based text format (mappings
- *    via Mapping::toText, bitwise exact) so warm-start knowledge survives
- *    process restarts.
+ *  - persistent: save()/load() stream a line-based snapshot format
+ *    ("magma-store-snapshot v1", mappings via Mapping::toText, bitwise
+ *    exact) so warm-start knowledge survives process restarts;
+ *  - crash-safe: an optional append-log ("magma-store-log v1") records
+ *    every put/evict with an fsync per record. recover() loads the last
+ *    snapshot and replays the log, tolerating a torn final record, so a
+ *    kill -9 mid-write loses at most the record being written. compact()
+ *    folds the log back into the snapshot. See docs/formats.md.
  *
  * Write-backs keep the better solution per key, so concurrent tenants of
  * one workload type compound each other's knowledge.
@@ -126,18 +132,74 @@ class MappingStore {
     /** Load from a file; returns false when the file cannot be opened. */
     bool loadFile(const std::string& path);
 
+    // ----------------------------------------- crash-safe persistence --
+    //
+    // Lifecycle: recover(snapshot, log) -> openLog(log) -> compact(snapshot)
+    // at startup, then every update()/eviction appends an fsync'd record;
+    // compact(snapshot) at shutdown (or periodically) folds the log away.
+    // Attach the log only via this sequence: appending behind a torn tail
+    // would strand the new records past recovery's stop point.
+
+    /**
+     * Open (or create) the append-log at `path`. An empty or new file
+     * gets the "magma-store-log v1" header. Subsequent update() calls
+     * and LRU evictions append one fsync'd record each. Returns false
+     * when the file cannot be opened.
+     */
+    bool openLog(const std::string& path);
+    void closeLog();
+
+    /**
+     * Fold the current content into `snapshot_path` (written to a temp
+     * file, fsync'd, renamed into place — readers never observe a torn
+     * snapshot) and truncate the open log back to its header. Safe to
+     * call with no log attached. Returns false on I/O failure.
+     */
+    bool compact(const std::string& snapshot_path);
+
+    /**
+     * Crash recovery: load `snapshot_path` (if present), then replay
+     * `log_path` (if present) through the normal update/evict rules.
+     * A torn final record — the kill -9 case — ends the replay cleanly;
+     * every fully written record is recovered. A malformed snapshot or a
+     * complete-but-wrong log header throws std::invalid_argument.
+     * Returns the number of log records applied.
+     */
+    int64_t recover(const std::string& snapshot_path,
+                    const std::string& log_path);
+
+    /** Records appended to the log since openLog()/compact(). */
+    int64_t logRecords() const;
+
   private:
     struct Shard;
 
     Shard& shardFor(const std::string& key) const;
     /** Evict LRU entries until size <= capacity (locks all shards). */
     void enforceCapacity();
+    /** Erase one key (replay of an evict record); no logging. */
+    void eraseKey(const std::string& key);
+    /** Append one raw record and fsync it. Caller holds log_mu_. */
+    void appendRecordLocked(const std::string& record);
+    /** Replay buffered log text; returns records applied. */
+    int64_t replayLog(const std::string& text);
 
     int capacity_;
     int num_shards_;
     std::unique_ptr<Shard[]> shards_;
     mutable std::mutex stats_mu_;
     StoreStats stats_;
+    /**
+     * Append-log state, all guarded by log_mu_. Lock order: log_mu_ may
+     * be taken while holding no shard mutex (update/eviction appends) or
+     * before the all-shard sequence (compact -> save), never after a
+     * shard mutex — so log appends and store-wide operations cannot
+     * deadlock. See docs/concurrency.md.
+     */
+    mutable std::mutex log_mu_;
+    std::FILE* log_ = nullptr;
+    std::string log_path_;
+    int64_t log_records_ = 0;
     /**
      * LRU tick source. Memory order: relaxed fetch_add is correct —
      * atomicity alone guarantees unique, monotonically increasing

@@ -32,6 +32,14 @@ struct MapRequest {
     // -- admission ------------------------------------------------------
     std::string tenant = "default";
     int priority = 0;  ///< lower is more urgent; FIFO + fair within a level
+    /**
+     * Staleness bound, honored at dequeue: a request that has already
+     * waited longer than this when a lane picks it up is shed (its
+     * future resolves with MapResponse::shed) instead of searched —
+     * the caller has presumably timed out, so the search would be
+     * wasted work. 0 disables the check.
+     */
+    double deadlineSeconds = 0.0;
 
     // -- experiment -----------------------------------------------------
     api::ProblemSpec problem;  ///< workload + platform + BW regime
@@ -80,6 +88,19 @@ struct MapResponse {
     int64_t serveOrder = 0;      ///< global admission index (fairness probe)
     double waitSeconds = 0.0;    ///< time spent queued
     double serviceSeconds = 0.0; ///< time spent searching
+
+    /**
+     * This response was fanned out from a coalesced leader search
+     * (ServiceConfig::coalesce): the mapping is the leader's, bitwise,
+     * and samplesUsed is 0 — this request spent nothing itself.
+     */
+    bool coalesced = false;
+    /**
+     * Load-shed: admission control dropped the request (bounded queue,
+     * per-priority limit, or missed deadline at dequeue). No search ran;
+     * every result field other than waitSeconds is default-initialized.
+     */
+    bool shed = false;
 };
 
 }  // namespace magma::serve

@@ -37,15 +37,33 @@ MappingService::MappingService(ServiceConfig cfg)
 {
     cfg_.workers = std::max(1, cfg_.workers);
     if (!cfg_.storePath.empty()) {
+        const std::string log_path = cfg_.storePath + ".log";
         try {
-            store_.loadFile(cfg_.storePath);  // false (absent file) is fine
+            // Crash recovery: snapshot, then the append-log's complete
+            // records (a torn final record ends the replay cleanly).
+            store_.recover(cfg_.storePath, log_path);
         } catch (const std::exception& e) {
-            // A corrupt store file must not keep the service down; start
+            // A corrupt store must not keep the service down; start
             // cold instead.
             std::fprintf(stderr,
                          "MappingService: ignoring store '%s': %s\n",
                          cfg_.storePath.c_str(), e.what());
             store_.clear();
+        }
+        if (store_.openLog(log_path)) {
+            // Fold the replayed records into a fresh snapshot and
+            // truncate the log — this also discards any torn tail, so
+            // new records never append behind one.
+            if (!store_.compact(cfg_.storePath))
+                std::fprintf(stderr,
+                             "MappingService: could not compact store "
+                             "'%s'\n",
+                             cfg_.storePath.c_str());
+        } else {
+            std::fprintf(stderr,
+                         "MappingService: could not open store log "
+                         "'%s'\n",
+                         log_path.c_str());
         }
     }
     if (cfg_.autoStart)
@@ -77,45 +95,116 @@ MappingService::submit(MapRequest req)
     p.enqueued = std::chrono::steady_clock::now();
     std::future<MapResponse> future = p.promise.get_future();
 
-    std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_)
-        throw std::runtime_error("MappingService: submit after stop()");
-    p.seq = next_seq_++;
-    std::string tenant = p.req.tenant;
-    bool newly_active = !tenantQueued(tenant);
-    queue_[p.req.priority][tenant].push_back(std::move(p));
-    if (newly_active) {
-        // The tenant joins the round-robin at the CURRENT round: rebase
-        // its admission count to the minimum among the tenants already
-        // waiting. Without this, a late joiner (count 0) would be served
-        // exclusively until it caught up with long-running tenants —
-        // starving them — and a returning tenant with an old high count
-        // would itself be starved.
-        bool found = false;
-        int64_t min_other = 0;
-        for (const auto& [prio, tenants] : queue_) {
-            for (const auto& [t, fifo] : tenants) {
-                if (t == tenant || fifo.empty())
-                    continue;
-                int64_t c = 0;
-                if (auto it = admitted_.find(t); it != admitted_.end())
-                    c = it->second;
-                if (!found || c < min_other) {
-                    min_other = c;
-                    found = true;
-                }
+    // The coalescing key needs the materialized workload; pay for the
+    // generator and platform build outside the queue lock. This mirrors
+    // serveOne()'s fingerprint exactly, so a follower adopts precisely
+    // the result its own search would have produced (apart from seed).
+    std::string coalesce_key;
+    if (cfg_.coalesce) {
+        dnn::JobGroup group = p.req.group;
+        if (group.jobs.empty()) {
+            dnn::WorkloadGenerator gen(p.req.problem.workloadSeed);
+            group = gen.makeGroup(p.req.problem.task,
+                                  p.req.problem.groupSize);
+        }
+        Fingerprint fp =
+            fingerprintOf(group, p.req.problem, p.req.search.objective);
+        coalesce_key = coalesceKeyOf(fp, p.req.search, p.req.writeBack,
+                                     p.req.warmBudget);
+    }
+
+    std::vector<Pending> to_shed;
+    bool enqueued = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_)
+            throw std::runtime_error("MappingService: submit after stop()");
+        p.seq = next_seq_++;
+        ++stats_.submitted;
+        if (obs::countersOn())
+            reg_->counter("serve.submitted").add();
+
+        // Coalesce: ride an existing leader instead of queueing. A
+        // follower holds no queue slot, so admission control below never
+        // sees it.
+        if (!coalesce_key.empty() && leader_keys_.count(coalesce_key)) {
+            followers_[coalesce_key].push_back(std::move(p));
+            return future;
+        }
+
+        const int prio = p.req.priority;
+        const std::string tenant = p.req.tenant;
+
+        // Admission control, per-priority bound first: level P full means
+        // its OLDEST waiting request is shed (freshest-wins in-level).
+        if (auto lim = cfg_.priorityDepthLimits.find(prio);
+            lim != cfg_.priorityDepthLimits.end() && lim->second > 0) {
+            int64_t level_depth = 0;
+            if (auto q = queue_.find(prio); q != queue_.end())
+                for (const auto& [t, fifo] : q->second)
+                    level_depth += static_cast<int64_t>(fifo.size());
+            if (level_depth >= lim->second)
+                collectShedLocked(removeOldestLocked(prio), to_shed);
+        }
+
+        // Global bound: shed the oldest request of the lowest-priority
+        // waiting level — or the incoming request itself when everything
+        // waiting outranks it.
+        bool incoming_shed = false;
+        if (cfg_.maxQueueDepth > 0 && queue_depth_ >= cfg_.maxQueueDepth &&
+            !queue_.empty()) {
+            int worst = queue_.rbegin()->first;
+            if (worst >= prio) {
+                collectShedLocked(removeOldestLocked(worst), to_shed);
+            } else {
+                collectShedLocked(std::move(p), to_shed);
+                incoming_shed = true;
             }
         }
-        admitted_[tenant] = found ? min_other : 0;
+
+        if (!incoming_shed) {
+            if (!coalesce_key.empty()) {
+                p.coalesceKey = coalesce_key;
+                leader_keys_.insert(coalesce_key);
+            }
+            bool newly_active = !tenantQueued(tenant);
+            queue_[prio][tenant].push_back(std::move(p));
+            if (newly_active) {
+                // The tenant joins the round-robin at the CURRENT round:
+                // rebase its admission count to the minimum among the
+                // tenants already waiting. Without this, a late joiner
+                // (count 0) would be served exclusively until it caught
+                // up with long-running tenants — starving them — and a
+                // returning tenant with an old high count would itself
+                // be starved.
+                bool found = false;
+                int64_t min_other = 0;
+                for (const auto& [q_prio, tenants] : queue_) {
+                    for (const auto& [t, fifo] : tenants) {
+                        if (t == tenant || fifo.empty())
+                            continue;
+                        int64_t c = 0;
+                        if (auto it = admitted_.find(t);
+                            it != admitted_.end())
+                            c = it->second;
+                        if (!found || c < min_other) {
+                            min_other = c;
+                            found = true;
+                        }
+                    }
+                }
+                admitted_[tenant] = found ? min_other : 0;
+            }
+            ++queue_depth_;
+            enqueued = true;
+        }
+        if (obs::countersOn())
+            reg_->gauge("serve.queue_depth")
+                .set(static_cast<double>(queue_depth_));
     }
-    ++queue_depth_;
-    ++stats_.submitted;
-    if (obs::countersOn()) {
-        reg_->counter("serve.submitted").add();
-        reg_->gauge("serve.queue_depth")
-            .set(static_cast<double>(queue_depth_));
-    }
-    work_cv_.notify_one();
+    fulfillShed(to_shed);
+    if (enqueued)
+        work_cv_.notify_one();
     return future;
 }
 
@@ -176,6 +265,67 @@ MappingService::popNext()
     return p;
 }
 
+MappingService::Pending
+MappingService::removeOldestLocked(int level)
+{
+    auto level_it = queue_.find(level);
+    auto& tenants = level_it->second;
+    auto best = tenants.end();
+    for (auto it = tenants.begin(); it != tenants.end(); ++it)
+        if (best == tenants.end() ||
+            it->second.front().seq < best->second.front().seq)
+            best = it;
+
+    Pending victim = std::move(best->second.front());
+    best->second.pop_front();
+    const std::string tenant = best->first;
+    if (best->second.empty())
+        tenants.erase(best);
+    if (tenants.empty())
+        queue_.erase(level_it);
+    // Same bookkeeping as an admission, minus the admission count: a
+    // shed is not a turn taken.
+    if (!tenantQueued(tenant))
+        admitted_.erase(tenant);
+    --queue_depth_;
+    return victim;
+}
+
+void
+MappingService::collectShedLocked(Pending&& victim,
+                                  std::vector<Pending>& out)
+{
+    const size_t before = out.size();
+    if (!victim.coalesceKey.empty()) {
+        // Shedding a coalesced leader cascades to its followers: nobody
+        // is left waiting on a search that will never run.
+        leader_keys_.erase(victim.coalesceKey);
+        auto node = followers_.extract(victim.coalesceKey);
+        if (!node.empty())
+            for (Pending& f : node.mapped())
+                out.push_back(std::move(f));
+    }
+    out.push_back(std::move(victim));
+    stats_.shed += static_cast<int64_t>(out.size() - before);
+}
+
+void
+MappingService::fulfillShed(std::vector<Pending>& sheds)
+{
+    if (sheds.empty())
+        return;
+    if (obs::countersOn())
+        reg_->counter("serve.shed")
+            .add(static_cast<int64_t>(sheds.size()));
+    for (Pending& p : sheds) {
+        MapResponse resp;
+        resp.shed = true;
+        resp.waitSeconds = secondsSince(p.enqueued);
+        p.promise.set_value(std::move(resp));
+    }
+    sheds.clear();
+}
+
 void
 MappingService::workerLoop()
 {
@@ -190,19 +340,40 @@ MappingService::workerLoop()
     while (true) {
         Pending p;
         int64_t serve_order = 0;
+        bool have = false;
+        bool exit_lane = false;
+        std::vector<Pending> expired;
         {
             std::unique_lock<std::mutex> lk(mu_);
             work_cv_.wait(lk,
                           [this] { return stopping_ || !queueEmpty(); });
-            if (queueEmpty()) {
-                if (stopping_)
-                    return;
-                continue;
+            while (!queueEmpty()) {
+                p = popNext();
+                // Deadline, honored at dequeue: the caller's staleness
+                // bound passed while the request waited, so the search
+                // would be wasted work — shed instead.
+                if (p.req.deadlineSeconds > 0.0 &&
+                    secondsSince(p.enqueued) > p.req.deadlineSeconds) {
+                    collectShedLocked(std::move(p), expired);
+                    continue;
+                }
+                have = true;
+                break;
             }
-            p = popNext();
-            serve_order = next_serve_order_++;
-            ++in_flight_;
+            if (have) {
+                serve_order = next_serve_order_++;
+                ++in_flight_;
+            } else {
+                exit_lane = stopping_;
+                if (in_flight_ == 0)
+                    idle_cv_.notify_all();
+            }
         }
+        fulfillShed(expired);
+        if (exit_lane)
+            return;
+        if (!have)
+            continue;
 
         double wait_seconds = secondsSince(p.enqueued);
         auto t0 = std::chrono::steady_clock::now();
@@ -223,11 +394,20 @@ MappingService::workerLoop()
 
         // Commit the counters before fulfilling the future, so a caller
         // that reads stats() right after future.get() sees this request.
+        // A coalesced leader also takes its followers along here — they
+        // inherit this outcome, success or failure.
+        std::vector<Pending> followers;
         {
             std::lock_guard<std::mutex> lk(mu_);
             --in_flight_;
+            if (!p.coalesceKey.empty()) {
+                leader_keys_.erase(p.coalesceKey);
+                auto node = followers_.extract(p.coalesceKey);
+                if (!node.empty())
+                    followers = std::move(node.mapped());
+            }
             if (error) {
-                ++stats_.failed;
+                stats_.failed += 1 + static_cast<int64_t>(followers.size());
             } else {
                 ++stats_.served;
                 resp.warmStart ? ++stats_.warmServed : ++stats_.coldServed;
@@ -237,6 +417,8 @@ MappingService::workerLoop()
                 if (resp.warmStart)
                     stats_.samplesSaved += std::max<int64_t>(
                         0, p.req.search.sampleBudget - resp.samplesUsed);
+                stats_.served += static_cast<int64_t>(followers.size());
+                stats_.coalesced += static_cast<int64_t>(followers.size());
             }
             if (obs::countersOn()) {
                 reg_->gauge("serve.queue_depth")
@@ -249,10 +431,23 @@ MappingService::workerLoop()
         }
         recordServed(p.req.tenant, error != nullptr, wait_seconds,
                      resp.serviceSeconds);
-        if (error)
+        if (obs::countersOn() && !followers.empty())
+            reg_->counter("serve.coalesced")
+                .add(static_cast<int64_t>(followers.size()));
+        if (error) {
+            for (Pending& f : followers)
+                f.promise.set_exception(error);
             p.promise.set_exception(error);
-        else
+        } else {
+            for (Pending& f : followers) {
+                MapResponse fanned = resp;  // the leader's result, bitwise
+                fanned.coalesced = true;
+                fanned.samplesUsed = 0;  // this request spent nothing
+                fanned.waitSeconds = secondsSince(f.enqueued);
+                f.promise.set_value(std::move(fanned));
+            }
             p.promise.set_value(std::move(resp));
+        }
     }
 }
 
@@ -444,23 +639,33 @@ MappingService::stop()
         w.join();
     workers_.clear();
 
-    // A never-started service may still hold queued requests: fail their
-    // futures rather than leaving them hanging.
+    // A never-started service may still hold queued requests — and, with
+    // coalescing, followers waiting on them: fail their futures rather
+    // than leaving them hanging.
     std::map<int, std::map<std::string, std::deque<Pending>>> orphans;
+    std::map<std::string, std::vector<Pending>> orphan_followers;
     {
         std::lock_guard<std::mutex> lk(mu_);
         orphans.swap(queue_);
+        orphan_followers.swap(followers_);
+        leader_keys_.clear();
         queue_depth_ = 0;
         running_ = false;
     }
+    auto stopped = std::make_exception_ptr(std::runtime_error(
+        "MappingService stopped before serving this request"));
     for (auto& [prio, tenants] : orphans)
         for (auto& [tenant, fifo] : tenants)
             for (Pending& p : fifo)
-                p.promise.set_exception(std::make_exception_ptr(
-                    std::runtime_error("MappingService stopped before "
-                                       "serving this request")));
+                p.promise.set_exception(stopped);
+    for (auto& [key, fifo] : orphan_followers)
+        for (Pending& p : fifo)
+            p.promise.set_exception(stopped);
 
-    if (!cfg_.storePath.empty() && !store_.saveFile(cfg_.storePath))
+    // Fold the log into the snapshot (atomic rename) so the next process
+    // recovers from a compact snapshot rather than a long replay; with
+    // no log attached this still writes a plain snapshot.
+    if (!cfg_.storePath.empty() && !store_.compact(cfg_.storePath))
         std::fprintf(stderr, "MappingService: could not save store '%s'\n",
                      cfg_.storePath.c_str());
 }

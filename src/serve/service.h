@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,11 +43,46 @@ struct ServiceConfig {
     int storeCapacity = 64;
     int storeShards = 8;
     /**
-     * When non-empty: load the store from this file at construction (if
-     * it exists) and save it back on stop() — warm-start knowledge
-     * survives process restarts.
+     * When non-empty: the store's snapshot path. Construction runs crash
+     * recovery (snapshot + "<storePath>.log" replay, tolerating a torn
+     * final record), attaches the append-log — every write-back and
+     * eviction is then fsync'd durably — and folds the replayed log into
+     * a fresh snapshot. stop() compacts again. Warm-start knowledge
+     * survives process restarts AND kill -9 mid-write.
      */
     std::string storePath;
+    /**
+     * Collapse identical in-flight work: a submitted request whose
+     * coalescing key (fingerprint + every result-reaching search field
+     * except the seed, see coalesceKeyOf) matches a queued or in-flight
+     * request becomes a follower — it occupies no queue slot and runs no
+     * search; when the leader finishes, every follower's future resolves
+     * with a copy of the leader's response marked MapResponse::coalesced.
+     * Followers inherit the leader's outcome in full: its exception, or
+     * its shed flag when admission control drops the leader. Off by
+     * default — coalesced responses depend on what is in flight at
+     * submit time, so replays are only request-for-request reproducible
+     * with coalescing off.
+     */
+    bool coalesce = false;
+    /**
+     * Admission control: with a positive bound, a submit() that would
+     * push the queue past `maxQueueDepth` waiting requests sheds one
+     * request instead of growing the queue — the oldest request of the
+     * lowest-priority level (numerically highest; ties within the level
+     * go to the oldest seq), or the incoming request itself when it is
+     * lower-priority than everything waiting. Shed futures resolve with
+     * MapResponse::shed (not an exception). 0 = unbounded.
+     */
+    int64_t maxQueueDepth = 0;
+    /**
+     * Optional per-priority depth limits, checked before the global
+     * bound: when level P already holds `priorityDepthLimits[P]` waiting
+     * requests, an arriving P-request sheds the oldest waiting request
+     * of level P (the arrival is admitted — freshest-wins within a
+     * level). Levels without an entry are unlimited.
+     */
+    std::map<int, int64_t> priorityDepthLimits;
     /** Start worker lanes immediately; false requires an explicit
      * start() (lets tests enqueue a whole trace before admission). */
     bool autoStart = true;
@@ -81,6 +117,8 @@ struct ServiceStats {
     int64_t coldServed = 0;
     int64_t warmServed = 0;     ///< served seeded from the store
     int64_t archiveSeeded = 0;  ///< store misses seeded from cfg.archive
+    int64_t coalesced = 0;  ///< fulfilled as followers of a coalesced leader
+    int64_t shed = 0;       ///< dropped by admission control or deadline
     int64_t queueDepth = 0;  ///< currently waiting
     int64_t inFlight = 0;    ///< currently being searched
     int64_t samplesSpent = 0;
@@ -116,6 +154,14 @@ struct ServiceStats {
  * mo::ParetoArchive::seedMappings tier). Completed searches write
  * improved solutions back to the store, so concurrent tenants of one
  * workload type compound each other's knowledge.
+ *
+ * Production controls (all off by default): request coalescing collapses
+ * identical in-flight work (ServiceConfig::coalesce), admission control
+ * sheds load past the queue bounds (maxQueueDepth /
+ * priorityDepthLimits), and MapRequest::deadlineSeconds sheds requests
+ * that waited past their staleness bound at dequeue. Shed futures
+ * resolve with MapResponse::shed rather than an exception — shedding is
+ * an answer, not a failure. See docs/serving.md for the runbook.
  *
  * Determinism: a request's response mapping is a pure function of the
  * request fields and the store view it observed. With warm starts
@@ -156,6 +202,9 @@ class MappingService {
         std::promise<MapResponse> promise;
         uint64_t seq = 0;  ///< arrival order
         std::chrono::steady_clock::time_point enqueued;
+        /** Non-empty iff this request leads a coalescing key (it is the
+         * one that searches; followers live in followers_[key]). */
+        std::string coalesceKey;
     };
 
     void workerLoop();
@@ -172,6 +221,16 @@ class MappingService {
     void recordServed(const std::string& tenant, bool failed,
                       double wait_seconds, double service_seconds);
 
+    /** Remove the oldest waiting request of `level` (min seq across its
+     * tenants) from the queue, with admission bookkeeping. Caller holds
+     * mu_; the caller still owns fulfilling the promise. */
+    Pending removeOldestLocked(int level);
+    /** Move `victim` plus its coalescing followers (shed cascades to
+     * them) into `out` and bump stats_.shed. Caller holds mu_. */
+    void collectShedLocked(Pending&& victim, std::vector<Pending>& out);
+    /** Resolve shed promises (MapResponse::shed) + counters. No lock. */
+    void fulfillShed(std::vector<Pending>& sheds);
+
     ServiceConfig cfg_;
     obs::MetricsRegistry* reg_ = nullptr;  ///< cfg.registry or global
     MappingStore store_;
@@ -184,6 +243,10 @@ class MappingService {
     /** Admission counts of currently waiting tenants (rebased on join,
      * dropped when a tenant's last waiting request is admitted). */
     std::map<std::string, int64_t> admitted_;
+    /** Coalescing keys with a queued or in-flight leader. */
+    std::set<std::string> leader_keys_;
+    /** Followers waiting on each leader's result. */
+    std::map<std::string, std::vector<Pending>> followers_;
     uint64_t next_seq_ = 0;
     int64_t next_serve_order_ = 0;
     int64_t queue_depth_ = 0;

@@ -7,11 +7,15 @@
  * warm-start effect across a save/load cycle.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -391,12 +395,184 @@ TEST(MappingStore, LoadRejectsGarbageAndLeavesContentUntouched)
 
     std::stringstream bad("not-a-store v1 1\n");
     EXPECT_THROW(store.load(bad), std::invalid_argument);
-    std::stringstream truncated("magma-mapping-store v1 1\nentry\n");
+    std::stringstream truncated("magma-store-snapshot v1 1\nentry\n");
     EXPECT_THROW(store.load(truncated), std::invalid_argument);
 
     // A failed load is atomic: the pre-existing entry survives.
     EXPECT_EQ(store.size(), 1);
     EXPECT_TRUE(store.lookup(f).has_value());
+}
+
+// ------------------------------------------- crash-safe persistence ---
+
+namespace {
+
+/** Read a whole file as raw bytes. */
+std::string
+slurp(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+/** The store's canonical snapshot text (for state comparisons). */
+std::string
+saveText(const MappingStore& store)
+{
+    std::ostringstream os;
+    store.save(os);
+    return os.str();
+}
+
+}  // namespace
+
+TEST(MappingStoreLog, RecoveryAtEveryTruncationYieldsPrecrashPrefix)
+{
+    // The kill -9 contract, exhaustively: truncate the append-log at
+    // EVERY byte offset; recovery must yield exactly the state at the
+    // last complete record boundary — never a crash, never a torn entry.
+    const std::string log_path = "serve_store_log_trunc_test.log";
+    const std::string cut_path = log_path + ".cut";
+    std::remove(log_path.c_str());
+
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    dnn::JobGroup g1 = makeGroup(dnn::TaskType::Vision, 8, 1);
+    dnn::JobGroup g2 = makeGroup(dnn::TaskType::Language, 8, 1);
+    dnn::JobGroup g3 = makeGroup(dnn::TaskType::Recommendation, 8, 1);
+    Fingerprint f1 = serve::fingerprintOf(g1, s2);
+    Fingerprint f2 = serve::fingerprintOf(g2, s2);
+    Fingerprint f3 = serve::fingerprintOf(g3, s2);
+
+    // Build a log of 4 put records (3 inserts + 1 improvement), noting
+    // the store's canonical text at every record boundary.
+    MappingStore store;
+    ASSERT_TRUE(store.openLog(log_path));
+    std::vector<std::pair<size_t, std::string>> boundaries;
+    boundaries.emplace_back(0, saveText(store));  // torn header = empty
+    auto mark = [&]() {
+        boundaries.emplace_back(slurp(log_path).size(), saveText(store));
+    };
+    mark();  // header written, no records yet
+    store.update(f1, g1.task, randomMapping(8, 4, 1), g1, 10.0, 5);
+    mark();
+    store.update(f2, g2.task, randomMapping(8, 4, 2), g2, 20.0, 5);
+    mark();
+    store.update(f1, g1.task, randomMapping(8, 4, 3), g1, 30.0, 5);
+    mark();  // improvement: same key, better fitness
+    store.update(f3, g3.task, randomMapping(8, 4, 4), g3, 15.0, 5);
+    mark();
+    EXPECT_EQ(store.logRecords(), 4);
+    store.closeLog();
+
+    const std::string full = slurp(log_path);
+    ASSERT_EQ(full.size(), boundaries.back().first);
+
+    for (size_t len = 0; len <= full.size(); ++len) {
+        {
+            std::ofstream os(cut_path,
+                             std::ios::binary | std::ios::trunc);
+            os.write(full.data(), static_cast<std::streamsize>(len));
+        }
+        const std::string* expect = nullptr;
+        for (const auto& [at, text] : boundaries)
+            if (at <= len)
+                expect = &text;
+        MappingStore recovered;
+        recovered.recover("serve_store_log_no_such_snapshot", cut_path);
+        EXPECT_EQ(saveText(recovered), *expect)
+            << "log truncated at byte " << len;
+    }
+    std::remove(log_path.c_str());
+    std::remove(cut_path.c_str());
+}
+
+TEST(MappingStoreLog, CompactFoldsLogIntoLoadableSnapshot)
+{
+    const std::string snap = "serve_store_compact_test.snap";
+    const std::string log_path = snap + ".log";
+    std::remove(snap.c_str());
+    std::remove(log_path.c_str());
+
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    dnn::JobGroup g1 = makeGroup(dnn::TaskType::Vision, 8, 1);
+    dnn::JobGroup g2 = makeGroup(dnn::TaskType::Language, 8, 1);
+    dnn::JobGroup g3 = makeGroup(dnn::TaskType::Recommendation, 8, 1);
+
+    MappingStore store;
+    ASSERT_TRUE(store.openLog(log_path));
+    store.update(serve::fingerprintOf(g1, s2), g1.task,
+                 randomMapping(8, 4, 1), g1, 10.0, 5);
+    store.update(serve::fingerprintOf(g2, s2), g2.task,
+                 randomMapping(8, 4, 2), g2, 20.0, 5);
+    EXPECT_EQ(store.logRecords(), 2);
+
+    ASSERT_TRUE(store.compact(snap));
+    EXPECT_EQ(store.logRecords(), 0);
+    EXPECT_EQ(slurp(log_path), "magma-store-log v1\n");  // just a header
+
+    // The compacted snapshot is an ordinary magma-store-snapshot: it
+    // loads through loadFile and reproduces the content bitwise.
+    MappingStore reloaded;
+    ASSERT_TRUE(reloaded.loadFile(snap));
+    EXPECT_EQ(saveText(reloaded), saveText(store));
+
+    // Post-compaction appends land in the fresh log; snapshot + log
+    // recover to the live state.
+    store.update(serve::fingerprintOf(g3, s2), g3.task,
+                 randomMapping(8, 4, 3), g3, 15.0, 5);
+    EXPECT_EQ(store.logRecords(), 1);
+    MappingStore recovered;
+    EXPECT_EQ(recovered.recover(snap, log_path), 1);
+    EXPECT_EQ(saveText(recovered), saveText(store));
+    store.closeLog();
+
+    std::remove(snap.c_str());
+    std::remove(log_path.c_str());
+}
+
+TEST(MappingStoreLog, EvictionRecordsReplayAndConverge)
+{
+    const std::string log_path = "serve_store_log_evict_test.log";
+    std::remove(log_path.c_str());
+
+    accel::Platform s2 = accel::makeSetting(accel::Setting::S2, 4.0);
+    dnn::JobGroup g1 = makeGroup(dnn::TaskType::Vision, 8, 1);
+    dnn::JobGroup g2 = makeGroup(dnn::TaskType::Language, 8, 1);
+    dnn::JobGroup g3 = makeGroup(dnn::TaskType::Recommendation, 8, 1);
+
+    MappingStore store(/*capacity=*/2, /*shards=*/2);
+    ASSERT_TRUE(store.openLog(log_path));
+    store.update(serve::fingerprintOf(g1, s2), g1.task,
+                 randomMapping(8, 4, 1), g1, 10.0, 5);
+    store.update(serve::fingerprintOf(g2, s2), g2.task,
+                 randomMapping(8, 4, 2), g2, 20.0, 5);
+    store.update(serve::fingerprintOf(g3, s2), g3.task,
+                 randomMapping(8, 4, 3), g3, 15.0, 5);
+    EXPECT_EQ(store.logRecords(), 4);  // 3 puts + the LRU evict
+    store.closeLog();
+
+    // Full replay into a same-capacity store reproduces the post-evict
+    // content exactly.
+    MappingStore recovered(/*capacity=*/2, /*shards=*/4);
+    recovered.recover("serve_store_log_no_such_snapshot", log_path);
+    EXPECT_EQ(saveText(recovered), saveText(store));
+
+    // Tearing the trailing evict record does not matter: replaying the
+    // puts through the normal update path re-runs capacity enforcement,
+    // so the replayed store converges on the same survivors anyway.
+    const std::string full = slurp(log_path);
+    {
+        std::ofstream os(log_path, std::ios::binary | std::ios::trunc);
+        os.write(full.data(),
+                 static_cast<std::streamsize>(full.size() - 3));
+    }
+    MappingStore torn(/*capacity=*/2, /*shards=*/2);
+    torn.recover("serve_store_log_no_such_snapshot", log_path);
+    EXPECT_EQ(saveText(torn), saveText(store));
+
+    std::remove(log_path.c_str());
 }
 
 // ---------------------------------------------------- MappingService ---
@@ -739,4 +915,216 @@ TEST(MappingService, ExplicitGroupRequestAndStats)
     EXPECT_EQ(s.queueDepth, 0);
     service.stop();
     EXPECT_THROW(service.submit(r), std::runtime_error);
+}
+
+// ------------------------------------------------ production controls ---
+
+namespace {
+
+/** A pinned-down request for the coalescing/shedding tests: no store
+ * interaction, small budget, everything deterministic. */
+MapRequest
+controlRequest(uint64_t seed, int priority = 0)
+{
+    MapRequest r = baseRequest(seed);
+    r.priority = priority;
+    r.search.sampleBudget = 60;
+    r.search.warmStart = false;
+    r.writeBack = false;
+    return r;
+}
+
+}  // namespace
+
+TEST(MappingService, CoalescesIdenticalInflightRequests)
+{
+    // N identical concurrent requests (differing only in seed and
+    // tenant — neither reaches the coalescing key) run ONE search: the
+    // first arrival leads, everyone else becomes a follower carrying the
+    // leader's mapping bitwise.
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.autoStart = false;
+    cfg.coalesce = true;
+    MappingService service(cfg);
+
+    const int kN = 4;
+    std::vector<std::future<MapResponse>> futures;
+    for (int i = 0; i < kN; ++i) {
+        MapRequest r = controlRequest(/*seed=*/400);  // same workload
+        r.search.seed = 400 + i;  // the leader's seed wins
+        r.tenant = "tenant-" + std::to_string(i % 2);
+        futures.push_back(service.submit(std::move(r)));
+    }
+    service.start();
+
+    std::vector<MapResponse> got;
+    for (auto& f : futures)
+        got.push_back(f.get());
+    service.stop();
+
+    EXPECT_FALSE(got[0].coalesced) << "first arrival must lead";
+    int followers = 0;
+    for (const MapResponse& r : got) {
+        if (!r.coalesced)
+            continue;
+        ++followers;
+        EXPECT_EQ(r.best, got[0].best);  // bitwise the leader's mapping
+        EXPECT_EQ(r.bestFitness, got[0].bestFitness);
+        EXPECT_EQ(r.samplesUsed, 0);  // followers spend nothing
+    }
+    EXPECT_EQ(followers, kN - 1);
+
+    serve::ServiceStats s = service.stats();
+    EXPECT_EQ(s.submitted, kN);
+    EXPECT_EQ(s.served, kN);
+    EXPECT_EQ(s.coalesced, kN - 1);
+    EXPECT_EQ(s.shed, 0);
+    EXPECT_EQ(s.samplesSpent, got[0].samplesUsed);  // one search total
+
+    // Coalescing changes cost, not answers: the leader's result is the
+    // plain single-request result for its seed.
+    std::vector<MapResponse> serial =
+        serveSerially({controlRequest(400)});
+    EXPECT_EQ(got[0].best, serial[0].best);
+    EXPECT_EQ(got[0].bestFitness, serial[0].bestFitness);
+    EXPECT_EQ(got[0].samplesUsed, serial[0].samplesUsed);
+}
+
+TEST(MappingService, GlobalQueueBoundShedsOldestLowestPriority)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.autoStart = false;
+    cfg.maxQueueDepth = 2;
+    MappingService service(cfg);
+
+    auto f0 = service.submit(controlRequest(500, /*priority=*/1));
+    auto f1 = service.submit(controlRequest(501, /*priority=*/1));
+    auto f2 = service.submit(controlRequest(502, /*priority=*/0));
+
+    // The third submission overflows the bound; the oldest request of
+    // the lowest-priority level (f0) is shed — its future resolves
+    // immediately, before any worker runs.
+    MapResponse shed = f0.get();
+    EXPECT_TRUE(shed.shed);
+    EXPECT_EQ(shed.samplesUsed, 0);
+
+    service.start();
+    EXPECT_FALSE(f1.get().shed);
+    EXPECT_FALSE(f2.get().shed);
+    service.stop();
+
+    serve::ServiceStats s = service.stats();
+    EXPECT_EQ(s.submitted, 3);
+    EXPECT_EQ(s.shed, 1);
+    EXPECT_EQ(s.served, 2);
+}
+
+TEST(MappingService, IncomingRequestShedWhenItIsTheLowestPriority)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.autoStart = false;
+    cfg.maxQueueDepth = 1;
+    MappingService service(cfg);
+
+    auto f0 = service.submit(controlRequest(510, /*priority=*/0));
+    auto f1 = service.submit(controlRequest(511, /*priority=*/1));
+
+    // Nothing waiting is as low-priority as the overflow arrival, so the
+    // arrival itself is shed rather than anything already admitted.
+    EXPECT_TRUE(f1.get().shed);
+    service.start();
+    EXPECT_FALSE(f0.get().shed);
+    service.stop();
+    EXPECT_EQ(service.stats().shed, 1);
+}
+
+TEST(MappingService, PerPriorityLimitShedsOldestInLevelFreshestWins)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.autoStart = false;
+    cfg.priorityDepthLimits[1] = 1;
+    MappingService service(cfg);
+
+    auto a = service.submit(controlRequest(520, /*priority=*/1));
+    auto b = service.submit(controlRequest(521, /*priority=*/1));
+    // Level 1 was full, so b's arrival sheds the oldest level-1 request
+    // (a): within a level the freshest request wins.
+    EXPECT_TRUE(a.get().shed);
+
+    // Levels without a configured limit are unbounded.
+    auto c = service.submit(controlRequest(522, /*priority=*/0));
+    auto d = service.submit(controlRequest(523, /*priority=*/0));
+
+    service.start();
+    EXPECT_FALSE(b.get().shed);
+    EXPECT_FALSE(c.get().shed);
+    EXPECT_FALSE(d.get().shed);
+    service.stop();
+
+    serve::ServiceStats s = service.stats();
+    EXPECT_EQ(s.shed, 1);
+    EXPECT_EQ(s.served, 3);
+}
+
+TEST(MappingService, ShedLeaderCascadesToFollowers)
+{
+    // A follower holds no queue slot but shares its leader's fate: when
+    // admission control sheds the leader, every follower is shed too.
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.autoStart = false;
+    cfg.coalesce = true;
+    cfg.maxQueueDepth = 1;
+    MappingService service(cfg);
+
+    MapRequest leader = controlRequest(530, /*priority=*/1);
+    MapRequest follower = leader;  // identical: coalesces onto the leader
+    auto fl = service.submit(std::move(leader));
+    auto ff = service.submit(std::move(follower));
+
+    // One queue slot used (the follower doesn't occupy one); a
+    // higher-priority arrival overflows the bound and sheds the leader —
+    // and with it the follower.
+    auto fv = service.submit(controlRequest(531, /*priority=*/0));
+    EXPECT_TRUE(fl.get().shed);
+    EXPECT_TRUE(ff.get().shed);
+
+    service.start();
+    EXPECT_FALSE(fv.get().shed);
+    service.stop();
+
+    serve::ServiceStats s = service.stats();
+    EXPECT_EQ(s.submitted, 3);
+    EXPECT_EQ(s.shed, 2);
+    EXPECT_EQ(s.served, 1);
+}
+
+TEST(MappingService, DeadlineExpiredRequestsShedAtDequeue)
+{
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.autoStart = false;
+    MappingService service(cfg);
+
+    MapRequest stale = controlRequest(540);
+    stale.deadlineSeconds = 1e-6;  // expires while waiting for start()
+    MapRequest fresh = controlRequest(541);  // no deadline: never sheds
+    auto fs = service.submit(std::move(stale));
+    auto ff = service.submit(std::move(fresh));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    service.start();
+
+    MapResponse rs = fs.get();
+    EXPECT_TRUE(rs.shed);
+    EXPECT_GT(rs.waitSeconds, 0.0);
+    EXPECT_FALSE(ff.get().shed);
+    service.stop();
+
+    serve::ServiceStats s = service.stats();
+    EXPECT_EQ(s.shed, 1);
+    EXPECT_EQ(s.served, 1);
 }

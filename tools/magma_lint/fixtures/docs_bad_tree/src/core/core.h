@@ -1,0 +1,3 @@
+// Fixture: this versioned header is deliberately not documented in
+// docs/formats.md.
+inline const char* kDemoTraceHeader = "magma-undocumented-format v1";

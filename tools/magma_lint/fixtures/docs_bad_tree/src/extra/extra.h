@@ -1,0 +1,3 @@
+// Fixture: this module is named in neither the README module map nor
+// docs/architecture.md.
+inline int extraModuleProbe() { return 0; }

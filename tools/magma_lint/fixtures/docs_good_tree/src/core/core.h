@@ -1,0 +1,3 @@
+// Fixture: the versioned header below must be documented in
+// docs/formats.md for the tree to pass the docs gate.
+inline const char* kDemoTraceHeader = "magma-demo-trace v1";

@@ -32,6 +32,22 @@
  *                   compiles as its own translation unit — no hidden
  *                   include-order dependencies.
  *
+ *   docs-module-map (--check-docs) Every immediate subdirectory of src/
+ *                   is named (as "src/<name>") in both the README module
+ *                   map and docs/architecture.md — a module cannot be
+ *                   added without documenting where it sits.
+ *
+ *   docs-link       (--check-docs) Every relative markdown link in
+ *                   README.md and the markdown files under docs/
+ *                   resolves to an existing file, so the docs index
+ *                   never rots.
+ *
+ *   docs-format     (--check-docs) Every versioned text-format header
+ *                   ("magma-<name> v<N>") appearing in a src/ string
+ *                   literal is documented by name in docs/formats.md —
+ *                   on-disk formats are contracts, not implementation
+ *                   details.
+ *
  * Allowlist tag syntax (same line, or a tag line covering the next
  * statement through its terminating ';' or '{'):
  *
@@ -44,6 +60,7 @@
  *   magma_lint [--root DIR]... [FILE]...       lint files / trees
  *   magma_lint --self-test FIXTURE_DIR         verify the checker itself
  *   magma_lint --check-headers --compiler CXX --include DIR --root DIR
+ *   magma_lint --check-docs --root DIR         docs/source consistency
  *
  * Exit status: 0 clean, 1 findings, 2 usage/internal error.
  */
@@ -73,6 +90,7 @@ struct Options {
     std::vector<std::string> roots;
     std::vector<std::string> files;
     bool checkHeaders = false;
+    bool checkDocs = false;
     std::string compiler = "g++";
     std::vector<std::string> includeDirs;
     std::string selfTestDir;
@@ -580,6 +598,182 @@ checkHeaders(const Options& opt, std::vector<Finding>& out)
     return checked;
 }
 
+// ------------------------------------------------ check: docs gates ---
+
+std::string
+slurpFile(const fs::path& p)
+{
+    std::ifstream is(p);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Versioned format headers ("magma-<kebab-name> v<digits>") in the
+ * file's string literals. Returns the name part only ("magma-store-log")
+ * with the first line it appears on.
+ */
+std::vector<std::pair<std::string, int>>
+formatHeadersIn(const FileText& ft)
+{
+    std::vector<std::pair<std::string, int>> out;
+    for (size_t i = 0; i < ft.literals.size(); ++i) {
+        const std::string& lit = ft.literals[i];
+        size_t pos = 0;
+        while ((pos = lit.find("magma-", pos)) != std::string::npos) {
+            size_t j = pos + 6;
+            while (j < lit.size() &&
+                   (std::islower(static_cast<unsigned char>(lit[j])) ||
+                    std::isdigit(static_cast<unsigned char>(lit[j])) ||
+                    lit[j] == '-'))
+                ++j;
+            // Only a versioned header counts: "<name> v<digit>".
+            if (j + 2 < lit.size() && lit[j] == ' ' && lit[j + 1] == 'v' &&
+                std::isdigit(static_cast<unsigned char>(lit[j + 2])))
+                out.emplace_back(lit.substr(pos, j - pos),
+                                 static_cast<int>(i + 1));
+            pos = j;
+        }
+    }
+    return out;
+}
+
+/**
+ * Documentation consistency over one repo root: module map completeness
+ * (docs-module-map), markdown link resolution (docs-link) and versioned
+ * text-format coverage (docs-format). Returns sites checked.
+ */
+int
+checkDocs(const std::string& root, std::vector<Finding>& out)
+{
+    const fs::path r(root);
+    const fs::path readme = r / "README.md";
+    const fs::path arch = r / "docs" / "architecture.md";
+    const fs::path formats = r / "docs" / "formats.md";
+    int checked = 0;
+
+    auto require = [&](const fs::path& p) {
+        if (fs::exists(p))
+            return true;
+        out.push_back({p.string(), 1, "docs-module-map",
+                       "required documentation file does not exist"});
+        return false;
+    };
+    const bool have_readme = require(readme);
+    const bool have_arch = require(arch);
+    const bool have_formats = require(formats);
+    const std::string readme_text = have_readme ? slurpFile(readme) : "";
+    const std::string arch_text = have_arch ? slurpFile(arch) : "";
+    const std::string formats_text = have_formats ? slurpFile(formats) : "";
+
+    // Module map: every src/ module is placed in README and architecture.
+    const fs::path srcdir = r / "src";
+    if (fs::exists(srcdir)) {
+        std::vector<std::string> modules;
+        for (const auto& e : fs::directory_iterator(srcdir))
+            if (e.is_directory())
+                modules.push_back(e.path().filename().string());
+        std::sort(modules.begin(), modules.end());
+        for (const std::string& m : modules) {
+            ++checked;
+            const std::string token = "src/" + m;
+            if (have_readme &&
+                readme_text.find(token) == std::string::npos)
+                out.push_back({readme.string(), 1, "docs-module-map",
+                               "module '" + token +
+                                   "' is missing from the README "
+                                   "module map"});
+            if (have_arch && arch_text.find(token) == std::string::npos)
+                out.push_back({arch.string(), 1, "docs-module-map",
+                               "module '" + token +
+                                   "' is missing from "
+                                   "docs/architecture.md"});
+        }
+    }
+
+    // Link resolution: every relative link in README.md and docs/*.md
+    // points at a file that exists.
+    std::vector<fs::path> mdfiles;
+    if (have_readme)
+        mdfiles.push_back(readme);
+    const fs::path docsdir = r / "docs";
+    if (fs::exists(docsdir))
+        for (const auto& e : fs::directory_iterator(docsdir))
+            if (e.is_regular_file() &&
+                endsWith(e.path().string(), ".md"))
+                mdfiles.push_back(e.path());
+    std::sort(mdfiles.begin(), mdfiles.end());
+    for (const fs::path& md : mdfiles) {
+        std::ifstream is(md);
+        std::string line;
+        int lineno = 0;
+        bool in_fence = false;
+        while (std::getline(is, line)) {
+            ++lineno;
+            // Fenced code blocks hold code, not links ("[](int x)" is a
+            // lambda, not a markdown link).
+            const size_t text_start = line.find_first_not_of(" \t");
+            if (text_start != std::string::npos &&
+                line.compare(text_start, 3, "```") == 0) {
+                in_fence = !in_fence;
+                continue;
+            }
+            if (in_fence)
+                continue;
+            size_t pos = 0;
+            while ((pos = line.find("](", pos)) != std::string::npos) {
+                const size_t start = pos + 2;
+                const size_t close = line.find(')', start);
+                pos = start;
+                if (close == std::string::npos)
+                    break;
+                std::string target = line.substr(start, close - start);
+                if (target.empty() || target[0] == '#' ||
+                    target.find("://") != std::string::npos ||
+                    target.rfind("mailto:", 0) == 0)
+                    continue;
+                const size_t hash = target.find('#');
+                if (hash != std::string::npos)
+                    target = target.substr(0, hash);
+                if (target.empty())
+                    continue;
+                ++checked;
+                if (!fs::exists(md.parent_path() / target))
+                    out.push_back({md.string(), lineno, "docs-link",
+                                   "broken link target '" + target +
+                                       "'"});
+            }
+        }
+    }
+
+    // Format coverage: every versioned header literal in src/ has its
+    // name in docs/formats.md.
+    if (fs::exists(srcdir)) {
+        std::vector<std::string> seen;
+        for (const auto& e : fs::recursive_directory_iterator(srcdir)) {
+            if (!e.is_regular_file() ||
+                !isSourceFile(e.path().string()))
+                continue;
+            const FileText ft = readFile(e.path().string());
+            for (const auto& [name, line] : formatHeadersIn(ft)) {
+                if (std::find(seen.begin(), seen.end(), name) !=
+                    seen.end())
+                    continue;
+                seen.push_back(name);
+                ++checked;
+                if (have_formats &&
+                    formats_text.find(name) == std::string::npos)
+                    out.push_back(
+                        {ft.path, line, "docs-format",
+                         "versioned format '" + name +
+                             "' is not documented in docs/formats.md"});
+            }
+        }
+    }
+    return checked;
+}
+
 // ---------------------------------------------------------- driver ---
 
 std::vector<Finding>
@@ -692,6 +886,42 @@ selfTest(const std::string& dir)
                      path.c_str());
         ++failures;
     }
+    // Docs-gate fixtures: a tree that must pass and one that must not.
+    const fs::path docs_good = fs::path(dir) / "docs_good_tree";
+    if (fs::exists(docs_good)) {
+        ++cases;
+        std::vector<Finding> findings;
+        checkDocs(docs_good.string(), findings);
+        if (!findings.empty()) {
+            std::fprintf(stderr,
+                         "SELF-TEST FAIL %s: expected clean, got:\n",
+                         docs_good.string().c_str());
+            reportFindings(findings);
+            ++failures;
+        }
+    }
+    const fs::path docs_bad = fs::path(dir) / "docs_bad_tree";
+    if (fs::exists(docs_bad)) {
+        ++cases;
+        std::vector<Finding> findings;
+        checkDocs(docs_bad.string(), findings);
+        bool module_map = false, link = false, format = false;
+        for (const Finding& f : findings) {
+            module_map = module_map || f.check == "docs-module-map";
+            link = link || f.check == "docs-link";
+            format = format || f.check == "docs-format";
+        }
+        if (!module_map || !link || !format) {
+            std::fprintf(stderr,
+                         "SELF-TEST FAIL %s: expected docs-module-map + "
+                         "docs-link + docs-format findings, got %zu "
+                         "finding(s)\n",
+                         docs_bad.string().c_str(), findings.size());
+            reportFindings(findings);
+            ++failures;
+        }
+    }
+
     std::fprintf(stderr, "magma_lint self-test: %d case(s), %d failure(s)\n",
                  cases, failures);
     if (cases == 0)
@@ -707,7 +937,8 @@ usage()
         "usage: magma_lint [--root DIR]... [FILE]...\n"
         "       magma_lint --self-test FIXTURE_DIR\n"
         "       magma_lint --check-headers --compiler CXX "
-        "[--include DIR]... --root DIR\n");
+        "[--include DIR]... --root DIR\n"
+        "       magma_lint --check-docs --root DIR\n");
 }
 
 }  // namespace
@@ -731,6 +962,8 @@ main(int argc, char** argv)
             opt.selfTestDir = next();
         else if (arg == "--check-headers")
             opt.checkHeaders = true;
+        else if (arg == "--check-docs")
+            opt.checkDocs = true;
         else if (arg == "--compiler")
             opt.compiler = next();
         else if (arg == "--include")
@@ -761,6 +994,25 @@ main(int argc, char** argv)
         std::vector<Finding> findings;
         if (checkHeaders(opt, findings) == 0) {
             std::fprintf(stderr, "magma_lint: no headers found\n");
+            return 2;
+        }
+        return reportFindings(findings);
+    }
+
+    if (opt.checkDocs) {
+        if (opt.roots.empty()) {
+            usage();
+            return 2;
+        }
+        std::vector<Finding> findings;
+        int checked = 0;
+        for (const std::string& root : opt.roots)
+            checked += checkDocs(root, findings);
+        std::fprintf(stderr, "magma_lint: %d documentation site(s) "
+                             "checked\n",
+                     checked);
+        if (checked == 0) {
+            std::fprintf(stderr, "magma_lint: nothing to check\n");
             return 2;
         }
         return reportFindings(findings);
