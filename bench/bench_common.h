@@ -10,8 +10,6 @@
 #include <string>
 #include <vector>
 
-#include "obs/json_writer.h"
-
 namespace magma::bench {
 
 /**
@@ -92,12 +90,6 @@ printHeader(const std::string& title)
     std::printf(
         "==============================================================\n");
 }
-
-// The telemetry JSON emitter lives in src/obs/ now (SnapshotWriter and
-// the metrics snapshots share it); the bench-side names remain as
-// aliases so harnesses keep reading naturally.
-using obs::kTelemetrySchemaVersion;
-using JsonWriter = obs::JsonWriter;
 
 }  // namespace magma::bench
 

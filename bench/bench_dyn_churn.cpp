@@ -25,6 +25,7 @@
 #include "bench/bench_common.h"
 #include "dyn/engine.h"
 #include "dyn/trace.h"
+#include "obs/json_writer.h"
 
 using namespace magma;
 
@@ -142,7 +143,7 @@ main(int argc, char** argv)
 
     std::string json_path = args.jsonOutPath();
     if (!json_path.empty()) {
-        bench::JsonWriter w;
+        obs::JsonWriter w;
         w.beginTelemetry("dyn_churn");
         w.beginObject("config");
         w.field("full", args.full);

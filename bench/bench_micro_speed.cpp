@@ -212,7 +212,7 @@ main(int argc, char** argv)
         batch.push_back(
             sched::Mapping::random(w.group, ev.numAccels(), rng));
 
-    bench::JsonWriter json;
+    obs::JsonWriter json;
     obs::SnapshotWriter::beginBenchConfig(json, "micro_speed", args.full,
                                           args.seed,
                                           dnn::taskTypeName(w.task),

@@ -184,7 +184,7 @@ main(int argc, char** argv)
 
     std::string json_path = args.jsonOutPath();
     if (!json_path.empty()) {
-        bench::JsonWriter json;
+        obs::JsonWriter json;
         obs::SnapshotWriter::beginBenchConfig(json, "pareto_front",
                                               args.full, args.seed, "Mix",
                                               "S2", bw_gbps, group);

@@ -277,7 +277,7 @@ printSloRow(const char* mode, const SloResult& r)
 }
 
 void
-sloJsonSample(bench::JsonWriter& json, const char* mode,
+sloJsonSample(obs::JsonWriter& json, const char* mode,
               const SloParams& p, const SloResult& r)
 {
     json.beginObject();
@@ -328,14 +328,12 @@ main(int argc, char** argv)
                 "samples-saved", "warm", "wait-p50", "wait-p99",
                 "serve-p50", "serve-p99");
 
-    bench::JsonWriter json;
+    obs::JsonWriter json;
     obs::SnapshotWriter::beginBenchConfig(json, "serve_throughput",
                                           args.full, args.seed, "Mix",
                                           "S2", 4.0, group);
     json.field("requests", requests);
     json.field("budget", budget);
-    json.endObject();
-    json.beginObject("metrics");
     json.endObject();
     json.beginArray("samples");
 
@@ -442,7 +440,10 @@ main(int argc, char** argv)
     sloJsonSample(json, "slo_production", sp, prod);
     sloJsonSample(json, "slo_shed", shed_p, shed);
     json.endArray();
-    json.beginObject("slo");
+    // The headline SLO metrics are computed from the replays above, so
+    // the "metrics" object is emitted after "samples" (key order is
+    // irrelevant to the schema-1 consumers; bench_report gates these).
+    json.beginObject("metrics");
     json.field("sample_reduction", sample_reduction);
     json.field("quality_ratio", quality_ratio);
     json.field("hit_rate", prod.hitRate);

@@ -11,7 +11,8 @@
  *           [--method NAME | --all] [--objective NAME]
  *           [--objectives LIST] [--front-out FILE] [--flexible]
  *           [--timeline] [--threads N] [--eval flat|reference] [--stats]
- *           [--report FILE] [--metrics-out FILE] [--list-methods]
+ *           [--report FILE] [--metrics-out FILE] [--trace-out FILE]
+ *           [--list-methods]
  *
  * --spec FILE loads a key=value experiment spec (see api::ExperimentSpec;
  * '#' comments allowed); flags AFTER --spec override its fields. --report
@@ -33,14 +34,22 @@
  * --stats prints the process-wide exec::CostCache counters (hits, misses,
  * entries) after the run — how much cost-model work memoization skipped —
  * read back through the obs::MetricsRegistry gauges, plus the eval-engine
- * counters when the observability level recorded them.
+ * counters when the observability level recorded them, plus (at
+ * MAGMA_METRICS=profile) the top-10 profiler nodes by self time.
  *
  * --metrics-out FILE writes the whole process metrics registry (and, at
- * MAGMA_METRICS=trace, the drained span trace) as a schema-1
- * obs::SnapshotWriter JSON artifact, round-trip-verified like --report.
- * The MAGMA_METRICS env var (off|counters|trace, default counters)
- * selects how much is recorded; search results are bitwise identical at
- * every level.
+ * MAGMA_METRICS=trace or profile, the drained span trace and profiler
+ * tree) as a schema-1 obs::SnapshotWriter JSON artifact,
+ * round-trip-verified like --report.
+ *
+ * --trace-out FILE exports the drained span trace as a Chrome
+ * trace-event / Perfetto JSON file (open it in ui.perfetto.dev),
+ * reparse-verified like every artifact. With both --metrics-out and
+ * --trace-out the tracer is drained once and shared.
+ *
+ * The MAGMA_METRICS env var (off|counters|trace|profile, default
+ * counters) selects how much is recorded; search results are bitwise
+ * identical at every level.
  *
  * --objectives LIST (comma-separated, e.g. "throughput,energy") switches
  * to multi-objective mode: the method (which must implement
@@ -55,6 +64,7 @@
  * edp perf-per-watt.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -69,6 +79,7 @@
 #include "m3e/factory.h"
 #include "mo/pareto.h"
 #include "obs/snapshot.h"
+#include "obs/trace_export.h"
 
 using namespace magma;
 
@@ -82,6 +93,7 @@ struct CliArgs {
     std::string reportPath;
     std::string frontPath;
     std::string metricsPath;
+    std::string tracePath;
 };
 
 /** Parse via fn, mapping std::invalid_argument to a usage error. */
@@ -176,6 +188,8 @@ parse(int argc, char** argv)
             a.reportPath = need(i++);
         else if (flag == "--metrics-out")
             a.metricsPath = need(i++);
+        else if (flag == "--trace-out")
+            a.tracePath = need(i++);
         else if (flag == "--list-methods") {
             listMethods();
             std::exit(0);
@@ -384,14 +398,46 @@ main(int argc, char** argv)
                         counter("sched.reference.candidates"),
                         counter("exec.eval.singles"));
         }
+        if (!snap.profile.empty()) {
+            // Top-10 nodes by exclusive time; stable_sort keeps the
+            // deterministic depth-first tree order among ties.
+            std::vector<obs::ProfileSnap> top = snap.profile;
+            std::stable_sort(top.begin(), top.end(),
+                             [](const obs::ProfileSnap& x,
+                                const obs::ProfileSnap& y) {
+                                 return x.selfSeconds > y.selfSeconds;
+                             });
+            if (top.size() > 10)
+                top.resize(10);
+            std::printf("\nprofile (top %zu nodes by self time):\n",
+                        top.size());
+            for (const obs::ProfileSnap& p : top)
+                // magma-lint: allow(double-format): console stats, never
+                // reparsed (the machine-readable path is --metrics-out).
+                std::printf("  %-44s count=%lld total=%.6fs self=%.6fs\n",
+                            p.path.c_str(),
+                            static_cast<long long>(p.count),
+                            p.totalSeconds, p.selfSeconds);
+        }
     }
-    if (!args.metricsPath.empty()) {
+    if (!args.metricsPath.empty() || !args.tracePath.empty()) {
+        // One captureGlobal drains the tracer once; both artifacts
+        // share the same snapshot.
         obs::MetricsSnapshot snap =
             obs::SnapshotWriter::captureGlobal("m3e_cli");
-        if (!obs::SnapshotWriter::write(snap, args.metricsPath))
-            return 1;
-        std::printf("metrics round-trip OK: %s\n",
-                    args.metricsPath.c_str());
+        if (!args.metricsPath.empty()) {
+            if (!obs::SnapshotWriter::write(snap, args.metricsPath))
+                return 1;
+            std::printf("metrics round-trip OK: %s\n",
+                        args.metricsPath.c_str());
+        }
+        if (!args.tracePath.empty()) {
+            obs::ChromeTrace trace = obs::ChromeTrace::fromSnapshot(snap);
+            if (!obs::TraceExporter::write(trace, args.tracePath))
+                return 1;
+            std::printf("trace round-trip OK: %s\n",
+                        args.tracePath.c_str());
+        }
     }
     return 0;
 }

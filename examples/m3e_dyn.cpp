@@ -14,7 +14,8 @@
  *           [--budget N] [--remap-budget N] [--no-warm] [--threads N]
  *           [--seed N] [--stall SECONDS] [--no-reload]
  *           [--store PATH] [--archive PATH]
- *           [--timeline-out FILE] [--metrics-out FILE] [--quiet]
+ *           [--timeline-out FILE] [--metrics-out FILE]
+ *           [--trace-out FILE] [--quiet]
  *
  * --budget is the cold per-event budget, --remap-budget the incremental
  * one (0 = budget/4, the Table V warm regime); --no-warm ablates
@@ -23,7 +24,10 @@
  * mo::ParetoArchive as the third. --timeline-out writes the schema-1
  * per-event JSON artifact; --metrics-out snapshots the obs registry
  * (dyn.events / dyn.remaps counters, dyn.remap spans at
- * MAGMA_METRICS=trace).
+ * MAGMA_METRICS=trace). --trace-out exports the same drained spans as
+ * a Chrome trace-event JSON (open in ui.perfetto.dev); both snapshots
+ * share one drain, and their round-trip confirmations go to stderr so
+ * stdout stays byte-stable across metrics levels.
  *
  * Stdout is bitwise deterministic for a fixed trace + flags at ANY
  * --threads count (CI diffs 1 vs 4); wall-clock cost appears only in
@@ -37,6 +41,7 @@
 #include "common/textnum.h"
 #include "dyn/runner.h"
 #include "obs/snapshot.h"
+#include "obs/trace_export.h"
 #include "sched/evaluator.h"
 
 using namespace magma;
@@ -50,6 +55,7 @@ struct DynArgs {
     std::string archivePath;
     std::string timelinePath;
     std::string metricsPath;
+    std::string chromeTracePath;
     bool quiet = false;
 };
 
@@ -108,6 +114,8 @@ parse(int argc, char** argv)
             a.timelinePath = need(i++);
         else if (flag == "--metrics-out")
             a.metricsPath = need(i++);
+        else if (flag == "--trace-out")
+            a.chromeTracePath = need(i++);
         else if (flag == "--quiet")
             a.quiet = true;
         else {
@@ -203,13 +211,24 @@ main(int argc, char** argv)
                      args.storePath.c_str(),
                      static_cast<long long>(store.size()));
     }
-    if (!args.metricsPath.empty()) {
+    if (!args.metricsPath.empty() || !args.chromeTracePath.empty()) {
+        // One capture feeds both artifacts: drain() is destructive, so
+        // the metrics snapshot and the Chrome trace must share it.
         obs::MetricsSnapshot snap =
             obs::SnapshotWriter::captureGlobal("m3e_dyn");
-        if (!obs::SnapshotWriter::write(snap, args.metricsPath))
-            return 1;
-        std::fprintf(stderr, "metrics round-trip OK: %s\n",
-                     args.metricsPath.c_str());
+        if (!args.metricsPath.empty()) {
+            if (!obs::SnapshotWriter::write(snap, args.metricsPath))
+                return 1;
+            std::fprintf(stderr, "metrics round-trip OK: %s\n",
+                         args.metricsPath.c_str());
+        }
+        if (!args.chromeTracePath.empty()) {
+            obs::ChromeTrace trace = obs::ChromeTrace::fromSnapshot(snap);
+            if (!obs::TraceExporter::write(trace, args.chromeTracePath))
+                return 1;
+            std::fprintf(stderr, "trace round-trip OK: %s\n",
+                         args.chromeTracePath.c_str());
+        }
     }
     return 0;
 }

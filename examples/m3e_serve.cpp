@@ -15,7 +15,7 @@
  *             [--bw GBPS] [--group N] [--budget N] [--seed N]
  *             [--objective NAME] [--store PATH] [--no-warm] [--quiet]
  *             [--coalesce] [--max-queue N] [--deadline SEC]
- *             [--metrics-out FILE]
+ *             [--metrics-out FILE] [--trace-out FILE]
  *
  * The flags populate the api::ProblemSpec/api::SearchSpec embedded in
  * every serve::MapRequest — the same declarative artifacts `m3e_cli
@@ -35,9 +35,12 @@
  *
  * --metrics-out FILE writes the process metrics registry — per-tenant
  * serve.wait_seconds/.service_seconds histograms, request counters,
- * EvalEngine/CostCache gauges, and at MAGMA_METRICS=trace the drained
- * span trace — as a schema-1 obs::SnapshotWriter JSON artifact,
- * round-trip-verified.
+ * EvalEngine/CostCache gauges, and at MAGMA_METRICS=trace or profile
+ * the drained span trace (plus the profiler tree at profile) — as a
+ * schema-1 obs::SnapshotWriter JSON artifact, round-trip-verified.
+ * --trace-out FILE exports the drained span trace as Chrome
+ * trace-event / Perfetto JSON (ui.perfetto.dev), reparse-verified;
+ * with both flags the tracer is drained once and shared.
  */
 
 #include <algorithm>
@@ -52,6 +55,7 @@
 
 #include "exec/cost_cache.h"
 #include "obs/snapshot.h"
+#include "obs/trace_export.h"
 #include "serve/service.h"
 
 using namespace magma;
@@ -74,6 +78,7 @@ struct ServeArgs {
     int64_t maxQueue = 0;
     double deadline = 0.0;
     std::string metricsPath;
+    std::string tracePath;
 };
 
 /** Parse via fn, mapping std::invalid_argument to a usage error. */
@@ -140,6 +145,8 @@ parse(int argc, char** argv)
             a.deadline = std::stod(need(i++));
         else if (flag == "--metrics-out")
             a.metricsPath = need(i++);
+        else if (flag == "--trace-out")
+            a.tracePath = need(i++);
         else {
             std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
             std::exit(2);
@@ -262,13 +269,24 @@ main(int argc, char** argv)
 
     service.stop();
 
-    if (!args.metricsPath.empty()) {
+    if (!args.metricsPath.empty() || !args.tracePath.empty()) {
+        // One captureGlobal drains the tracer once; both artifacts
+        // share the same snapshot.
         obs::MetricsSnapshot snap =
             obs::SnapshotWriter::captureGlobal("m3e_serve");
-        if (!obs::SnapshotWriter::write(snap, args.metricsPath))
-            return 1;
-        std::printf("metrics round-trip OK: %s\n",
-                    args.metricsPath.c_str());
+        if (!args.metricsPath.empty()) {
+            if (!obs::SnapshotWriter::write(snap, args.metricsPath))
+                return 1;
+            std::printf("metrics round-trip OK: %s\n",
+                        args.metricsPath.c_str());
+        }
+        if (!args.tracePath.empty()) {
+            obs::ChromeTrace trace = obs::ChromeTrace::fromSnapshot(snap);
+            if (!obs::TraceExporter::write(trace, args.tracePath))
+                return 1;
+            std::printf("trace round-trip OK: %s\n",
+                        args.tracePath.c_str());
+        }
     }
     return 0;
 }

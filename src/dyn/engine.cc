@@ -9,6 +9,7 @@
 #include "api/registry.h"
 #include "dnn/workload.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "opt/magma_ga.h"
 #include "opt/warm_start.h"
@@ -179,6 +180,7 @@ EventEngine::step(const WorkloadEvent& ev)
         serve::fingerprintOf(group, platform_, cfg_.search.objective);
     std::optional<serve::MappingStore::Hit> hit;
     if (cfg_.warmRemap && mapping_.size() > 0) {
+        PROFILE_SCOPE("dyn.remap.tier_previous");
         std::map<std::string, int> prev_index;
         for (size_t i = 0; i < ids_.size(); ++i)
             prev_index[ids_[i]] = static_cast<int>(i);
@@ -195,6 +197,7 @@ EventEngine::step(const WorkloadEvent& ev)
         rec.source = RemapSource::Previous;
     } else if (cfg_.warmRemap && cfg_.store &&
                (hit = cfg_.store->lookup(fp))) {
+        PROFILE_SCOPE("dyn.remap.tier_store");
         sched::Mapping base =
             hit->entry.group.jobs.empty()
                 ? opt::transfer::adaptPositional(hit->entry.mapping,
@@ -209,6 +212,7 @@ EventEngine::step(const WorkloadEvent& ev)
         opts.sampleBudget = warm_budget;
         rec.source = RemapSource::Store;
     } else if (cfg_.warmRemap && cfg_.archive && !cfg_.archive->empty()) {
+        PROFILE_SCOPE("dyn.remap.tier_archive");
         // Archive members are generic knowledge, so this tier keeps the
         // FULL cold budget (a quality head start, not a cost cut) — the
         // same policy as serve::MappingService's third tier.
@@ -244,7 +248,10 @@ EventEngine::step(const WorkloadEvent& ev)
     }
     opt::SearchResult res;
     {
+        // span payload: i = event index, a = best fitness,
+        // b = samples used
         obs::Span span("dyn.remap", event_index);
+        PROFILE_SCOPE("dyn.remap.search");
         res = optimizer->search(eval, opts);
         span.payload(res.bestFitness,
                      static_cast<double>(res.samplesUsed));

@@ -1,6 +1,7 @@
 #include "exec/eval_engine.h"
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace magma::exec {
@@ -48,7 +49,9 @@ std::vector<double>
 EvalEngine::evaluateBatch(const sched::Mapping* batch, size_t count) const
 {
     countBatch(count, flat_ != nullptr);
+    // span payload: i = batch size
     obs::Span span("exec.eval.batch", static_cast<int64_t>(count));
+    PROFILE_SCOPE("exec.eval.batch");
     std::vector<double> fitness(count);
     if (flat_) {
         if (pool_->numThreads() == 1) {
@@ -75,7 +78,9 @@ std::vector<sched::SimPoint>
 EvalEngine::simulateBatch(const sched::Mapping* batch, size_t count) const
 {
     countBatch(count, flat_ != nullptr);
+    // span payload: i = batch size
     obs::Span span("exec.eval.sim_batch", static_cast<int64_t>(count));
+    PROFILE_SCOPE("exec.eval.sim_batch");
     std::vector<sched::SimPoint> out(count);
     if (flat_) {
         auto one = [this](const sched::Mapping& m, sched::EvalScratch& s) {

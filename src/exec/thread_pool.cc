@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace magma::exec {
@@ -129,6 +130,8 @@ ThreadPool::parallelForLane(int64_t n,
 {
     if (n <= 0)
         return;
+
+    PROFILE_SCOPE("exec.pool.dispatch");
 
     // Observability: one branch when off; batches that throw go
     // unrecorded (the exception is the signal there).

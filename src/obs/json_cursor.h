@@ -1,0 +1,272 @@
+#ifndef MAGMA_OBS_JSON_CURSOR_H_
+#define MAGMA_OBS_JSON_CURSOR_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace magma::obs {
+
+/**
+ * Double equality for round-trip checks: bit-identical, except all NaNs
+ * compare equal (non-finite values serialize as JSON null and parse
+ * back as quiet NaN). Shared by MetricsSnapshot, ChromeTrace and
+ * bench_report, so every artifact answers "did it round-trip?" the
+ * same way.
+ */
+inline bool
+numEq(double a, double b)
+{
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+/**
+ * Minimal recursive-descent parser for the JSON subset JsonWriter emits
+ * (objects, arrays, strings with escapes, %.17g numbers, bools, null).
+ * Structure-driven: callers walk an exact expected shape through it and
+ * fail() throws std::invalid_argument — with the caller-supplied prefix
+ * and the byte offset — on anything else. The parsing half of the
+ * telemetry round-trip discipline (JsonWriter is the emitting half).
+ */
+class JsonCursor {
+  public:
+    /** `prefix` labels errors, e.g. "MetricsSnapshot::fromJson". */
+    JsonCursor(const std::string& text, std::string prefix)
+        : s_(text), prefix_(std::move(prefix))
+    {
+    }
+
+    void ws()
+    {
+        while (p_ < s_.size() &&
+               (s_[p_] == ' ' || s_[p_] == '\t' || s_[p_] == '\n' ||
+                s_[p_] == '\r'))
+            ++p_;
+    }
+
+    bool tryConsume(char c)
+    {
+        ws();
+        if (p_ < s_.size() && s_[p_] == c) {
+            ++p_;
+            return true;
+        }
+        return false;
+    }
+
+    void expect(char c)
+    {
+        if (!tryConsume(c))
+            fail(std::string("expected '") + c + "'");
+    }
+
+    char peek()
+    {
+        ws();
+        return p_ < s_.size() ? s_[p_] : '\0';
+    }
+
+    bool atEnd()
+    {
+        ws();
+        return p_ >= s_.size();
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (p_ < s_.size() && s_[p_] != '"') {
+            char c = s_[p_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (p_ >= s_.size())
+                fail("unterminated escape");
+            char e = s_[p_++];
+            switch (e) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'u': {
+                if (p_ + 4 > s_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = s_[p_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // JsonWriter only emits \u00XX for control bytes; wider
+                // code points would need UTF-8 encoding we never produce.
+                if (code > 0xFF)
+                    fail("unsupported \\u escape > 0xFF");
+                out += static_cast<char>(code);
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    /** Number or null (null -> quiet NaN, JsonWriter's non-finite form). */
+    double parseNumber()
+    {
+        ws();
+        if (s_.compare(p_, 4, "null") == 0) {
+            p_ += 4;
+            return std::numeric_limits<double>::quiet_NaN();
+        }
+        const char* begin = s_.c_str() + p_;
+        char* end = nullptr;
+        double v = std::strtod(begin, &end);
+        if (end == begin)
+            fail("expected number");
+        p_ += static_cast<size_t>(end - begin);
+        return v;
+    }
+
+    int64_t parseInt()
+    {
+        ws();
+        const char* begin = s_.c_str() + p_;
+        char* end = nullptr;
+        long long v = std::strtoll(begin, &end, 10);
+        if (end == begin)
+            fail("expected integer");
+        p_ += static_cast<size_t>(end - begin);
+        return v;
+    }
+
+    bool parseBool()
+    {
+        ws();
+        if (s_.compare(p_, 4, "true") == 0) {
+            p_ += 4;
+            return true;
+        }
+        if (s_.compare(p_, 5, "false") == 0) {
+            p_ += 5;
+            return false;
+        }
+        fail("expected bool");
+        return false;
+    }
+
+    /**
+     * Consume one arbitrary value (any JSON the writer can emit) and
+     * return the raw text slice it occupied — how bench_report echoes a
+     * config object it does not interpret.
+     */
+    std::string skipValue()
+    {
+        ws();
+        size_t begin = p_;
+        skipValueInner();
+        return s_.substr(begin, p_ - begin);
+    }
+
+    /** Current byte offset (for error reporting by callers). */
+    size_t offset() const { return p_; }
+
+    [[noreturn]] void fail(const std::string& why)
+    {
+        throw std::invalid_argument(prefix_ + ": " + why + " at offset " +
+                                    std::to_string(p_));
+    }
+
+  private:
+    void skipValueInner()
+    {
+        char c = peek();
+        if (c == '{') {
+            expect('{');
+            if (tryConsume('}'))
+                return;
+            do {
+                parseString();
+                expect(':');
+                skipValueInner();
+            } while (tryConsume(','));
+            expect('}');
+        } else if (c == '[') {
+            expect('[');
+            if (tryConsume(']'))
+                return;
+            do {
+                skipValueInner();
+            } while (tryConsume(','));
+            expect(']');
+        } else if (c == '"') {
+            parseString();
+        } else if (c == 't' || c == 'f') {
+            parseBool();
+        } else {
+            parseNumber();
+        }
+    }
+
+    const std::string& s_;
+    std::string prefix_;
+    size_t p_ = 0;
+};
+
+/**
+ * Iterate "key": value pairs of the object whose '{' is already
+ * consumed; fn(key) must consume the value. Consumes the closing '}'.
+ */
+template <typename Fn>
+void
+forEachKey(JsonCursor& c, Fn&& fn)
+{
+    if (c.tryConsume('}'))
+        return;
+    do {
+        std::string key = c.parseString();
+        c.expect(':');
+        fn(key);
+    } while (c.tryConsume(','));
+    c.expect('}');
+}
+
+}  // namespace magma::obs
+
+#endif  // MAGMA_OBS_JSON_CURSOR_H_

@@ -23,8 +23,9 @@ inline constexpr int kTelemetrySchemaVersion = 1;
  *     "samples": [...] }
  * so every bench harness's --json output and every obs::SnapshotWriter
  * metrics snapshot is consumed by the same CI tooling. Promoted from
- * bench/bench_common.h so src/ can emit telemetry too (the bench alias
- * remains). Purely append-only: call the key/value helpers between
+ * bench/bench_common.h so src/ can emit telemetry too; bench harnesses
+ * use obs::JsonWriter directly. Purely append-only: call the key/value
+ * helpers between
  * begin/end pairs; commas are managed automatically. Strings are escaped
  * (quotes, backslashes, control characters) and non-finite doubles are
  * emitted as null, so the output is always valid JSON regardless of
@@ -109,6 +110,17 @@ class JsonWriter {
     {
         key(k);
         out_ += v ? "true" : "false";
+    }
+
+    /**
+     * Key + pre-serialized JSON value emitted verbatim — how
+     * bench_report echoes config objects it does not interpret. The
+     * caller guarantees `json` is a complete, valid value.
+     */
+    void raw(const std::string& k, const std::string& json)
+    {
+        key(k);
+        out_ += json;
     }
 
     /** Bare array element (between beginArray()/endArray()). */

@@ -20,6 +20,8 @@ metricsLevelName(MetricsLevel level)
         return "counters";
     case MetricsLevel::Trace:
         return "trace";
+    case MetricsLevel::Profile:
+        return "profile";
     case MetricsLevel::Inherit:
         return "inherit";
     }
@@ -35,8 +37,10 @@ metricsLevelFromName(const std::string& name)
         return MetricsLevel::Counters;
     if (name == "trace")
         return MetricsLevel::Trace;
+    if (name == "profile")
+        return MetricsLevel::Profile;
     throw std::invalid_argument("unknown metrics level '" + name +
-                                "' (expected off|counters|trace)");
+                                "' (expected off|counters|trace|profile)");
 }
 
 namespace {

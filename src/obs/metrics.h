@@ -20,7 +20,9 @@ namespace magma::obs {
  *   Counters — counters/gauges/histograms record (the cheap always-on
  *              default; relaxed atomics on the hot path),
  *   Trace    — Counters plus obs::Span events into the per-thread trace
- *              rings (adds clock reads per span).
+ *              rings (adds clock reads per span),
+ *   Profile  — Trace plus PROFILE_SCOPE wall-clock attribution into the
+ *              hierarchical obs::Profiler (adds clock reads per scope).
  * The level only gates what is OBSERVED: search results are bitwise
  * identical at every level (instrumentation never touches RNG streams,
  * fitness math or scheduling decisions — CI asserts off-vs-trace CLI
@@ -29,9 +31,9 @@ namespace magma::obs {
  * Inherit is only meaningful for per-search overrides (SearchOptions):
  * it resolves to the process level at use.
  */
-enum class MetricsLevel { Off, Counters, Trace, Inherit };
+enum class MetricsLevel { Off, Counters, Trace, Profile, Inherit };
 
-/** Level name ("off", "counters", "trace"). */
+/** Level name ("off", "counters", "trace", "profile"). */
 std::string metricsLevelName(MetricsLevel level);
 
 /** Parse a metricsLevelName(); throws std::invalid_argument. */
@@ -54,11 +56,19 @@ countersOn()
     return metricsLevel() != MetricsLevel::Off;
 }
 
-/** True when span tracing should record. */
+/** True when span tracing should record (Trace and above). */
 inline bool
 traceOn()
 {
-    return metricsLevel() == MetricsLevel::Trace;
+    MetricsLevel level = metricsLevel();
+    return level == MetricsLevel::Trace || level == MetricsLevel::Profile;
+}
+
+/** True when PROFILE_SCOPE sites should record. */
+inline bool
+profileOn()
+{
+    return metricsLevel() == MetricsLevel::Profile;
 }
 
 /** Resolve a per-search override against the process level. */

@@ -1,29 +1,16 @@
 #include "obs/snapshot.h"
 
 #include <algorithm>
-#include <bit>
-#include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
+
+#include "obs/json_cursor.h"
+#include "obs/profiler.h"
 
 namespace magma::obs {
 
 namespace {
-
-/**
- * Double equality for round-trip checks: bit-identical, except all NaNs
- * compare equal (non-finite values serialize as JSON null and parse
- * back as quiet NaN).
- */
-bool
-numEq(double a, double b)
-{
-    if (std::isnan(a) && std::isnan(b))
-        return true;
-    return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
-}
 
 bool
 spanEq(const TraceEvent& a, const TraceEvent& b)
@@ -31,196 +18,6 @@ spanEq(const TraceEvent& a, const TraceEvent& b)
     return a.name == b.name && numEq(a.startSeconds, b.startSeconds) &&
            numEq(a.durSeconds, b.durSeconds) && a.thread == b.thread &&
            a.i == b.i && numEq(a.a, b.a) && numEq(a.b, b.b);
-}
-
-/**
- * Minimal recursive-descent parser for the JSON subset JsonWriter
- * emits (objects, arrays, strings with escapes, %.17g numbers, bools,
- * null). Structure-driven: MetricsSnapshot::fromJson walks the exact
- * schema-1 snapshot shape through it and throws std::invalid_argument
- * on anything else.
- */
-class JsonCursor {
-  public:
-    explicit JsonCursor(const std::string& text) : s_(text) {}
-
-    void ws()
-    {
-        while (p_ < s_.size() &&
-               (s_[p_] == ' ' || s_[p_] == '\t' || s_[p_] == '\n' ||
-                s_[p_] == '\r'))
-            ++p_;
-    }
-
-    bool tryConsume(char c)
-    {
-        ws();
-        if (p_ < s_.size() && s_[p_] == c) {
-            ++p_;
-            return true;
-        }
-        return false;
-    }
-
-    void expect(char c)
-    {
-        if (!tryConsume(c))
-            fail(std::string("expected '") + c + "'");
-    }
-
-    char peek()
-    {
-        ws();
-        return p_ < s_.size() ? s_[p_] : '\0';
-    }
-
-    bool atEnd()
-    {
-        ws();
-        return p_ >= s_.size();
-    }
-
-    std::string parseString()
-    {
-        expect('"');
-        std::string out;
-        while (p_ < s_.size() && s_[p_] != '"') {
-            char c = s_[p_++];
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (p_ >= s_.size())
-                fail("unterminated escape");
-            char e = s_[p_++];
-            switch (e) {
-            case '"':
-                out += '"';
-                break;
-            case '\\':
-                out += '\\';
-                break;
-            case '/':
-                out += '/';
-                break;
-            case 'n':
-                out += '\n';
-                break;
-            case 't':
-                out += '\t';
-                break;
-            case 'r':
-                out += '\r';
-                break;
-            case 'b':
-                out += '\b';
-                break;
-            case 'f':
-                out += '\f';
-                break;
-            case 'u': {
-                if (p_ + 4 > s_.size())
-                    fail("truncated \\u escape");
-                unsigned code = 0;
-                for (int k = 0; k < 4; ++k) {
-                    char h = s_[p_++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        fail("bad \\u escape digit");
-                }
-                // JsonWriter only emits \u00XX for control bytes; wider
-                // code points would need UTF-8 encoding we never produce.
-                if (code > 0xFF)
-                    fail("unsupported \\u escape > 0xFF");
-                out += static_cast<char>(code);
-                break;
-            }
-            default:
-                fail("unknown escape");
-            }
-        }
-        expect('"');
-        return out;
-    }
-
-    /** Number or null (null -> quiet NaN, JsonWriter's non-finite form). */
-    double parseNumber()
-    {
-        ws();
-        if (s_.compare(p_, 4, "null") == 0) {
-            p_ += 4;
-            return std::numeric_limits<double>::quiet_NaN();
-        }
-        const char* begin = s_.c_str() + p_;
-        char* end = nullptr;
-        double v = std::strtod(begin, &end);
-        if (end == begin)
-            fail("expected number");
-        p_ += static_cast<size_t>(end - begin);
-        return v;
-    }
-
-    int64_t parseInt()
-    {
-        ws();
-        const char* begin = s_.c_str() + p_;
-        char* end = nullptr;
-        long long v = std::strtoll(begin, &end, 10);
-        if (end == begin)
-            fail("expected integer");
-        p_ += static_cast<size_t>(end - begin);
-        return v;
-    }
-
-    bool parseBool()
-    {
-        ws();
-        if (s_.compare(p_, 4, "true") == 0) {
-            p_ += 4;
-            return true;
-        }
-        if (s_.compare(p_, 5, "false") == 0) {
-            p_ += 5;
-            return false;
-        }
-        fail("expected bool");
-        return false;
-    }
-
-    [[noreturn]] void fail(const std::string& why)
-    {
-        throw std::invalid_argument(
-            "MetricsSnapshot::fromJson: " + why + " at offset " +
-            std::to_string(p_));
-    }
-
-  private:
-    const std::string& s_;
-    size_t p_ = 0;
-};
-
-/**
- * Iterate "key": value pairs of the object whose '{' is already
- * consumed; fn(key) must consume the value. Consumes the closing '}'.
- */
-template <typename Fn>
-void
-forEachKey(JsonCursor& c, Fn&& fn)
-{
-    if (c.tryConsume('}'))
-        return;
-    do {
-        std::string key = c.parseString();
-        c.expect(':');
-        fn(key);
-    } while (c.tryConsume(','));
-    c.expect('}');
 }
 
 }  // namespace
@@ -241,12 +38,20 @@ HistogramSnap::operator==(const HistogramSnap& o) const
 }
 
 bool
+ProfileSnap::operator==(const ProfileSnap& o) const
+{
+    return path == o.path && count == o.count &&
+           numEq(totalSeconds, o.totalSeconds) &&
+           numEq(selfSeconds, o.selfSeconds);
+}
+
+bool
 MetricsSnapshot::operator==(const MetricsSnapshot& o) const
 {
     if (source != o.source || level != o.level ||
         counters != o.counters || gauges != o.gauges ||
-        histograms != o.histograms || spansDropped != o.spansDropped ||
-        spans.size() != o.spans.size())
+        histograms != o.histograms || profile != o.profile ||
+        spansDropped != o.spansDropped || spans.size() != o.spans.size())
         return false;
     for (size_t i = 0; i < spans.size(); ++i)
         if (!spanEq(spans[i], o.spans[i]))
@@ -300,6 +105,7 @@ MetricsSnapshot::toJson() const
     w.field("histograms", static_cast<int64_t>(histograms.size()));
     w.field("spans", static_cast<int64_t>(spans.size()));
     w.field("spans_dropped", spansDropped);
+    w.field("profile_nodes", static_cast<int64_t>(profile.size()));
     w.endObject();
     w.beginArray("samples");
     for (const CounterSnap& c : counters) {
@@ -349,6 +155,15 @@ MetricsSnapshot::toJson() const
         w.field("b", e.b);
         w.endObject();
     }
+    for (const ProfileSnap& p : profile) {
+        w.beginObject();
+        w.field("kind", "profile");
+        w.field("name", p.path);
+        w.field("count", p.count);
+        w.field("total_seconds", p.totalSeconds);
+        w.field("self_seconds", p.selfSeconds);
+        w.endObject();
+    }
     w.endArray();
     w.endObject();
     return w.str();
@@ -359,7 +174,7 @@ MetricsSnapshot::toJson() const
 MetricsSnapshot
 MetricsSnapshot::fromJson(const std::string& text)
 {
-    JsonCursor c(text);
+    JsonCursor c(text, "MetricsSnapshot::fromJson");
     MetricsSnapshot s;
     bool sawSchema = false, sawSamples = false;
 
@@ -403,6 +218,7 @@ MetricsSnapshot::fromJson(const std::string& text)
                     GaugeSnap gs;
                     HistogramSnap hs;
                     TraceEvent ev;
+                    ProfileSnap ps;
                     forEachKey(c, [&](const std::string& k) {
                         if (k == "kind")
                             kind = c.parseString();
@@ -412,8 +228,14 @@ MetricsSnapshot::fromJson(const std::string& text)
                             cs.value = c.parseInt();
                         else if (k == "value")
                             gs.value = c.parseNumber();
+                        else if (k == "count" && kind == "profile")
+                            ps.count = c.parseInt();
                         else if (k == "count")
                             hs.count = c.parseInt();
+                        else if (k == "total_seconds")
+                            ps.totalSeconds = c.parseNumber();
+                        else if (k == "self_seconds")
+                            ps.selfSeconds = c.parseNumber();
                         else if (k == "sum")
                             hs.sum = c.parseNumber();
                         else if (k == "min")
@@ -464,6 +286,9 @@ MetricsSnapshot::fromJson(const std::string& text)
                     } else if (kind == "span") {
                         ev.name = name;
                         s.spans.push_back(std::move(ev));
+                    } else if (kind == "profile") {
+                        ps.path = name;
+                        s.profile.push_back(std::move(ps));
                     } else {
                         c.fail("unknown sample kind '" + kind + "'");
                     }
@@ -507,8 +332,14 @@ SnapshotWriter::capture(const std::string& source, MetricsRegistry& reg,
             snap.buckets = h.buckets();
             s.histograms.push_back(std::move(snap));
         });
-    if (tracer && s.level == MetricsLevel::Trace)
+    if (tracer && (s.level == MetricsLevel::Trace ||
+                   s.level == MetricsLevel::Profile))
         s.spans = tracer->drain(&s.spansDropped);
+    if (s.level == MetricsLevel::Profile) {
+        for (const ProfileRow& row : Profiler::global().rows())
+            s.profile.push_back(
+                {row.path, row.count, row.totalSeconds, row.selfSeconds});
+    }
     return s;
 }
 

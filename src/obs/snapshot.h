@@ -7,6 +7,7 @@
 
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace magma::obs {
@@ -55,6 +56,20 @@ struct HistogramSnap {
 };
 
 /**
+ * One merged profiler node at capture time (a ProfileRow as artifact):
+ * '/'-joined scope path, call count, inclusive and exclusive wall
+ * seconds. Present only in Profile-level snapshots.
+ */
+struct ProfileSnap {
+    std::string path;
+    int64_t count = 0;
+    double totalSeconds = 0.0;
+    double selfSeconds = 0.0;
+
+    bool operator==(const ProfileSnap& o) const;
+};
+
+/**
  * A whole registry (plus drained trace events) captured as a value —
  * the schema-1 JSON artifact behind `m3e_cli --metrics-out` and
  * `m3e_serve --metrics-out`. Like every other artifact in the codebase
@@ -67,7 +82,7 @@ struct HistogramSnap {
  *   { "schema": 1, "bench": "metrics_snapshot",
  *     "config": {"source": ..., "level": ...},
  *     "metrics": {"counters": n, "gauges": n, "histograms": n,
- *                 "spans": n, "spans_dropped": n},
+ *                 "spans": n, "spans_dropped": n, "profile_nodes": n},
  *     "samples": [
  *       {"kind":"counter","name":...,"value":...},
  *       {"kind":"gauge","name":...,"value":...},
@@ -75,9 +90,14 @@ struct HistogramSnap {
  *        "min":...,"max":...,"p50":...,"p90":...,"p99":...,
  *        "buckets":[[index,count],...]},
  *       {"kind":"span","name":...,"thread":...,"start_seconds":...,
- *        "dur_seconds":...,"i":...,"a":...,"b":...} ] }
+ *        "dur_seconds":...,"i":...,"a":...,"b":...},
+ *       {"kind":"profile","name":...,"count":...,"total_seconds":...,
+ *        "self_seconds":...} ] }
  * The p50/p90/p99 fields are derived conveniences for CI tooling; the
  * parser recomputes them from the buckets rather than trusting them.
+ * (Parsers of schema-1 predating the "profile" kind reject Profile-
+ * level snapshots loudly instead of misreading them — the size echo in
+ * "metrics" is forward-tolerant, the samples are strict on purpose.)
  */
 struct MetricsSnapshot {
     std::string source;  ///< producing binary ("m3e_cli", "m3e_serve")
@@ -86,6 +106,7 @@ struct MetricsSnapshot {
     std::vector<GaugeSnap> gauges;          // name-sorted
     std::vector<HistogramSnap> histograms;  // name-sorted
     std::vector<TraceEvent> spans;          // start-time order
+    std::vector<ProfileSnap> profile;       // depth-first tree order
     int64_t spansDropped = 0;  ///< ring-wrap losses since last drain
 
     const CounterSnap* findCounter(const std::string& name) const;
@@ -101,17 +122,20 @@ struct MetricsSnapshot {
 
 /**
  * Captures a MetricsRegistry (running its gauge providers first) plus —
- * at Trace level — the drained Tracer rings into a MetricsSnapshot, and
- * writes it as schema-1 JSON. The single definition of the snapshot
- * artifact shared by `--metrics-out` in m3e_cli/m3e_serve, the serve
- * bench telemetry, and the CI metrics-smoke gate.
+ * at Trace level and above — the drained Tracer rings, plus — at
+ * Profile level — the merged Profiler rows, into a MetricsSnapshot,
+ * and writes it as schema-1 JSON. The single definition of the
+ * snapshot artifact shared by `--metrics-out` in m3e_cli/m3e_serve,
+ * the serve bench telemetry, and the CI metrics-smoke gate.
  */
 class SnapshotWriter {
   public:
     /**
      * Snapshot `reg` under the current process level; drains `tracer`
-     * when the level is Trace (pass null to skip trace collection, e.g.
-     * for local registries that never traced).
+     * when the level is Trace or Profile (pass null to skip trace
+     * collection, e.g. for local registries that never traced). The
+     * profiler read is non-destructive, so RunReport's capture and a
+     * later --metrics-out both see the whole profile.
      */
     static MetricsSnapshot capture(const std::string& source,
                                    MetricsRegistry& reg,

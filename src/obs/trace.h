@@ -22,9 +22,14 @@ namespace magma::obs {
  *                    b = front hypervolume (origin ref; NaN when the
  *                        front is too large to slice cheaply)
  *   exec.eval.batch  i = batch size
+ *   exec.eval.sim_batch  i = batch size
  *   sched.flat.compile  i = jobs * accels table cells
  *   serve.request    i = serve order, a = queue-wait seconds,
  *                    b = search seconds
+ *   dyn.remap        i = event index, a = best fitness,
+ *                    b = samples used
+ * Every construction site carries a "span payload:" comment naming its
+ * slots — magma_lint --check-spans enforces the convention.
  */
 struct TraceEvent {
     std::string name;

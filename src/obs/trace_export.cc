@@ -1,0 +1,208 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json_cursor.h"
+#include "obs/json_writer.h"
+
+namespace magma::obs {
+
+bool
+ChromeEvent::operator==(const ChromeEvent& o) const
+{
+    return name == o.name && instant == o.instant &&
+           numEq(tsMicros, o.tsMicros) && numEq(durMicros, o.durMicros) &&
+           tid == o.tid && i == o.i && numEq(a, o.a) && numEq(b, o.b);
+}
+
+bool
+ChromeTrace::operator==(const ChromeTrace& o) const
+{
+    return source == o.source && droppedEvents == o.droppedEvents &&
+           events == o.events;
+}
+
+ChromeTrace
+ChromeTrace::fromEvents(const std::vector<TraceEvent>& events,
+                        const std::string& source, int64_t dropped)
+{
+    ChromeTrace t;
+    t.source = source;
+    t.droppedEvents = dropped;
+    t.events.reserve(events.size());
+    for (const TraceEvent& e : events) {
+        ChromeEvent ce;
+        ce.name = e.name;
+        ce.instant = e.durSeconds == 0.0;
+        // Seconds -> microseconds exactly once, here: the struct then
+        // carries the exported unit, so write()'s reparse comparison
+        // never re-crosses a lossy conversion.
+        ce.tsMicros = e.startSeconds * 1e6;
+        ce.durMicros = e.durSeconds * 1e6;
+        ce.tid = e.thread;
+        ce.i = e.i;
+        ce.a = e.a;
+        ce.b = e.b;
+        t.events.push_back(std::move(ce));
+    }
+    return t;
+}
+
+ChromeTrace
+ChromeTrace::fromSnapshot(const MetricsSnapshot& snap)
+{
+    return fromEvents(snap.spans, snap.source, snap.spansDropped);
+}
+
+std::string
+ChromeTrace::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.beginArray("traceEvents");
+    for (const ChromeEvent& e : events) {
+        w.beginObject();
+        w.field("name", e.name);
+        w.field("ph", e.instant ? "i" : "X");
+        w.field("ts", e.tsMicros);
+        if (e.instant)
+            w.field("s", "t");  // thread-scoped instant
+        else
+            w.field("dur", e.durMicros);
+        w.field("pid", 1);
+        w.field("tid", e.tid);
+        w.beginObject("args");
+        w.field("i", e.i);
+        w.field("a", e.a);
+        w.field("b", e.b);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.field("displayTimeUnit", "ms");
+    w.beginObject("otherData");
+    w.field("source", source);
+    w.field("dropped_events", droppedEvents);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+ChromeTrace
+ChromeTrace::fromJson(const std::string& text)
+{
+    JsonCursor c(text, "ChromeTrace::fromJson");
+    ChromeTrace t;
+    bool sawEvents = false;
+
+    c.expect('{');
+    forEachKey(c, [&](const std::string& key) {
+        if (key == "traceEvents") {
+            sawEvents = true;
+            c.expect('[');
+            if (!c.tryConsume(']')) {
+                do {
+                    c.expect('{');
+                    ChromeEvent e;
+                    std::string ph;
+                    bool sawScope = false;
+                    forEachKey(c, [&](const std::string& k) {
+                        if (k == "name")
+                            e.name = c.parseString();
+                        else if (k == "ph")
+                            ph = c.parseString();
+                        else if (k == "ts")
+                            e.tsMicros = c.parseNumber();
+                        else if (k == "dur")
+                            e.durMicros = c.parseNumber();
+                        else if (k == "s") {
+                            if (c.parseString() != "t")
+                                c.fail("unexpected instant scope");
+                            sawScope = true;
+                        } else if (k == "pid") {
+                            if (c.parseInt() != 1)
+                                c.fail("unexpected pid");
+                        } else if (k == "tid")
+                            e.tid = static_cast<int>(c.parseInt());
+                        else if (k == "args") {
+                            c.expect('{');
+                            forEachKey(c, [&](const std::string& a) {
+                                if (a == "i")
+                                    e.i = c.parseInt();
+                                else if (a == "a")
+                                    e.a = c.parseNumber();
+                                else if (a == "b")
+                                    e.b = c.parseNumber();
+                                else
+                                    c.fail("unknown args key '" + a + "'");
+                            });
+                        } else
+                            c.fail("unknown event key '" + k + "'");
+                    });
+                    if (ph == "i")
+                        e.instant = true;
+                    else if (ph != "X")
+                        c.fail("unknown event ph '" + ph + "'");
+                    if (e.instant != sawScope)
+                        c.fail("instant scope/ph mismatch");
+                    t.events.push_back(std::move(e));
+                } while (c.tryConsume(','));
+                c.expect(']');
+            }
+        } else if (key == "displayTimeUnit") {
+            if (c.parseString() != "ms")
+                c.fail("unexpected displayTimeUnit");
+        } else if (key == "otherData") {
+            c.expect('{');
+            forEachKey(c, [&](const std::string& k) {
+                if (k == "source")
+                    t.source = c.parseString();
+                else if (k == "dropped_events")
+                    t.droppedEvents = c.parseInt();
+                else
+                    c.fail("unknown otherData key '" + k + "'");
+            });
+        } else {
+            c.fail("unknown top-level key '" + key + "'");
+        }
+    });
+    if (!c.atEnd())
+        c.fail("trailing content");
+    if (!sawEvents)
+        c.fail("missing traceEvents");
+    return t;
+}
+
+bool
+TraceExporter::write(const ChromeTrace& trace, const std::string& path)
+{
+    std::string text = trace.toJson();
+    {
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "cannot write trace '%s'\n", path.c_str());
+            return false;
+        }
+        out << text << '\n';
+    }
+    std::ifstream in(path);
+    std::string back((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    while (!back.empty() && back.back() == '\n')
+        back.pop_back();
+    try {
+        if (!(ChromeTrace::fromJson(back) == trace)) {
+            std::fprintf(stderr, "trace round-trip mismatch: %s\n",
+                         path.c_str());
+            return false;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "trace re-parse failed: %s\n", e.what());
+        return false;
+    }
+    return true;
+}
+
+}  // namespace magma::obs

@@ -1,0 +1,84 @@
+#ifndef MAGMA_OBS_TRACE_EXPORT_H_
+#define MAGMA_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+
+namespace magma::obs {
+
+/**
+ * One Chrome trace-event: a complete slice (ph "X") for a span with
+ * duration, an instant (ph "i") for a zero-duration event. Times are
+ * kept in the exported unit — microseconds since the Tracer epoch — so
+ * the JSON round-trip compares bitwise without a lossy seconds<->micros
+ * conversion on the parse side.
+ */
+struct ChromeEvent {
+    std::string name;
+    bool instant = false;
+    double tsMicros = 0.0;
+    double durMicros = 0.0;  // complete events only
+    int tid = 0;
+    int64_t i = 0;  // span payload: the three per-site slots (see
+    double a = 0.0;  // obs/trace.h) exported as args.i/args.a/args.b
+    double b = 0.0;
+
+    bool operator==(const ChromeEvent& o) const;
+};
+
+/**
+ * A drained trace as a Chrome trace-event / Perfetto artifact (load the
+ * written file in ui.perfetto.dev or chrome://tracing). Like every
+ * artifact in the codebase it round-trips exactly:
+ * fromJson(toJson(t)) == t under the %.17g discipline.
+ *
+ * JSON shape (the trace-event "object format"):
+ *   { "traceEvents": [
+ *       {"name":..., "ph":"X", "ts":..., "dur":..., "pid":1, "tid":...,
+ *        "args":{"i":...,"a":...,"b":...}},
+ *       {"name":..., "ph":"i", "ts":..., "s":"t", "pid":1, "tid":...,
+ *        "args":{...}} ],
+ *     "displayTimeUnit": "ms",
+ *     "otherData": {"source":..., "dropped_events":...} }
+ * pid is always 1 (one process); tid is the Tracer's per-thread id; the
+ * ring-wrap loss count rides in otherData so a truncated trace is
+ * visibly truncated.
+ */
+struct ChromeTrace {
+    std::string source;
+    int64_t droppedEvents = 0;
+    std::vector<ChromeEvent> events;
+
+    /** Convert drained Tracer events (seconds -> microseconds once). */
+    static ChromeTrace fromEvents(const std::vector<TraceEvent>& events,
+                                  const std::string& source,
+                                  int64_t dropped);
+
+    /** fromEvents over a snapshot's spans/source/dropped count. */
+    static ChromeTrace fromSnapshot(const MetricsSnapshot& snap);
+
+    std::string toJson() const;
+    /** Exact inverse of toJson(); throws std::invalid_argument. */
+    static ChromeTrace fromJson(const std::string& text);
+
+    bool operator==(const ChromeTrace& o) const;
+};
+
+/**
+ * Writes a ChromeTrace to disk and — the SnapshotWriter discipline —
+ * re-reads and re-parses the written text, verifying it equals the
+ * in-memory value. The self-check is what "loads in Perfetto" rests
+ * on: the file provably is the JSON we think it is.
+ */
+class TraceExporter {
+  public:
+    static bool write(const ChromeTrace& trace, const std::string& path);
+};
+
+}  // namespace magma::obs
+
+#endif  // MAGMA_OBS_TRACE_EXPORT_H_

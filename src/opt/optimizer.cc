@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "exec/eval_engine.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace magma::opt {
@@ -34,7 +35,8 @@ SearchRecorder::SearchRecorder(const sched::MappingEvaluator& eval,
 {
     obs::MetricsLevel level = obs::effectiveLevel(opts_.metrics);
     obs_counters_ = level != obs::MetricsLevel::Off;
-    obs_trace_ = level == obs::MetricsLevel::Trace;
+    obs_trace_ = level == obs::MetricsLevel::Trace ||
+                 level == obs::MetricsLevel::Profile;
     if (opts_.recordConvergence)
         result_.convergence.reserve(opts_.sampleBudget);
     if (opts_.engine) {
@@ -85,6 +87,7 @@ SearchRecorder::evaluate(const sched::Mapping& m)
 std::vector<double>
 SearchRecorder::evaluateBatch(const std::vector<sched::Mapping>& ms)
 {
+    PROFILE_SCOPE("opt.generation");
     size_t n = static_cast<size_t>(
         std::min<int64_t>(static_cast<int64_t>(ms.size()), remaining()));
     if (n == 0)
@@ -138,16 +141,17 @@ Optimizer::search(const sched::MappingEvaluator& eval,
                   const SearchOptions& opts)
 {
     obs::MetricsLevel level = obs::effectiveLevel(opts.metrics);
-    double t0 = level == obs::MetricsLevel::Trace
-                    ? obs::Tracer::global().nowSeconds()
-                    : 0.0;
+    bool tracing = level == obs::MetricsLevel::Trace ||
+                   level == obs::MetricsLevel::Profile;
+    double t0 = tracing ? obs::Tracer::global().nowSeconds() : 0.0;
+    PROFILE_SCOPE("opt.search");
     SearchRecorder rec(eval, opts);
     if (!rec.exhausted())
         run(eval, opts, rec);
     SearchResult result = rec.finish();
     if (level != obs::MetricsLevel::Off)
         optMetrics().searches.add();
-    if (level == obs::MetricsLevel::Trace) {
+    if (tracing) {
         obs::Tracer& t = obs::Tracer::global();
         obs::TraceEvent e;
         e.name = "opt.search";

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace magma::sched {
@@ -64,7 +65,9 @@ FlatEvaluator::FlatEvaluator(const MappingEvaluator& ref)
     // the inner loop streams doubles instead of striding over JobProfile
     // records.
     size_t n = static_cast<size_t>(jobs_) * accels_;
+    // span payload: i = jobs * accels table cells
     obs::Span span("sched.flat.compile", static_cast<int64_t>(n));
+    PROFILE_SCOPE("sched.flat.compile");
     if (obs::countersOn())
         obs::MetricsRegistry::global().counter("sched.flat.compiles").add();
     no_stall_seconds_.resize(n);
@@ -132,6 +135,7 @@ FlatEvaluator::simulate(const Mapping& m, EvalScratch& s,
                         bool record_timeline) const
 {
     assert(m.size() == jobs_);
+    PROFILE_SCOPE("sched.flat.simulate");
     s.ensure(jobs_, accels_);
     s.events_.clear();
     decodeInto(m, s);

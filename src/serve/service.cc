@@ -11,6 +11,7 @@
 #include "exec/thread_pool.h"
 #include "m3e/problem.h"
 #include "mo/pareto.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "opt/magma_ga.h"
 #include "opt/warm_start.h"
@@ -344,6 +345,7 @@ MappingService::workerLoop()
         bool exit_lane = false;
         std::vector<Pending> expired;
         {
+            PROFILE_SCOPE("serve.queue_wait");
             std::unique_lock<std::mutex> lk(mu_);
             work_cv_.wait(lk,
                           [this] { return stopping_ || !queueEmpty(); });
@@ -380,7 +382,10 @@ MappingService::workerLoop()
         MapResponse resp;
         std::exception_ptr error;
         {
+            // span payload: i = serve order, a = queue-wait seconds,
+            // b = service seconds
             obs::Span span("serve.request", serve_order);
+            PROFILE_SCOPE("serve.request");
             try {
                 resp = serveOne(p.req, lane_pool.get());
                 resp.serveOrder = serve_order;
@@ -510,8 +515,10 @@ MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
     opts.sampleBudget = req.search.sampleBudget;
     opts.evalMode = req.search.eval;
     std::optional<MappingStore::Hit> hit;
-    if (req.search.warmStart)
+    if (req.search.warmStart) {
+        PROFILE_SCOPE("serve.store_lookup");
         hit = store_.lookup(fp);
+    }
     if (hit) {
         common::Rng seed_rng(req.search.seed ^ 0x5eedbeefULL);
         sched::Mapping base =
@@ -586,7 +593,11 @@ MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
         optimizer = api::OptimizerRegistry::global().make(method,
                                                           req.search.seed);
     }
-    opt::SearchResult res = optimizer->search(eval, opts);
+    opt::SearchResult res;
+    {
+        PROFILE_SCOPE("serve.search");
+        res = optimizer->search(eval, opts);
+    }
 
     resp.best = res.best;
     resp.bestFitness = res.bestFitness;
@@ -601,6 +612,7 @@ MappingService::serveOne(const MapRequest& req, exec::ThreadPool* lane_pool)
     // when refinement actually ran past the seeds — otherwise trf0 and
     // the final fitness are the same number by construction.
     if (req.writeBack) {
+        PROFILE_SCOPE("serve.store_write_back");
         store_.update(fp, problem.group().task, res.best, problem.group(),
                       res.bestFitness, res.samplesUsed);
         bool refined = res.samplesUsed >

@@ -4,9 +4,11 @@
  * underflow bucket, shard merges), level parsing, registry identity and
  * thread-safety, tracer drain ordering and ring-overflow accounting,
  * snapshot JSON round-trips under randomized (escape-hostile) metric
- * names, and the invariant the whole subsystem is built around:
+ * names, Chrome-trace export round-trips (hostile names, dropped-count
+ * metadata, empty traces), hierarchical-profiler tree merges across
+ * threads, and the invariant the whole subsystem is built around:
  * fixed-seed search results are bitwise identical whether observability
- * is off or at full trace.
+ * is off, at full trace, or at profile.
  */
 
 #include <cmath>
@@ -21,8 +23,10 @@
 #include "common/rng.h"
 #include "m3e/problem.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/snapshot.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "opt/magma_ga.h"
 #include "serve/service.h"
 
@@ -53,8 +57,9 @@ class LevelGuard {
 
 TEST(MetricsLevel, NamesRoundTrip)
 {
-    for (MetricsLevel l : {MetricsLevel::Off, MetricsLevel::Counters,
-                           MetricsLevel::Trace}) {
+    for (MetricsLevel l :
+         {MetricsLevel::Off, MetricsLevel::Counters, MetricsLevel::Trace,
+          MetricsLevel::Profile}) {
         EXPECT_EQ(obs::metricsLevelFromName(obs::metricsLevelName(l)), l);
     }
     EXPECT_THROW(obs::metricsLevelFromName("verbose"),
@@ -292,6 +297,7 @@ TEST(Tracer, SpanIsNoOpWhenTracingOff)
     obs::setMetricsLevel(MetricsLevel::Counters);
     Tracer::global().drain();
     {
+        // span payload: i/a/b exercise the setters; nothing records
         obs::Span span("t.silent", 7);
         span.payload(1.0, 2.0);
     }
@@ -517,4 +523,203 @@ TEST(Observability, ServeRecordsPerTenantHistograms)
     EXPECT_EQ(reg.findHistogram("serve.wait_seconds")->count(),
               reg.findHistogram("serve.wait_seconds.tenant-0")->count() +
                   reg.findHistogram("serve.wait_seconds.tenant-1")->count());
+}
+
+// --------------------------------------------- chrome trace export ---
+
+TEST(ChromeTrace, ClassifiesInstantVsCompleteAndConvertsOnce)
+{
+    std::vector<TraceEvent> events(2);
+    events[0].name = "span";
+    events[0].startSeconds = 1.5;
+    events[0].durSeconds = 0.25;
+    events[0].thread = 3;
+    events[0].i = 7;
+    events[1].name = "instant";
+    events[1].startSeconds = 2.0;
+    events[1].durSeconds = 0.0;
+    obs::ChromeTrace t = obs::ChromeTrace::fromEvents(events, "test", 0);
+    ASSERT_EQ(t.events.size(), 2u);
+    EXPECT_FALSE(t.events[0].instant);
+    EXPECT_EQ(t.events[0].tsMicros, 1.5e6);
+    EXPECT_EQ(t.events[0].durMicros, 0.25e6);
+    EXPECT_EQ(t.events[0].tid, 3);
+    EXPECT_EQ(t.events[0].i, 7);
+    EXPECT_TRUE(t.events[1].instant);
+}
+
+TEST(ChromeTrace, RoundTripsUnderRandomizedHostileNames)
+{
+    common::Rng rng(77);
+    for (int trial = 0; trial < 25; ++trial) {
+        obs::ChromeTrace t;
+        t.source = hostileName(rng, trial);
+        t.droppedEvents = rng.uniformInt(100);
+        int salt = 100;
+        int n = rng.uniformInt(6);
+        for (int e = 0; e < n; ++e) {
+            obs::ChromeEvent ev;
+            ev.name = hostileName(rng, ++salt);
+            ev.instant = rng.uniformInt(2) == 0;
+            ev.tsMicros = rng.uniform() * 1e6;
+            // Only complete events carry "dur" in the JSON, so only they
+            // can round-trip a nonzero (or NaN) duration.
+            if (!ev.instant)
+                ev.durMicros = hostileDouble(rng);
+            ev.tid = rng.uniformInt(8);
+            ev.i = static_cast<int64_t>(rng.engine()());
+            ev.a = hostileDouble(rng);
+            ev.b = rng.uniform();
+            t.events.push_back(std::move(ev));
+        }
+        std::string text = t.toJson();
+        obs::ChromeTrace back = obs::ChromeTrace::fromJson(text);
+        EXPECT_EQ(back, t) << "trial " << trial << "\n" << text;
+        // The text itself is a fixed point.
+        EXPECT_EQ(back.toJson(), text);
+    }
+}
+
+TEST(ChromeTrace, EmptyTraceAndDroppedMetadataRoundTrip)
+{
+    obs::ChromeTrace t;
+    t.source = "empty";
+    t.droppedEvents = 42;
+    std::string text = t.toJson();
+    obs::ChromeTrace back = obs::ChromeTrace::fromJson(text);
+    EXPECT_EQ(back, t);
+    EXPECT_EQ(back.droppedEvents, 42);
+    EXPECT_TRUE(back.events.empty());
+    // The loss count is visible in the artifact, not just the struct.
+    EXPECT_NE(text.find("\"dropped_events\":42"), std::string::npos);
+}
+
+TEST(ChromeTrace, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(obs::ChromeTrace::fromJson(""), std::invalid_argument);
+    // Valid JSON but not a trace: traceEvents is required.
+    EXPECT_THROW(obs::ChromeTrace::fromJson("{}"), std::invalid_argument);
+    obs::ChromeTrace t;
+    t.source = "x";
+    std::string good = t.toJson();
+    EXPECT_THROW(
+        obs::ChromeTrace::fromJson(good.substr(0, good.size() - 2)),
+        std::invalid_argument);
+}
+
+// ------------------------------------------------------ profiler ---
+
+TEST(Profiler, ScopeIsNoOpBelowProfileLevel)
+{
+    LevelGuard guard;
+    obs::setMetricsLevel(MetricsLevel::Trace);
+    obs::Profiler::global().reset();
+    {
+        PROFILE_SCOPE("p.silent");
+    }
+    EXPECT_TRUE(obs::Profiler::global().rows().empty());
+}
+
+TEST(Profiler, FourThreadTreeMergeIsDeterministic)
+{
+    LevelGuard guard;
+    obs::setMetricsLevel(MetricsLevel::Profile);
+    obs::Profiler& prof = obs::Profiler::global();
+    prof.reset();
+    const int threads = 4, reps = 50;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t)
+        pool.emplace_back([&] {
+            for (int i = 0; i < reps; ++i) {
+                PROFILE_SCOPE("p.outer");
+                PROFILE_SCOPE("p.inner");  // child of p.outer
+            }
+        });
+    for (auto& th : pool)
+        th.join();
+
+    std::vector<obs::ProfileRow> rows = prof.rows();
+    ASSERT_EQ(rows.size(), 2u);
+    // Depth-first with name-sorted siblings: parent before child, and
+    // the four per-thread trees merge into one set of counts.
+    EXPECT_EQ(rows[0].path, "p.outer");
+    EXPECT_EQ(rows[0].count, int64_t{threads} * reps);
+    EXPECT_EQ(rows[1].path, "p.outer/p.inner");
+    EXPECT_EQ(rows[1].count, int64_t{threads} * reps);
+    EXPECT_GE(rows[0].totalSeconds, rows[1].totalSeconds);
+    EXPECT_GE(rows[0].selfSeconds, 0.0);
+    EXPECT_GE(rows[1].selfSeconds, 0.0);
+
+    // reportText lists the same structure (names, indentation).
+    std::string report = prof.reportText();
+    EXPECT_NE(report.find("p.outer"), std::string::npos);
+    EXPECT_NE(report.find("  p.inner"), std::string::npos);
+
+    prof.reset();
+    EXPECT_TRUE(prof.rows().empty());
+}
+
+TEST(MetricsSnapshot, ProfileRowsRoundTripUnderHostileNames)
+{
+    common::Rng rng(99);
+    MetricsSnapshot snap;
+    snap.source = "profile.rt";
+    snap.level = MetricsLevel::Profile;
+    for (int i = 0; i < 5; ++i) {
+        obs::ProfileSnap p;
+        p.path = hostileName(rng, i) + "/" + hostileName(rng, i + 50);
+        p.count = 1 + rng.uniformInt(1000);
+        p.totalSeconds = rng.uniform();
+        p.selfSeconds = hostileDouble(rng);
+        snap.profile.push_back(std::move(p));
+    }
+    std::string text = snap.toJson();
+    MetricsSnapshot back = MetricsSnapshot::fromJson(text);
+    EXPECT_EQ(back, snap) << text;
+    EXPECT_EQ(back.toJson(), text);
+}
+
+TEST(MetricsSnapshot, CaptureIncludesProfileRowsOnlyAtProfileLevel)
+{
+    LevelGuard guard;
+    obs::Profiler::global().reset();
+    obs::setMetricsLevel(MetricsLevel::Profile);
+    {
+        PROFILE_SCOPE("cap.scope");
+    }
+    MetricsRegistry reg;
+    MetricsSnapshot snap = SnapshotWriter::capture("test", reg);
+    ASSERT_EQ(snap.profile.size(), 1u);
+    EXPECT_EQ(snap.profile[0].path, "cap.scope");
+    EXPECT_EQ(snap.profile[0].count, 1);
+
+    // Below Profile the same tree is not captured (rows stay in the
+    // profiler — capture is non-destructive — but the snapshot omits
+    // them).
+    obs::setMetricsLevel(MetricsLevel::Counters);
+    MetricsSnapshot low = SnapshotWriter::capture("test", reg);
+    EXPECT_TRUE(low.profile.empty());
+    obs::Profiler::global().reset();
+}
+
+TEST(Observability, FixedSeedSearchBitwiseIdenticalOffVsProfile)
+{
+    LevelGuard guard;
+    auto run = [](MetricsLevel level) {
+        obs::setMetricsLevel(level);
+        auto problem = m3e::makeProblem(dnn::TaskType::Mix,
+                                        accel::Setting::S2, 4.0, 12, 9);
+        opt::MagmaGa ga(9);
+        opt::SearchOptions opts;
+        opts.sampleBudget = 400;
+        opt::SearchResult r = ga.search(problem->evaluator(), opts);
+        Tracer::global().drain();  // don't leak spans into later tests
+        obs::Profiler::global().reset();
+        return r;
+    };
+    opt::SearchResult off = run(MetricsLevel::Off);
+    opt::SearchResult profile = run(MetricsLevel::Profile);
+    EXPECT_EQ(off.bestFitness, profile.bestFitness);  // bitwise
+    EXPECT_EQ(off.best, profile.best);
+    EXPECT_EQ(off.samplesUsed, profile.samplesUsed);
 }

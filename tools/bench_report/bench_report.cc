@@ -1,0 +1,720 @@
+/**
+ * @file
+ * bench_report — aggregates the perf-smoke bench artifacts into one
+ * canonical BENCH.json and gates it against a committed baseline, so a
+ * perf regression fails CI the same way a broken test does.
+ *
+ * Ingest: every *.json under --in DIR (sorted by filename, so the
+ * aggregate is independent of directory enumeration order) must be a
+ * schema-1 telemetry file ({"schema":1,"bench":...,"config":{...},
+ * "metrics":{...},"samples":[...]}, see src/obs/json_writer.h). From
+ * each file it takes the bench name, the raw "config" object (echoed
+ * verbatim so the aggregate records seeds/budgets/thread counts), and
+ * every numeric or bool field of "metrics" (bools become 1/0; strings
+ * and nested values are skipped — headline metrics are scalars).
+ *
+ * Output (--out): one canonical JSON document
+ *   { "schema": 1, "bench": "bench_report",
+ *     "config": {"inputs": [...], "benches": {name: <config echo>}},
+ *     "samples": [{"bench":..,"metric":..,"value":..}, ...] }
+ * with samples sorted by (bench, metric) and doubles printed %.17g, so
+ * re-running the aggregator over the same inputs reproduces the file
+ * byte-identically. Like every telemetry writer in this repo, write()
+ * re-reads and re-parses what it wrote and fails on any mismatch.
+ *
+ * Baseline gating (--baseline FILE): the baseline is a list of gates
+ *   {"bench":..,"metric":..,"value":..,"direction":..,"tol":..}
+ * where direction is "higher" (regression when current <
+ * value*(1-tol)), "lower" (regression when current > value*(1+tol)) or
+ * "exact" (|current-value| > tol). A gated metric missing from the
+ * aggregate is itself a regression — a bench silently dropping a
+ * metric must not pass. Exit status 1 on any tripped gate.
+ *
+ * --write-baseline FILE emits a baseline from the current aggregate
+ * (direction inferred from the metric name: per_sec, speedup and
+ * hit_rate metrics are "higher"; seconds, _ms, p50, p99 and stall
+ * metrics are "lower"; the rest "exact").
+ * --scale BENCH:METRIC:FACTOR multiplies one ingested value,
+ * which is how CI proves the gate trips on an injected regression.
+ *
+ * Dependency-free on purpose (standard library + the header-only
+ * obs::JsonWriter/JsonCursor): the lint/perf CI jobs build it with a
+ * bare g++ call, no gtest or core library.
+ *
+ * Usage:
+ *   bench_report --in DIR --out BENCH.json [--baseline FILE]
+ *                [--write-baseline FILE] [--scale BENCH:METRIC:FACTOR]
+ *   bench_report --self-test
+ *
+ * Exit status: 0 clean, 1 regression/round-trip failure, 2 usage error.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_cursor.h"
+#include "obs/json_writer.h"
+
+namespace fs = std::filesystem;
+using magma::obs::JsonCursor;
+using magma::obs::JsonWriter;
+using magma::obs::forEachKey;
+using magma::obs::numEq;
+
+namespace {
+
+// --------------------------------------------------------- aggregate ---
+
+/** One headline metric of one bench. */
+struct MetricSample {
+    std::string bench;
+    std::string metric;
+    double value = 0.0;
+
+    bool operator==(const MetricSample& o) const
+    {
+        return bench == o.bench && metric == o.metric &&
+               numEq(value, o.value);
+    }
+};
+
+/** The canonical aggregate: what BENCH.json serializes. */
+struct BenchReport {
+    std::vector<std::string> inputs;  // ingested filenames, sorted
+    // bench name -> raw "config" object text, in input order.
+    std::vector<std::pair<std::string, std::string>> configs;
+    std::vector<MetricSample> samples;  // sorted by (bench, metric)
+
+    bool operator==(const BenchReport& o) const
+    {
+        return inputs == o.inputs && configs == o.configs &&
+               samples == o.samples;
+    }
+
+    std::string toJson() const;
+    static BenchReport fromJson(const std::string& text);
+};
+
+std::string
+BenchReport::toJson() const
+{
+    JsonWriter w;
+    w.beginTelemetry("bench_report");
+    w.beginObject("config");
+    w.beginArray("inputs");
+    for (const std::string& in : inputs) {
+        w.beginObject();
+        w.field("file", in);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginObject("benches");
+    for (const auto& [bench, raw] : configs)
+        w.raw(bench, raw);
+    w.endObject();
+    w.endObject();
+    w.beginArray("samples");
+    for (const MetricSample& s : samples) {
+        w.beginObject();
+        w.field("bench", s.bench);
+        w.field("metric", s.metric);
+        w.field("value", s.value);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+BenchReport
+BenchReport::fromJson(const std::string& text)
+{
+    BenchReport r;
+    JsonCursor c(text, "BenchReport::fromJson");
+    c.expect('{');
+    forEachKey(c, [&](const std::string& key) {
+        if (key == "schema") {
+            if (c.parseInt() != magma::obs::kTelemetrySchemaVersion)
+                c.fail("unsupported schema version");
+        } else if (key == "bench") {
+            if (c.parseString() != "bench_report")
+                c.fail("not a bench_report aggregate");
+        } else if (key == "config") {
+            c.expect('{');
+            forEachKey(c, [&](const std::string& ck) {
+                if (ck == "inputs") {
+                    c.expect('[');
+                    if (!c.tryConsume(']')) {
+                        do {
+                            c.expect('{');
+                            forEachKey(c, [&](const std::string& fk) {
+                                if (fk != "file")
+                                    c.fail("unknown input key");
+                                r.inputs.push_back(c.parseString());
+                            });
+                        } while (c.tryConsume(','));
+                        c.expect(']');
+                    }
+                } else if (ck == "benches") {
+                    c.expect('{');
+                    forEachKey(c, [&](const std::string& bench) {
+                        r.configs.emplace_back(bench, c.skipValue());
+                    });
+                } else {
+                    c.fail("unknown config key");
+                }
+            });
+        } else if (key == "samples") {
+            c.expect('[');
+            if (c.tryConsume(']'))
+                return;
+            do {
+                c.expect('{');
+                MetricSample s;
+                forEachKey(c, [&](const std::string& sk) {
+                    if (sk == "bench")
+                        s.bench = c.parseString();
+                    else if (sk == "metric")
+                        s.metric = c.parseString();
+                    else if (sk == "value")
+                        s.value = c.parseNumber();
+                    else
+                        c.fail("unknown sample key");
+                });
+                r.samples.push_back(std::move(s));
+            } while (c.tryConsume(','));
+            c.expect(']');
+        } else {
+            c.fail("unknown top-level key");
+        }
+    });
+    if (!c.atEnd())
+        c.fail("trailing content");
+    return r;
+}
+
+/**
+ * Ingest one schema-1 telemetry file into the aggregate: bench name,
+ * raw config echo, and every scalar "metrics" field. Throws
+ * std::invalid_argument (via JsonCursor::fail) on malformed input.
+ */
+void
+ingest(BenchReport& r, const std::string& name, const std::string& text)
+{
+    JsonCursor c(text, "bench_report ingest " + name);
+    std::string bench;
+    std::string config = "{}";
+    std::vector<std::pair<std::string, double>> metrics;
+    c.expect('{');
+    forEachKey(c, [&](const std::string& key) {
+        if (key == "schema") {
+            if (c.parseInt() != magma::obs::kTelemetrySchemaVersion)
+                c.fail("unsupported schema version");
+        } else if (key == "bench") {
+            bench = c.parseString();
+        } else if (key == "config") {
+            config = c.skipValue();
+        } else if (key == "metrics") {
+            c.expect('{');
+            forEachKey(c, [&](const std::string& mk) {
+                char p = c.peek();
+                if (p == 't' || p == 'f')
+                    metrics.emplace_back(mk, c.parseBool() ? 1.0 : 0.0);
+                else if (p == '{' || p == '[' || p == '"')
+                    c.skipValue();  // headline metrics are scalars
+                else
+                    metrics.emplace_back(mk, c.parseNumber());
+            });
+        } else {
+            c.skipValue();  // samples etc. — per-point detail, not gated
+        }
+    });
+    if (bench.empty())
+        c.fail("missing bench name");
+    r.inputs.push_back(name);
+    r.configs.emplace_back(bench, config);
+    for (auto& [metric, value] : metrics)
+        r.samples.push_back({bench, metric, value});
+}
+
+// ------------------------------------------------------------- gates ---
+
+/** One baseline expectation; see the file header for the semantics. */
+struct Gate {
+    std::string bench;
+    std::string metric;
+    double value = 0.0;
+    std::string direction;  // "higher" | "lower" | "exact"
+    double tol = 0.0;
+};
+
+std::string
+gatesToJson(const std::vector<Gate>& gates)
+{
+    JsonWriter w;
+    w.beginTelemetry("bench_baseline");
+    w.beginArray("gates");
+    for (const Gate& g : gates) {
+        w.beginObject();
+        w.field("bench", g.bench);
+        w.field("metric", g.metric);
+        w.field("value", g.value);
+        w.field("direction", g.direction);
+        w.field("tol", g.tol);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::vector<Gate>
+gatesFromJson(const std::string& text)
+{
+    std::vector<Gate> gates;
+    JsonCursor c(text, "bench_report baseline");
+    c.expect('{');
+    forEachKey(c, [&](const std::string& key) {
+        if (key == "schema") {
+            if (c.parseInt() != magma::obs::kTelemetrySchemaVersion)
+                c.fail("unsupported schema version");
+        } else if (key == "bench") {
+            if (c.parseString() != "bench_baseline")
+                c.fail("not a bench_baseline file");
+        } else if (key == "gates") {
+            c.expect('[');
+            if (c.tryConsume(']'))
+                return;
+            do {
+                c.expect('{');
+                Gate g;
+                forEachKey(c, [&](const std::string& gk) {
+                    if (gk == "bench")
+                        g.bench = c.parseString();
+                    else if (gk == "metric")
+                        g.metric = c.parseString();
+                    else if (gk == "value")
+                        g.value = c.parseNumber();
+                    else if (gk == "direction")
+                        g.direction = c.parseString();
+                    else if (gk == "tol")
+                        g.tol = c.parseNumber();
+                    else
+                        c.fail("unknown gate key");
+                });
+                if (g.direction != "higher" && g.direction != "lower" &&
+                    g.direction != "exact")
+                    c.fail("gate direction must be higher|lower|exact");
+                gates.push_back(std::move(g));
+            } while (c.tryConsume(','));
+            c.expect(']');
+        } else {
+            c.fail("unknown top-level key");
+        }
+    });
+    return gates;
+}
+
+/**
+ * Evaluate every gate against the aggregate; returns human-readable
+ * failure lines (empty = all gates hold). A gated metric missing from
+ * the aggregate is a failure, not a skip.
+ */
+std::vector<std::string>
+diffAgainstBaseline(const BenchReport& r, const std::vector<Gate>& gates)
+{
+    std::vector<std::string> failures;
+    char buf[256];
+    for (const Gate& g : gates) {
+        const MetricSample* found = nullptr;
+        for (const MetricSample& s : r.samples)
+            if (s.bench == g.bench && s.metric == g.metric) {
+                found = &s;
+                break;
+            }
+        if (!found) {
+            std::snprintf(buf, sizeof(buf),
+                          "%s:%s gated but missing from the aggregate",
+                          g.bench.c_str(), g.metric.c_str());
+            failures.emplace_back(buf);
+            continue;
+        }
+        double cur = found->value;
+        bool bad = false;
+        if (g.direction == "higher")
+            bad = !(cur >= g.value * (1.0 - g.tol));
+        else if (g.direction == "lower")
+            bad = !(cur <= g.value * (1.0 + g.tol));
+        else
+            bad = !(std::abs(cur - g.value) <= g.tol);
+        // NaN compares false everywhere, so the !(...) forms above also
+        // trip when a bench emitted null for a gated metric.
+        if (!bad)
+            continue;
+        // magma-lint: allow(double-format): gate report lines are for
+        // humans; the values round-trip via BENCH.json, not this text.
+        std::snprintf(buf, sizeof(buf),
+                      "%s:%s = %.6g violates %s baseline %.6g (tol %g)",
+                      g.bench.c_str(), g.metric.c_str(), cur,
+                      g.direction.c_str(), g.value, g.tol);
+        failures.emplace_back(buf);
+    }
+    return failures;
+}
+
+/** Direction heuristics for --write-baseline; see the file header. */
+Gate
+inferGate(const MetricSample& s)
+{
+    Gate g;
+    g.bench = s.bench;
+    g.metric = s.metric;
+    g.value = s.value;
+    auto has = [&](const char* needle) {
+        return s.metric.find(needle) != std::string::npos;
+    };
+    if (has("per_sec") || has("per_s") || has("speedup") ||
+        has("hit_rate") || has("ratio") || has("reduction")) {
+        g.direction = "higher";
+        g.tol = 0.05;
+    } else if (has("seconds") || has("_ms") || has("p50") || has("p99") ||
+               has("stall") || has("wall") || has("latency")) {
+        g.direction = "lower";
+        g.tol = 0.05;
+    } else {
+        g.direction = "exact";
+        g.tol = 0.0;
+    }
+    return g;
+}
+
+// -------------------------------------------------------------- I/O ---
+
+bool
+readFileText(const std::string& path, std::string& out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+/** Write + re-read + re-parse + byte-compare, like SnapshotWriter. */
+bool
+writeVerified(const std::string& text, const std::string& path)
+{
+    {
+        std::ofstream os(path, std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr, "bench_report: cannot write '%s'\n",
+                         path.c_str());
+            return false;
+        }
+        os << text << '\n';
+    }
+    std::string back;
+    if (!readFileText(path, back)) {
+        std::fprintf(stderr, "bench_report: cannot re-read '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    while (!back.empty() && back.back() == '\n')
+        back.pop_back();
+    if (back != text) {
+        std::fprintf(stderr, "bench_report: '%s' did not round-trip\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+// --------------------------------------------------------- self-test ---
+
+int
+selfTest()
+{
+    int failures = 0;
+    auto check = [&](bool ok, const char* what) {
+        if (!ok) {
+            std::fprintf(stderr, "SELF-TEST FAIL: %s\n", what);
+            ++failures;
+        }
+    };
+
+    // Synthetic schema-1 inputs (note b_first sorts before a_second by
+    // design: sample order must come from sorting, not input order).
+    JsonWriter in1;
+    in1.beginTelemetry("zeta");
+    in1.beginObject("config");
+    in1.field("seed", 7);
+    in1.endObject();
+    in1.beginObject("metrics");
+    in1.field("evals_per_sec", 1000.0);
+    in1.field("parity_ok", true);
+    in1.field("mode", "flat");  // string: skipped
+    in1.endObject();
+    in1.beginArray("samples");
+    in1.endArray();
+    in1.endObject();
+    JsonWriter in2;
+    in2.beginTelemetry("alpha");
+    in2.beginObject("config");
+    in2.endObject();
+    in2.beginObject("metrics");
+    in2.field("wall_seconds", 2.5);
+    in2.endObject();
+    in2.endObject();
+
+    BenchReport r;
+    ingest(r, "b_first.json", in1.str());
+    ingest(r, "a_second.json", in2.str());
+    std::sort(r.samples.begin(), r.samples.end(),
+              [](const MetricSample& a, const MetricSample& b) {
+                  return a.bench != b.bench ? a.bench < b.bench
+                                            : a.metric < b.metric;
+              });
+    check(r.samples.size() == 3, "scalar + bool ingested, string skipped");
+    check(r.samples[0].bench == "alpha", "samples sorted by bench");
+    check(numEq(r.samples[2].value, 1.0), "bool becomes 1.0");
+
+    // Canonical round-trip: parse(toJson) == original, byte-identical
+    // re-serialization.
+    std::string js = r.toJson();
+    BenchReport back = BenchReport::fromJson(js);
+    check(back == r, "aggregate round-trips");
+    check(back.toJson() == js, "re-serialization is byte-identical");
+
+    // Gate directions.
+    std::vector<Gate> gates = {
+        {"zeta", "evals_per_sec", 1000.0, "higher", 0.05},
+        {"zeta", "parity_ok", 1.0, "exact", 0.0},
+        {"alpha", "wall_seconds", 2.5, "lower", 0.05},
+    };
+    check(diffAgainstBaseline(r, gates).empty(), "clean run passes");
+
+    BenchReport slow = r;
+    for (MetricSample& s : slow.samples)
+        if (s.metric == "evals_per_sec")
+            s.value *= 0.9;  // the injected-regression CI scenario
+    check(diffAgainstBaseline(slow, gates).size() == 1,
+          "10%% rate drop trips a 5%% higher-gate");
+
+    BenchReport broken = r;
+    for (MetricSample& s : broken.samples)
+        if (s.metric == "parity_ok")
+            s.value = 0.0;
+    check(!diffAgainstBaseline(broken, gates).empty(),
+          "exact gate trips on parity flip");
+
+    std::vector<Gate> missing = {{"zeta", "gone_metric", 1.0, "exact", 0.0}};
+    check(!diffAgainstBaseline(r, missing).empty(),
+          "missing gated metric is a regression");
+
+    // Baseline serialization round-trip + inference heuristics.
+    std::vector<Gate> inferred;
+    for (const MetricSample& s : r.samples)
+        inferred.push_back(inferGate(s));
+    std::string bjs = gatesToJson(inferred);
+    std::vector<Gate> gback = gatesFromJson(bjs);
+    check(gatesToJson(gback) == bjs, "baseline round-trips");
+    check(diffAgainstBaseline(r, inferred).empty(),
+          "self-derived baseline passes its own run");
+    bool dirs_ok = true;
+    for (const Gate& g : inferred) {
+        if (g.metric == "evals_per_sec")
+            dirs_ok = dirs_ok && g.direction == "higher";
+        if (g.metric == "wall_seconds")
+            dirs_ok = dirs_ok && g.direction == "lower";
+        if (g.metric == "parity_ok")
+            dirs_ok = dirs_ok && g.direction == "exact";
+    }
+    check(dirs_ok, "direction heuristics");
+
+    std::fprintf(stderr, "bench_report self-test: %d failure(s)\n",
+                 failures);
+    return failures ? 1 : 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_report --in DIR --out BENCH.json [--baseline FILE]\n"
+        "                    [--write-baseline FILE]\n"
+        "                    [--scale BENCH:METRIC:FACTOR]\n"
+        "       bench_report --self-test\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string inDir, outPath, baselinePath, writeBaselinePath;
+    std::vector<std::string> scales;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--in")
+            inDir = next();
+        else if (arg == "--out")
+            outPath = next();
+        else if (arg == "--baseline")
+            baselinePath = next();
+        else if (arg == "--write-baseline")
+            writeBaselinePath = next();
+        else if (arg == "--scale")
+            scales.push_back(next());
+        else if (arg == "--self-test")
+            return selfTest();
+        else {
+            usage();
+            return 2;
+        }
+    }
+    if (inDir.empty() || outPath.empty()) {
+        usage();
+        return 2;
+    }
+
+    std::vector<std::string> files;
+    if (!fs::is_directory(inDir)) {
+        std::fprintf(stderr, "bench_report: '%s' is not a directory\n",
+                     inDir.c_str());
+        return 2;
+    }
+    for (const auto& e : fs::directory_iterator(inDir))
+        if (e.is_regular_file() && e.path().extension() == ".json")
+            files.push_back(e.path().string());
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        std::fprintf(stderr, "bench_report: no *.json under '%s'\n",
+                     inDir.c_str());
+        return 2;
+    }
+
+    BenchReport report;
+    for (const std::string& f : files) {
+        std::string text;
+        if (!readFileText(f, text)) {
+            std::fprintf(stderr, "bench_report: cannot read '%s'\n",
+                         f.c_str());
+            return 2;
+        }
+        try {
+            ingest(report, fs::path(f).filename().string(), text);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bench_report: %s\n", e.what());
+            return 2;
+        }
+    }
+    std::sort(report.samples.begin(), report.samples.end(),
+              [](const MetricSample& a, const MetricSample& b) {
+                  return a.bench != b.bench ? a.bench < b.bench
+                                            : a.metric < b.metric;
+              });
+
+    for (const std::string& spec : scales) {
+        size_t c1 = spec.find(':');
+        size_t c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+        if (c2 == std::string::npos) {
+            std::fprintf(stderr,
+                         "bench_report: --scale wants BENCH:METRIC:"
+                         "FACTOR, got '%s'\n",
+                         spec.c_str());
+            return 2;
+        }
+        std::string bench = spec.substr(0, c1);
+        std::string metric = spec.substr(c1 + 1, c2 - c1 - 1);
+        double factor = std::strtod(spec.c_str() + c2 + 1, nullptr);
+        bool hit = false;
+        for (MetricSample& s : report.samples)
+            if (s.bench == bench && s.metric == metric) {
+                s.value *= factor;
+                hit = true;
+            }
+        if (!hit) {
+            std::fprintf(stderr, "bench_report: --scale matched nothing "
+                                 "('%s')\n",
+                         spec.c_str());
+            return 2;
+        }
+        std::fprintf(stderr, "bench_report: scaled %s by %g (injected "
+                             "for gate testing)\n",
+                     spec.c_str(), factor);
+    }
+
+    std::string js = report.toJson();
+    if (!writeVerified(js, outPath))
+        return 1;
+    try {
+        if (!(BenchReport::fromJson(js) == report)) {
+            std::fprintf(stderr,
+                         "bench_report: aggregate did not round-trip\n");
+            return 1;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench_report: re-parse failed: %s\n",
+                     e.what());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "bench_report: %zu input(s), %zu metric(s) -> %s\n",
+                 report.inputs.size(), report.samples.size(),
+                 outPath.c_str());
+
+    if (!writeBaselinePath.empty()) {
+        std::vector<Gate> gates;
+        for (const MetricSample& s : report.samples)
+            gates.push_back(inferGate(s));
+        if (!writeVerified(gatesToJson(gates), writeBaselinePath))
+            return 1;
+        std::fprintf(stderr, "bench_report: baseline (%zu gates) -> %s\n",
+                     gates.size(), writeBaselinePath.c_str());
+    }
+
+    if (!baselinePath.empty()) {
+        std::string text;
+        if (!readFileText(baselinePath, text)) {
+            std::fprintf(stderr, "bench_report: cannot read baseline "
+                                 "'%s'\n",
+                         baselinePath.c_str());
+            return 2;
+        }
+        std::vector<Gate> gates;
+        try {
+            gates = gatesFromJson(text);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bench_report: %s\n", e.what());
+            return 2;
+        }
+        std::vector<std::string> failures =
+            diffAgainstBaseline(report, gates);
+        for (const std::string& f : failures)
+            std::fprintf(stderr, "REGRESSION %s\n", f.c_str());
+        std::fprintf(stderr,
+                     "bench_report: %zu gate(s) against %s, %zu "
+                     "regression(s)\n",
+                     gates.size(), baselinePath.c_str(), failures.size());
+        if (!failures.empty())
+            return 1;
+    }
+    return 0;
+}

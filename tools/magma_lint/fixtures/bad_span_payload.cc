@@ -1,0 +1,15 @@
+// magma_lint self-test fixture: an obs::Span construction with no
+// "payload" doc comment in reach — the span-payload check must flag it.
+// Never compiled; the type below is a stand-in for obs::Span.
+
+namespace obs {
+struct Span {
+    Span(const char*, long long) {}
+};
+}  // namespace obs
+
+void
+undocumentedSpan()
+{
+    obs::Span span("fixture.undocumented", 7);
+}

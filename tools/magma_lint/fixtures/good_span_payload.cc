@@ -1,0 +1,30 @@
+// magma_lint self-test fixture: every obs::Span site documents its
+// payload slots — a same-line comment, a comment within three lines
+// above, or a justified allow tag. This file must scan clean.
+
+namespace obs {
+struct Span {
+    Span(const char*, long long) {}
+};
+}  // namespace obs
+
+void
+sameLineComment()
+{
+    obs::Span span("fixture.same_line", 1);  // span payload: i = index
+}
+
+void
+precedingComment()
+{
+    // span payload: i = batch size; a/b unused
+    obs::Span span("fixture.preceding", 2);
+}
+
+void
+taggedSpan()
+{
+    // magma-lint: allow(span-payload): timing-only span, no payload
+    // slots are filled at this site.
+    obs::Span span("fixture.tagged", 0);
+}

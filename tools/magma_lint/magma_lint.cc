@@ -28,6 +28,13 @@
  *                   shortest format guaranteed to round-trip an IEEE
  *                   double exactly. Display-only lines carry a tag.
  *
+ *   span-payload    Every obs::Span construction site carries a
+ *                   "span payload:" comment (same line or within the
+ *                   three lines above) naming what its i/a/b slots
+ *                   mean, mirroring the slot table in src/obs/trace.h;
+ *                   payload-free spans carry an allow tag instead.
+ *                   --check-spans runs just this check over the roots.
+ *
  *   header-standalone  (--check-headers) Every public header under src/
  *                   compiles as its own translation unit — no hidden
  *                   include-order dependencies.
@@ -61,6 +68,7 @@
  *   magma_lint --self-test FIXTURE_DIR         verify the checker itself
  *   magma_lint --check-headers --compiler CXX --include DIR --root DIR
  *   magma_lint --check-docs --root DIR         docs/source consistency
+ *   magma_lint --check-spans --root DIR        span payload comments
  *
  * Exit status: 0 clean, 1 findings, 2 usage/internal error.
  */
@@ -91,6 +99,7 @@ struct Options {
     std::vector<std::string> files;
     bool checkHeaders = false;
     bool checkDocs = false;
+    bool checkSpans = false;
     std::string compiler = "g++";
     std::vector<std::string> includeDirs;
     std::string selfTestDir;
@@ -528,6 +537,44 @@ checkDoubleFormat(const FileText& ft, const AllowMap& am,
     }
 }
 
+// ----------------------------------------------- check: span-payload ---
+
+/**
+ * Every obs::Span construction site documents its payload slots: a
+ * "span payload:" comment on the same line or within the three lines
+ * above (mirroring the slot table in src/obs/trace.h), or a justified
+ * allow(span-payload) tag for spans that fill no slots. Returns the
+ * number of sites inspected (the --check-spans summary).
+ */
+int
+checkSpanPayload(const FileText& ft, const AllowMap& am,
+                 std::vector<Finding>& out)
+{
+    int sites = 0;
+    const std::string doc = "span payload:";
+    for (size_t i = 0; i < ft.code.size(); ++i) {
+        if (!containsToken(ft.code[i], "obs::Span"))
+            continue;
+        ++sites;
+        bool documented = false;
+        for (size_t back = 0; back <= 3 && back <= i; ++back) {
+            if (ft.comment[i - back].find(doc) != std::string::npos) {
+                documented = true;
+                break;
+            }
+        }
+        if (documented || am.allows("span-payload", i))
+            continue;
+        out.push_back(
+            {ft.path, static_cast<int>(i + 1), "span-payload",
+             "obs::Span site without a \"span payload:\" comment naming "
+             "its i/a/b slots (see src/obs/trace.h) — document the "
+             "payload or tag payload-free spans with "
+             "allow(span-payload)"});
+    }
+    return sites;
+}
+
 // ------------------------------------------ check: header-standalone ---
 
 int
@@ -785,6 +832,7 @@ lintFile(const std::string& path)
     checkNondet(ft, am, out);
     checkUnorderedIter(ft, am, out);
     checkDoubleFormat(ft, am, out);
+    checkSpanPayload(ft, am, out);
     return out;
 }
 
@@ -938,7 +986,8 @@ usage()
         "       magma_lint --self-test FIXTURE_DIR\n"
         "       magma_lint --check-headers --compiler CXX "
         "[--include DIR]... --root DIR\n"
-        "       magma_lint --check-docs --root DIR\n");
+        "       magma_lint --check-docs --root DIR\n"
+        "       magma_lint --check-spans --root DIR\n");
 }
 
 }  // namespace
@@ -964,6 +1013,8 @@ main(int argc, char** argv)
             opt.checkHeaders = true;
         else if (arg == "--check-docs")
             opt.checkDocs = true;
+        else if (arg == "--check-spans")
+            opt.checkSpans = true;
         else if (arg == "--compiler")
             opt.compiler = next();
         else if (arg == "--include")
@@ -1015,6 +1066,24 @@ main(int argc, char** argv)
             std::fprintf(stderr, "magma_lint: nothing to check\n");
             return 2;
         }
+        return reportFindings(findings);
+    }
+
+    if (opt.checkSpans) {
+        std::vector<std::string> files = collectFiles(opt);
+        if (files.empty()) {
+            usage();
+            return 2;
+        }
+        std::vector<Finding> findings;
+        int sites = 0;
+        for (const std::string& f : files) {
+            FileText ft = readFile(f);
+            AllowMap am = buildAllowMap(ft);
+            sites += checkSpanPayload(ft, am, findings);
+        }
+        std::fprintf(stderr, "magma_lint: %d span site(s) checked\n",
+                     sites);
         return reportFindings(findings);
     }
 
